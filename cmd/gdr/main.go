@@ -1,0 +1,138 @@
+// Command gdr runs guided data repair over CSV data.
+//
+// With a ground-truth file it simulates the expert user (the paper's
+// evaluation protocol) and reports the quality trajectory:
+//
+//	gdr -data dirty.csv -rules rules.txt -truth truth.csv -strategy GDR -budget 500
+//
+// Without one it runs interactively: suggested updates are shown group by
+// group and answered on stdin with c(onfirm) / r(eject) / k(eep, i.e.
+// retain) / q(uit).
+//
+//	gdr -data dirty.csv -rules rules.txt -o repaired.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdr"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV file with the dirty instance (required)")
+		rulesPath = flag.String("rules", "", "rules file, one CFD per line (required)")
+		truthPath = flag.String("truth", "", "CSV ground truth; enables simulated evaluation")
+		strategy  = flag.String("strategy", "GDR", "strategy: GDR | GDR-NoLearning | GDR-S-Learning | Active-Learning | Greedy | Random | Heuristic")
+		budget    = flag.Int("budget", 0, "max user feedbacks (0 = unlimited)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		outPath   = flag.String("o", "", "write the repaired instance to this CSV file")
+	)
+	flag.Parse()
+	if *dataPath == "" || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dataPath, *rulesPath, *truthPath, *strategy, *budget, *seed, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "gdr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, rulesPath, truthPath, strategy string, budget int, seed int64, outPath string) error {
+	db, err := gdr.ReadCSVFile(dataPath)
+	if err != nil {
+		return err
+	}
+	rf, err := os.Open(rulesPath)
+	if err != nil {
+		return err
+	}
+	rules, err := gdr.ParseRules(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+
+	if truthPath != "" {
+		truth, err := gdr.ReadCSVFile(truthPath)
+		if err != nil {
+			return err
+		}
+		res, err := gdr.Run(gdr.Strategy(strategy), db, truth, rules, gdr.RunConfig{
+			Budget: budget, Seed: seed, RecordEvery: 25,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("strategy            %s\n", res.Strategy)
+		fmt.Printf("initial dirty       %d\n", res.InitialDirty)
+		fmt.Printf("user feedbacks      %d\n", res.Verified)
+		fmt.Printf("learner decisions   %d\n", res.LearnerDecisions)
+		fmt.Printf("applied changes     %d (forced fixes: %d)\n", res.Applied, res.ForcedFixes)
+		fmt.Printf("quality improvement %.2f%%\n", res.FinalImprovement)
+		fmt.Printf("precision / recall  %.3f / %.3f\n", res.Precision, res.Recall)
+		fmt.Println("\ntrajectory (feedbacks -> improvement%):")
+		for _, p := range res.Points {
+			fmt.Printf("  %6d  %6.2f\n", p.Verified, p.Improvement)
+		}
+		return nil
+	}
+
+	return interactive(db, rules, budget, seed, outPath)
+}
+
+// interactive drives a live session against a human on stdin.
+func interactive(db *gdr.DB, rules []*gdr.CFD, budget int, seed int64, outPath string) error {
+	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d dirty tuples, %d suggested updates\n", sess.InitialDirtyCount(), sess.PendingCount())
+	in := bufio.NewScanner(os.Stdin)
+	asked := 0
+loop:
+	for sess.PendingCount() > 0 && (budget <= 0 || asked < budget) {
+		gs := sess.Groups(gdr.OrderVOI, nil)
+		if len(gs) == 0 {
+			break
+		}
+		g := gs[0]
+		fmt.Printf("\ngroup %s — %d updates (estimated benefit %.3f)\n", g.Key, g.Size(), g.Benefit)
+		for _, u := range g.Updates {
+			if cur, ok := sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			fmt.Printf("  t%d.%s: %q -> %q (score %.2f)? [c/r/k/q] ",
+				u.Tid, u.Attr, db.Get(u.Tid, u.Attr), u.Value, u.Score)
+			if !in.Scan() {
+				break loop
+			}
+			asked++
+			switch strings.TrimSpace(strings.ToLower(in.Text())) {
+			case "c", "y", "confirm":
+				sess.UserFeedback(u, gdr.Confirm)
+			case "r", "n", "reject":
+				sess.UserFeedback(u, gdr.Reject)
+			case "k", "keep", "retain":
+				sess.UserFeedback(u, gdr.Retain)
+			case "q", "quit":
+				break loop
+			default:
+				fmt.Println("  (skipped)")
+			}
+		}
+	}
+	fmt.Printf("\nremaining dirty tuples: %d\n", sess.Engine().DirtyCount())
+	if outPath != "" {
+		if err := db.WriteCSVFile(outPath); err != nil {
+			return err
+		}
+		fmt.Println("repaired instance written to", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdr"
+)
+
+// writeWorkload materializes a small workload for CLI tests.
+func writeWorkload(t *testing.T) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	d := gdr.HospitalData(gdr.DataConfig{N: 300, Seed: 3})
+	if err := d.Dirty.WriteCSVFile(filepath.Join(dir, "dirty.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truth.WriteCSVFile(filepath.Join(dir, "truth.csv")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Rules {
+		if _, err := f.WriteString(r.String() + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSimulatedRunFromFiles(t *testing.T) {
+	dir := writeWorkload(t)
+	err := run(
+		filepath.Join(dir, "dirty.csv"),
+		filepath.Join(dir, "rules.txt"),
+		filepath.Join(dir, "truth.csv"),
+		"GDR", 40, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := writeWorkload(t)
+	if err := run("nope.csv", filepath.Join(dir, "rules.txt"), "", "GDR", 0, 1, ""); err == nil {
+		t.Fatal("want error for missing data file")
+	}
+	if err := run(filepath.Join(dir, "dirty.csv"), "nope.txt", "", "GDR", 0, 1, ""); err == nil {
+		t.Fatal("want error for missing rules file")
+	}
+	if err := run(
+		filepath.Join(dir, "dirty.csv"),
+		filepath.Join(dir, "rules.txt"),
+		filepath.Join(dir, "truth.csv"),
+		"NoSuchStrategy", 10, 1, ""); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}

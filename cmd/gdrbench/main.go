@@ -1,0 +1,101 @@
+// Command gdrbench regenerates the paper's evaluation figures.
+//
+//	gdrbench -figure 3 -dataset 1            # Figure 3(a)
+//	gdrbench -figure 4 -dataset 2 -n 20000   # Figure 4(b) at paper scale
+//	gdrbench -figure all -dataset all -n 5000
+//
+// Each figure prints as an aligned text table: one row per x value, one
+// column per strategy/series — the same curves the paper plots. Absolute
+// numbers differ from the paper (synthetic substitute datasets, simulated
+// user); the shapes are the reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gdr"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "3 | 4 | 5 | all")
+		ds      = flag.String("dataset", "all", "1 | 2 | all")
+		n       = flag.Int("n", 20000, "records per dataset")
+		seed    = flag.Int64("seed", 7, "random seed")
+		rate    = flag.Float64("dirty", 0.3, "fraction of perturbed tuples")
+		verbose = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+	if err := run(*figure, *ds, *n, *seed, *rate, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "gdrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure, ds string, n int, seed int64, rate float64, verbose bool) error {
+	cfg := gdr.FigureConfig{N: n, Seed: seed, DirtyRate: rate}
+	var datasets []int
+	switch ds {
+	case "1":
+		datasets = []int{1}
+	case "2":
+		datasets = []int{2}
+	case "all":
+		datasets = []int{1, 2}
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+	var figures []string
+	switch figure {
+	case "3", "4", "5":
+		figures = []string{figure}
+	case "all":
+		figures = []string{"3", "4", "5"}
+	default:
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+
+	for _, id := range datasets {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "generating dataset %d (n=%d)...\n", id, n)
+		}
+		data, err := datasetByID(id, cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range figures {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "running figure %s on dataset %d...\n", f, id)
+			}
+			var fig gdr.Figure
+			switch f {
+			case "3":
+				fig, err = gdr.Figure3(data, cfg)
+			case "4":
+				fig, err = gdr.Figure4(data, cfg)
+			case "5":
+				fig, err = gdr.Figure5(data, cfg)
+			}
+			if err != nil {
+				return err
+			}
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func datasetByID(id int, cfg gdr.FigureConfig) (*gdr.Data, error) {
+	dc := gdr.DataConfig{N: cfg.N, Seed: cfg.Seed, DirtyRate: cfg.DirtyRate}
+	switch id {
+	case 1:
+		return gdr.HospitalData(dc), nil
+	case 2:
+		return gdr.CensusData(dc), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %d", id)
+}

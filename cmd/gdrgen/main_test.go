@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdr"
+)
+
+func TestGenerateWritesWorkload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 300, 7, 0.3, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"dirty.csv", "truth.csv", "rules.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// The written files must round-trip through the library.
+	dirty, err := gdr.ReadCSVFile(filepath.Join(dir, "dirty.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.N() != 300 {
+		t.Fatalf("dirty has %d rows", dirty.N())
+	}
+	rf, err := os.Open(filepath.Join(dir, "rules.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rules, err := gdr.ParseRules(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules written")
+	}
+	// Rules must validate against the written schema.
+	if _, err := gdr.NewSession(dirty, rules, gdr.SessionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCensus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(2, 1500, 7, 0.3, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rules.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	if err := run(9, 10, 1, 0.3, t.TempDir()); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}

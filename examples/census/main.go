@@ -1,0 +1,41 @@
+// Census: the paper's Dataset 2 scenario — adult-census-style records with
+// uncorrelated random errors, where the quality rules are NOT given but
+// *discovered* from the dirty data itself (constant CFDs at 5% support,
+// following the paper's use of reference [9]). The example prints the
+// discovered rules and repairs the instance with them.
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdr"
+)
+
+func main() {
+	fmt.Println("generating Dataset 2 (census records, n=4000, 30% dirty)...")
+	data := gdr.CensusData(gdr.DataConfig{N: 4000, Seed: 21})
+
+	fmt.Printf("\ndiscovered %d constant CFDs from the dirty instance (5%% support); first 12:\n", len(data.Rules))
+	for i, r := range data.Rules {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("  %s\n", r)
+	}
+
+	res, err := gdr.Run(gdr.StrategyGDR, data.Dirty, data.Truth, data.Rules, gdr.RunConfig{
+		Budget: 400, Seed: 5, RecordEvery: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGDR with %d feedbacks: %.1f%% quality improvement, precision %.3f, recall %.3f\n",
+		res.Verified, res.FinalImprovement, res.Precision, res.Recall)
+	fmt.Printf("learner decided %d further updates without user involvement\n", res.LearnerDecisions)
+	fmt.Println("\nbecause this dataset's errors are random (no learnable correlations),")
+	fmt.Println("the learner helps less than on the hospital data — the paper's")
+	fmt.Println("Dataset 2 observation.")
+}

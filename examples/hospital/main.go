@@ -1,0 +1,49 @@
+// Hospital: the paper's Dataset 1 scenario — emergency-room visit records
+// integrated from 74 hospitals, 30% of tuples perturbed with recurrent,
+// source-correlated errors. The example compares the full GDR framework
+// against the automatic heuristic and plain VOI ranking at the same
+// feedback budget, demonstrating the paper's headline claim: a small amount
+// of well-targeted user feedback beats fully automatic repair.
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdr"
+)
+
+func main() {
+	fmt.Println("generating Dataset 1 (hospital visits, n=4000, 30% dirty)...")
+	data := gdr.HospitalData(gdr.DataConfig{N: 4000, Seed: 11})
+
+	probe, err := gdr.Run(gdr.StrategyHeuristic, data.Dirty, data.Truth, data.Rules, gdr.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := probe.InitialDirty
+	budget := e / 5 // 20% of the initial dirty tuples, the paper's sweet spot
+	fmt.Printf("initial dirty tuples E = %d; feedback budget = %d (20%% of E)\n\n", e, budget)
+
+	fmt.Printf("%-18s %10s %10s %10s %12s %10s %8s\n",
+		"strategy", "feedback", "learner", "applied", "improvement", "precision", "recall")
+	for _, st := range []gdr.Strategy{gdr.StrategyHeuristic, gdr.StrategyGDRNoLearning, gdr.StrategyGDR} {
+		rc := gdr.RunConfig{Budget: budget, Seed: 3, RecordEvery: 100}
+		if st == gdr.StrategyHeuristic {
+			rc.Budget = 0 // no user at all
+		}
+		res, err := gdr.Run(st, data.Dirty, data.Truth, data.Rules, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10d %10d %10d %11.1f%% %10.3f %8.3f\n",
+			st, res.Verified, res.LearnerDecisions, res.Applied,
+			res.FinalImprovement, res.Precision, res.Recall)
+	}
+
+	fmt.Println("\nGDR leverages the correlated errors (e.g. source S2 corrupts City,")
+	fmt.Println("S3 swaps boundary zips): after a few labels per group, the learned")
+	fmt.Println("per-attribute forests decide the remaining updates automatically.")
+}

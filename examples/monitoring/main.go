@@ -1,0 +1,70 @@
+// Monitoring: the online data-entry mode sketched in Section 3 of the paper
+// — "GDR can be used in monitoring data entries and immediately suggesting
+// updates during the data entry process". A session watches a growing
+// relation; every inserted record is validated against the CFDs and, when
+// it violates one, a repair suggestion is produced on the spot.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdr"
+)
+
+func main() {
+	schema := gdr.MustSchema("Customer", []string{"Name", "CT", "STT", "ZIP"})
+	db := gdr.NewDB(schema)
+	// Seed the store with a few clean records.
+	for _, r := range []gdr.Tuple{
+		{"Alice", "Michigan City", "IN", "46360"},
+		{"Bob", "Westville", "IN", "46391"},
+		{"Carol", "Fort Wayne", "IN", "46825"},
+	} {
+		db.MustInsert(r)
+	}
+	rules := gdr.MustParseRules(`
+phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN
+phi3: ZIP -> CT, STT :: 46825 || Fort Wayne, IN
+phi4: ZIP -> CT, STT :: 46391 || Westville, IN
+`)
+	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	entries := []gdr.Tuple{
+		{"Dave", "Michigan City", "IN", "46360"},  // clean
+		{"Eve", "Westvile", "IN", "46391"},        // typo city
+		{"Frank", "Fort Wayne", "OH", "46825"},    // wrong state
+		{"Grace", "Michigan City", "IN", "46825"}, // city/zip mismatch
+	}
+	for _, entry := range entries {
+		tid, err := sess.Insert(entry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("entered %v\n", entry)
+		if !sess.Engine().IsDirty(tid) {
+			fmt.Println("  ✓ consistent with all rules")
+			continue
+		}
+		for _, attr := range db.Schema.Attrs {
+			if u, ok := sess.Pending(gdr.CellKey{Tid: tid, Attr: attr}); ok {
+				fmt.Printf("  ✗ suggestion: %s %q -> %q (score %.2f)\n",
+					attr, db.Get(tid, attr), u.Value, u.Score)
+			}
+		}
+		// The operator accepts the top suggestion immediately.
+		for _, attr := range db.Schema.Attrs {
+			if u, ok := sess.Pending(gdr.CellKey{Tid: tid, Attr: attr}); ok {
+				sess.UserFeedback(u, gdr.Confirm)
+				fmt.Printf("  → applied %s := %q\n", attr, u.Value)
+				break
+			}
+		}
+	}
+	fmt.Printf("\nfinal state: %d tuples, %d still dirty\n", db.N(), sess.Engine().DirtyCount())
+}

@@ -1,0 +1,72 @@
+// Quickstart: guided repair of the paper's Figure 1 running example.
+//
+// Eight Customer tuples violate the CFDs φ1–φ5; we open a GDR session, rank
+// the suggested-update groups by their VOI benefit, and play the expert user
+// answering from the known-correct values.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdr"
+)
+
+func main() {
+	schema := gdr.MustSchema("Customer", []string{"Name", "STR", "CT", "STT", "ZIP"})
+	db := gdr.NewDB(schema)
+	rows := []gdr.Tuple{
+		{"Alice", "Redwood Dr", "Michigan City", "IN", "46360"},
+		{"Bob", "Oak St", "Westvile", "IN", "46360"},         // typo city
+		{"Carol", "Pine Ave", "Michigan Cty", "IN", "46360"}, // typo city
+		{"Dave", "Sherden RD", "Fort Wayne", "IN", "46391"},  // wrong zip
+		{"Eve", "Sherden RD", "Fort Wayne", "IN", "46825"},
+		{"Frank", "Sherden RD", "Fort Wayne", "IN", "46825"},
+	}
+	for _, r := range rows {
+		db.MustInsert(r)
+	}
+	// The truth: what the expert knows.
+	truth := db.Clone()
+	truth.Set(1, "CT", "Michigan City")
+	truth.Set(2, "CT", "Michigan City")
+	truth.Set(3, "ZIP", "46825")
+
+	rules := gdr.MustParseRules(`
+phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN
+phi3: ZIP -> CT, STT :: 46825 || Fort Wayne, IN
+phi5: STR, CT -> ZIP :: _, Fort Wayne || _
+`)
+
+	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := gdr.NewOracle(truth)
+	fmt.Printf("dirty tuples: %d, suggested updates: %d\n\n", sess.InitialDirtyCount(), sess.PendingCount())
+
+	for sess.PendingCount() > 0 {
+		groups := sess.Groups(gdr.OrderVOI, nil)
+		if len(groups) == 0 {
+			break
+		}
+		g := groups[0]
+		fmt.Printf("inspecting group %s (benefit %.3f, %d updates)\n", g.Key, g.Benefit, g.Size())
+		for _, u := range g.Updates {
+			if cur, ok := sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			fb := oracle.Feedback(db, u)
+			fmt.Printf("  t%d.%s %q -> %q : %s\n", u.Tid, u.Attr, db.Get(u.Tid, u.Attr), u.Value, fb)
+			sess.UserFeedback(u, fb)
+		}
+	}
+
+	fmt.Printf("\nremaining dirty tuples: %d, feedbacks used: %d\n", sess.Engine().DirtyCount(), oracle.Asked)
+	fmt.Println("\nrepaired instance:")
+	for tid := 0; tid < db.N(); tid++ {
+		fmt.Printf("  %v\n", db.Tuple(tid))
+	}
+}

@@ -1,0 +1,74 @@
+// Referential: the future-work rule types of the paper's Section 7 —
+// conditional inclusion dependencies (CINDs) across relations and matching
+// dependencies (MDs) within one — used alongside a CFD repair session.
+//
+//	go run ./examples/referential
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdr"
+)
+
+func main() {
+	// Two relations: visits reference hospitals by name.
+	visits := gdr.NewDB(gdr.MustSchema("Visits", []string{"Patient", "HospitalName", "Street", "Zip"}))
+	hospitals := gdr.NewDB(gdr.MustSchema("Hospitals", []string{"Name", "City"}))
+
+	hospitals.MustInsert(gdr.Tuple{"St. Mary Medical Center", "Michigan City"})
+	hospitals.MustInsert(gdr.Tuple{"Parkview Regional", "Fort Wayne"})
+
+	rows := []gdr.Tuple{
+		{"Alice", "St. Mary Medical Center", "100 Sherden Road", "46825"},
+		{"Bob", "St Mary Medical Centre", "100 Sherden Raod", "46835"}, // typo'd reference + street
+		{"Carol", "Parkview Regional", "100 Sherden Road", "46825"},
+	}
+	for _, r := range rows {
+		visits.MustInsert(r)
+	}
+
+	// CIND: every visit must name an existing hospital.
+	ref, err := gdr.NewCIND("ref", []string{"HospitalName"}, []string{"Name"}, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cch, err := gdr.NewCINDChecker(visits, hospitals, []*gdr.CIND{ref})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CIND violations (dangling references):")
+	for _, v := range cch.Violations() {
+		fmt.Printf("  t%d references %q — not in Hospitals\n", v.Tid, visits.Get(v.Tid, "HospitalName"))
+		for _, s := range cch.Suggest(v, 1) {
+			fmt.Printf("    suggest %s := %q (score %.2f)\n", s.Attr, s.Value, s.Score)
+			visits.Set(s.Tid, s.Attr, s.Value) // accept the fix
+		}
+	}
+
+	// MD: visits with nearly identical streets must carry the same zip.
+	mdRule, err := gdr.NewMD("street-zip", "Street", 0.85, "Zip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mch, err := gdr.NewMDChecker(visits, []*gdr.MD{mdRule})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMD violations (similar streets, diverging zips):")
+	for _, v := range mch.AllViolations() {
+		fmt.Printf("  t%d %q / t%d %q (sim %.2f) but zips %s vs %s\n",
+			v.T1, visits.Get(v.T1, "Street"), v.T2, visits.Get(v.T2, "Street"), v.Similarity,
+			visits.Get(v.T1, "Zip"), visits.Get(v.T2, "Zip"))
+		sugs := mch.Suggest(v)
+		best := sugs[0]
+		fmt.Printf("    identify: t%d.%s := %q (support %d)\n", best.Tid, best.Attr, best.Value, best.Support)
+		visits.Set(best.Tid, best.Attr, best.Value)
+	}
+
+	fmt.Println("\nrepaired visits:")
+	for tid := 0; tid < visits.N(); tid++ {
+		fmt.Printf("  %v\n", visits.Tuple(tid))
+	}
+}

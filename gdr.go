@@ -1,0 +1,275 @@
+// Package gdr is a from-scratch Go implementation of Guided Data Repair
+// (Yakout, Elmagarmid, Neville, Ouzzani, Ilyas — "Guided Data Repair",
+// PVLDB 4(5), 2011): a human-in-the-loop framework that repairs a relational
+// database against Conditional Functional Dependencies by ranking suggested
+// updates with a value-of-information (VOI) benefit score, ordering them for
+// the user with active learning, and letting per-attribute random-forest
+// models take over labeling once they are confident.
+//
+// This package is the public façade: it re-exports the library's core types
+// so applications depend on a single import path. The building blocks live
+// in the internal packages (relation, cfd, repair, group, voi, learn, core,
+// …) and are documented there.
+//
+// A minimal repair loop looks like:
+//
+//	db, _ := gdr.ReadCSVFile("dirty.csv")
+//	rules := gdr.MustParseRules("zip: Zip -> City :: 46360 || Michigan City")
+//	sess, _ := gdr.NewSession(db, rules, gdr.SessionConfig{})
+//	for _, g := range sess.Groups(gdr.OrderVOI, nil) {
+//		for _, u := range g.Updates {
+//			// show u to the user, collect a Confirm/Reject/Retain answer
+//			sess.UserFeedback(u, gdr.Confirm)
+//		}
+//	}
+//
+// or, with a ground-truth oracle simulating the user (how the paper
+// evaluates), a single call:
+//
+//	res, _ := gdr.Run(gdr.StrategyGDR, dirty, truth, rules, gdr.RunConfig{Budget: 500})
+package gdr
+
+import (
+	"io"
+	"math/rand"
+
+	"gdr/internal/cfd"
+	"gdr/internal/cind"
+	"gdr/internal/core"
+	"gdr/internal/dataset"
+	"gdr/internal/discovery"
+	"gdr/internal/experiments"
+	"gdr/internal/group"
+	"gdr/internal/learn"
+	"gdr/internal/md"
+	"gdr/internal/metrics"
+	"gdr/internal/oracle"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// Relational substrate.
+type (
+	// Schema describes a relation: name plus ordered attributes.
+	Schema = relation.Schema
+	// Tuple is one row of attribute values.
+	Tuple = relation.Tuple
+	// DB is a mutable in-memory instance of one relation.
+	DB = relation.DB
+)
+
+// NewSchema builds a schema; attribute names must be unique.
+func NewSchema(name string, attrs []string) (*Schema, error) { return relation.NewSchema(name, attrs) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(name string, attrs []string) *Schema { return relation.MustSchema(name, attrs) }
+
+// NewDB returns an empty instance over the schema.
+func NewDB(s *Schema) *DB { return relation.NewDB(s) }
+
+// ReadCSV loads a relation from CSV (first row is the header).
+func ReadCSV(r io.Reader, name string) (*DB, error) { return relation.ReadCSV(r, name) }
+
+// ReadCSVFile loads a relation from a CSV file.
+func ReadCSVFile(path string) (*DB, error) { return relation.ReadCSVFile(path) }
+
+// Data-quality rules.
+type (
+	// CFD is a conditional functional dependency in normal form.
+	CFD = cfd.CFD
+)
+
+// Wildcard is the '−' pattern entry: any value matches.
+const Wildcard = cfd.Wildcard
+
+// ParseRules reads rules from r, one per line, in the format
+// "name: A, B -> C :: p1, p2 || q". See internal/cfd for details.
+func ParseRules(r io.Reader) ([]*CFD, error) { return cfd.Parse(r) }
+
+// MustParseRules parses rules from a string and panics on error.
+func MustParseRules(text string) []*CFD { return cfd.MustParse(text) }
+
+// DiscoverRules mines constant CFDs from an instance with the given support
+// threshold (fraction of tuples), in the spirit of the paper's reference [9].
+func DiscoverRules(db *DB, minSupport float64) []*CFD {
+	return discovery.ConstantCFDs(db, discovery.Options{MinSupport: minSupport})
+}
+
+// Suggested updates and feedback.
+type (
+	// Update is a suggested repair ⟨t, A, v, s⟩.
+	Update = repair.Update
+	// CellKey addresses one cell (tuple id, attribute).
+	CellKey = repair.CellKey
+	// Feedback is a confirm/reject/retain decision.
+	Feedback = repair.Feedback
+	// Group is a set of updates sharing (attribute, suggested value).
+	Group = group.Group
+	// GroupKey identifies a group.
+	GroupKey = group.Key
+)
+
+// The three feedback answers of the paper's Section 4.2.
+const (
+	Confirm = repair.Confirm
+	Reject  = repair.Reject
+	Retain  = repair.Retain
+)
+
+// Sessions (the GDR framework of Figure 2).
+type (
+	// Session is one guided-repair session.
+	Session = core.Session
+	// SessionConfig tunes a session; the zero value uses the paper's
+	// defaults (k = 10 trees, ns = 5, …).
+	SessionConfig = core.Config
+	// Order selects the group ranking policy.
+	Order = core.Order
+)
+
+// Group ranking orders.
+const (
+	OrderVOI    = core.OrderVOI
+	OrderGreedy = core.OrderGreedy
+	OrderRandom = core.OrderRandom
+)
+
+// NewSession builds a session over db (mutated in place as repairs apply)
+// and generates the initial suggested updates.
+func NewSession(db *DB, rules []*CFD, cfg SessionConfig) (*Session, error) {
+	return core.NewSession(db, rules, cfg)
+}
+
+// Strategies and simulated evaluation.
+type (
+	// Strategy names a repair-driving policy from the paper's Section 5.
+	Strategy = core.Strategy
+	// RunConfig parameterizes a simulated run.
+	RunConfig = core.RunConfig
+	// Result summarizes a simulated run.
+	Result = core.Result
+	// Point is one sample of a run's quality trajectory.
+	Point = core.Point
+)
+
+// The evaluated strategies.
+const (
+	StrategyGDR            = core.StrategyGDR
+	StrategyGDRNoLearning  = core.StrategyGDRNoLearning
+	StrategyGDRSLearning   = core.StrategyGDRSLearning
+	StrategyActiveLearning = core.StrategyActiveLearning
+	StrategyGreedy         = core.StrategyGreedy
+	StrategyRandom         = core.StrategyRandom
+	StrategyHeuristic      = core.StrategyHeuristic
+)
+
+// Run executes one strategy on a copy of dirty, answering feedback from the
+// ground truth, and returns the quality trajectory — the paper's evaluation
+// protocol.
+func Run(st Strategy, dirty, truth *DB, rules []*CFD, rc RunConfig) (*Result, error) {
+	return core.Run(st, dirty, truth, rules, rc)
+}
+
+// Oracle simulates the expert user from a ground-truth instance.
+type Oracle = oracle.Oracle
+
+// NewOracle builds a simulated user over the ground truth.
+func NewOracle(truth *DB) *Oracle { return oracle.New(truth) }
+
+// Quality and accuracy metrics.
+type (
+	// Quality measures the Eq. 3 loss against a ground truth.
+	Quality = metrics.Quality
+	// Accuracy measures repair precision/recall.
+	Accuracy = metrics.Accuracy
+)
+
+// Learning substrate.
+type (
+	// ForestConfig tunes the per-attribute random forests.
+	ForestConfig = learn.Config
+	// Label is a predicted feedback class.
+	Label = learn.Label
+	// Votes is a committee vote distribution.
+	Votes = learn.Votes
+)
+
+// Datasets and experiments (the paper's Section 5 workloads).
+type (
+	// Data bundles a workload: truth, dirty copy and rules.
+	Data = dataset.Data
+	// DataConfig controls workload generation.
+	DataConfig = dataset.Config
+	// Figure is a reproduced paper figure (labeled series).
+	Figure = experiments.Figure
+	// FigureConfig parameterizes figure reproduction.
+	FigureConfig = experiments.Config
+)
+
+// HospitalData generates the Dataset 1 substitute (correlated recurrent
+// errors, widely varying group sizes).
+func HospitalData(cfg DataConfig) *Data { return dataset.Hospital(cfg) }
+
+// CensusData generates the Dataset 2 substitute (uncorrelated random
+// errors; rules discovered from the dirty data at 5% support).
+func CensusData(cfg DataConfig) *Data { return dataset.Census(cfg) }
+
+// Figure3 reproduces Figure 3 (ranking strategies) on a dataset.
+func Figure3(d *Data, cfg FigureConfig) (Figure, error) { return experiments.Figure3(d, cfg) }
+
+// Figure4 reproduces Figure 4 (overall evaluation) on a dataset.
+func Figure4(d *Data, cfg FigureConfig) (Figure, error) { return experiments.Figure4(d, cfg) }
+
+// Figure5 reproduces Figure 5 (precision/recall vs effort) on a dataset.
+func Figure5(d *Data, cfg FigureConfig) (Figure, error) { return experiments.Figure5(d, cfg) }
+
+// ShuffleGroups is a helper for custom drivers that want the Random
+// baseline's behavior.
+func ShuffleGroups(gs []*Group, rng *rand.Rand) {
+	rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
+}
+
+// Rule-ranking extension (the authors' DBRank workshop paper, ref [21]):
+// Session.RankedRules orders rules by weighted violation mass and
+// Session.FocusTopRules narrows an interactive session to the dirty tuples
+// of the most valuable rules; Session.RefocusAll widens it again. These are
+// methods on Session — see the core package for details.
+
+// Future-work rule types (Section 7 of the paper), implemented as checkers
+// whose suggestions can be fed into a session as ordinary updates.
+type (
+	// CIND is a conditional inclusion dependency (referential rule).
+	CIND = cind.CIND
+	// CINDChecker detects dangling references and suggests existing keys.
+	CINDChecker = cind.Checker
+	// CINDViolation is one dangling reference.
+	CINDViolation = cind.Violation
+	// MD is a matching dependency (similarity-conditioned identification).
+	MD = md.MD
+	// MDChecker detects matching pairs with diverging identified values.
+	MDChecker = md.Checker
+	// MDViolation is one violating pair.
+	MDViolation = md.Violation
+)
+
+// NewCIND builds a conditional inclusion dependency L[lhs; lhsCond] ⊆
+// R[rhs; rhsCond].
+func NewCIND(id string, lhs, rhs []string, lhsCond, rhsCond map[string]string) (*CIND, error) {
+	return cind.New(id, lhs, rhs, lhsCond, rhsCond)
+}
+
+// NewCINDChecker builds a checker from the referencing relation into the
+// referenced one.
+func NewCINDChecker(left, right *DB, rules []*CIND) (*CINDChecker, error) {
+	return cind.NewChecker(left, right, rules)
+}
+
+// NewMD builds a matching dependency [simAttr ≈threshold] → [matchAttr ⇌].
+func NewMD(id, simAttr string, threshold float64, matchAttr string) (*MD, error) {
+	return md.New(id, simAttr, threshold, matchAttr)
+}
+
+// NewMDChecker builds a matching-dependency checker over one relation.
+func NewMDChecker(db *DB, rules []*MD) (*MDChecker, error) {
+	return md.NewChecker(db, rules)
+}

@@ -1,0 +1,94 @@
+package gdr_test
+
+import (
+	"strings"
+	"testing"
+
+	"gdr"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way a
+// downstream application would: build an instance, parse rules, open a
+// session, drive feedback by hand, and check the database converges.
+func TestFacadeEndToEnd(t *testing.T) {
+	schema := gdr.MustSchema("Customer", []string{"CT", "STT", "ZIP"})
+	db := gdr.NewDB(schema)
+	db.MustInsert(gdr.Tuple{"Michigan City", "IN", "46360"})
+	db.MustInsert(gdr.Tuple{"Westvile", "IN", "46360"})
+	db.MustInsert(gdr.Tuple{"Michigan Cty", "IN", "46360"})
+	rules := gdr.MustParseRules("phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN")
+
+	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.InitialDirtyCount() != 2 {
+		t.Fatalf("initial dirty = %d", sess.InitialDirtyCount())
+	}
+	gs := sess.Groups(gdr.OrderVOI, nil)
+	if len(gs) == 0 {
+		t.Fatal("no groups")
+	}
+	for _, g := range gs {
+		for _, u := range g.Updates {
+			if cur, ok := sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			sess.UserFeedback(u, gdr.Confirm)
+		}
+	}
+	if sess.Engine().DirtyCount() != 0 {
+		t.Fatalf("still dirty: %d", sess.Engine().DirtyCount())
+	}
+	if db.Get(1, "CT") != "Michigan City" || db.Get(2, "CT") != "Michigan City" {
+		t.Fatalf("cities not repaired: %q %q", db.Get(1, "CT"), db.Get(2, "CT"))
+	}
+}
+
+func TestFacadeSimulatedRun(t *testing.T) {
+	d := gdr.HospitalData(gdr.DataConfig{N: 400, Seed: 9})
+	res, err := gdr.Run(gdr.StrategyGDR, d.Dirty, d.Truth, d.Rules, gdr.RunConfig{Budget: 50, Seed: 2, RecordEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != gdr.StrategyGDR || res.Verified > 50 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestFacadeDiscoveryAndCSV(t *testing.T) {
+	d := gdr.CensusData(gdr.DataConfig{N: 500, Seed: 3})
+	rules := gdr.DiscoverRules(d.Dirty, 0.05)
+	if len(rules) == 0 {
+		t.Fatal("no rules discovered")
+	}
+	var sb strings.Builder
+	if err := d.Dirty.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gdr.ReadCSV(strings.NewReader(sb.String()), "Adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.Dirty.N() {
+		t.Fatalf("round trip: %d vs %d", back.N(), d.Dirty.N())
+	}
+}
+
+func TestFacadeOracle(t *testing.T) {
+	d := gdr.HospitalData(gdr.DataConfig{N: 200, Seed: 4})
+	o := gdr.NewOracle(d.Truth)
+	// Any suggestion of the true value is confirmed.
+	tid := 0
+	u := gdr.Update{Tid: tid, Attr: "City", Value: d.Truth.Get(tid, "City")}
+	if d.Dirty.Get(tid, "City") == u.Value {
+		u = gdr.Update{Tid: tid, Attr: "Zip", Value: "00000"}
+		if fb := o.Feedback(d.Dirty, u); fb != gdr.Retain {
+			t.Fatalf("feedback = %v, want retain", fb)
+		}
+		return
+	}
+	if fb := o.Feedback(d.Dirty, u); fb != gdr.Confirm {
+		t.Fatalf("feedback = %v, want confirm", fb)
+	}
+}

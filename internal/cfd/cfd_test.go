@@ -1,0 +1,150 @@
+package cfd
+
+import (
+	"strings"
+	"testing"
+
+	"gdr/internal/relation"
+)
+
+func TestParseLineConstant(t *testing.T) {
+	cs, err := ParseLine("phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("normalization produced %d rules, want 2", len(cs))
+	}
+	c := cs[0]
+	if c.ID != "phi1.1" || c.RHS != "CT" || !c.Constant() {
+		t.Fatalf("first rule = %v", c)
+	}
+	if c.TP["ZIP"] != "46360" || c.TP["CT"] != "Michigan City" {
+		t.Fatalf("pattern = %v", c.TP)
+	}
+	c2 := cs[1]
+	if c2.ID != "phi1.2" || c2.RHS != "STT" || c2.TP["STT"] != "IN" {
+		t.Fatalf("second rule = %v", c2)
+	}
+}
+
+func TestParseLineVariable(t *testing.T) {
+	cs, err := ParseLine("phi5: STR, CT -> ZIP :: _, Fort Wayne || _")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("got %d rules", len(cs))
+	}
+	c := cs[0]
+	if c.Constant() {
+		t.Fatal("phi5 should be variable")
+	}
+	if c.TP["STR"] != Wildcard || c.TP["CT"] != "Fort Wayne" || c.TP["ZIP"] != Wildcard {
+		t.Fatalf("pattern = %v", c.TP)
+	}
+	if c.ID != "phi5" {
+		t.Fatalf("id = %q", c.ID)
+	}
+}
+
+func TestParseLineUnnamed(t *testing.T) {
+	cs, err := ParseLine("A -> B :: _ || _")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].ID != "A->B" {
+		t.Fatalf("auto id = %q", cs[0].ID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"no arrow here :: x || y",
+		"A -> B : x || y",
+		"A -> B :: x | y",
+		"A, B -> C :: onlyone || z",
+		"A -> :: x ||",
+		"A -> A :: _ || _",
+		"A, A -> B :: _, _ || _",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseMultiline(t *testing.T) {
+	text := `
+# rules for the running example
+phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN
+
+phi5: STR, CT -> ZIP :: _, Fort Wayne || _
+`
+	cs, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("got %d rules, want 3", len(cs))
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, line := range []string{
+		"phi4.1: ZIP -> CT :: 46391 || Westville",
+		"phi5: STR, CT -> ZIP :: _, Fort Wayne || _",
+	} {
+		cs, err := ParseLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseLine(cs[0].String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", cs[0].String(), err)
+		}
+		if back[0].String() != cs[0].String() {
+			t.Errorf("round trip: %q vs %q", back[0].String(), cs[0].String())
+		}
+	}
+}
+
+func TestInvolvesAndAttrs(t *testing.T) {
+	c := MustNew("r", []string{"A", "B"}, "C", map[string]string{"A": "_", "B": "x", "C": "_"})
+	for _, a := range []string{"A", "B", "C"} {
+		if !c.Involves(a) {
+			t.Errorf("Involves(%s) = false", a)
+		}
+	}
+	if c.Involves("D") {
+		t.Error("Involves(D) = true")
+	}
+	attrs := c.Attrs()
+	if len(attrs) != 3 || attrs[2] != "C" {
+		t.Errorf("Attrs = %v", attrs)
+	}
+}
+
+func TestValidateAgainstSchema(t *testing.T) {
+	s := relation.MustSchema("R", []string{"A", "B"})
+	good := MustNew("r1", []string{"A"}, "B", map[string]string{"A": "_", "B": "_"})
+	if err := good.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	bad := MustNew("r2", []string{"A"}, "C", map[string]string{"A": "_", "C": "_"})
+	if err := bad.Validate(s); err == nil {
+		t.Fatal("want schema validation error")
+	}
+}
+
+func TestMatchLHS(t *testing.T) {
+	s := relation.MustSchema("R", []string{"STR", "CT", "ZIP"})
+	c := MustParse("STR, CT -> ZIP :: _, Fort Wayne || _")[0]
+	if !c.MatchLHS(s, relation.Tuple{"Sherden RD", "Fort Wayne", "46825"}) {
+		t.Error("tuple in context should match")
+	}
+	if c.MatchLHS(s, relation.Tuple{"Sherden RD", "Westville", "46825"}) {
+		t.Error("tuple outside context should not match")
+	}
+}

@@ -1,0 +1,780 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdr/internal/relation"
+)
+
+// Engine maintains, incrementally under cell updates, the violation state of
+// a database instance with respect to a set Σ of normal-form CFDs:
+//
+//   - vio(D,{φ}) of Definition 1 (constant rules: one per violating tuple;
+//     variable rules: pairwise counting as in Cong et al. [7]),
+//   - |D ⊨ φ|, the number of tuples satisfying φ,
+//   - |D(φ)|, the number of tuples in the rule's context (matching tp[X]),
+//   - the DirtyTuples set {t : ∃φ, t ⊭ φ}, and
+//   - per-rule version counters so downstream components (the VOI ranker)
+//     can cache per-update benefit computations.
+//
+// All database mutations during a repair session must go through
+// Engine.Apply so the indexes stay consistent.
+type Engine struct {
+	db     *relation.DB
+	rules  []*CFD
+	states []*ruleState
+	byAttr [][]int // attribute position -> indexes into states
+	dirty  map[int]struct{}
+}
+
+type ruleState struct {
+	rule    *CFD
+	lhsIdx  []int
+	lhsPat  []string
+	rhsIdx  int
+	rhsPat  string // only meaningful for constant rules
+	version uint64
+
+	// ctx is |D(φ)|: the number of tuples matching tp[X].
+	ctx int
+
+	// Constant-rule state.
+	constViol map[int]struct{}
+
+	// Variable-rule state.
+	buckets    map[string]*bucket
+	vioTotal   int // Σ_t vio(t,{φ})
+	violTuples int // number of tuples violating φ
+}
+
+// bucket groups, for a variable rule, the context tuples sharing one LHS
+// value combination. Within a bucket, every tuple violates the rule iff the
+// bucket holds at least two distinct RHS values.
+type bucket struct {
+	total int
+	sumsq int // Σ_v count(v)^2, so bucket vio = total^2 − sumsq
+	byVal map[string]int
+	tids  map[int]struct{}
+}
+
+func (b *bucket) vio() int { return b.total*b.total - b.sumsq }
+
+func (b *bucket) violTuples() int {
+	if len(b.byVal) >= 2 {
+		return b.total
+	}
+	return 0
+}
+
+// NewEngine validates the rules against the database schema and builds the
+// violation indexes with a full scan.
+func NewEngine(db *relation.DB, rules []*CFD) (*Engine, error) {
+	ids := make(map[string]bool, len(rules))
+	e := &Engine{db: db, rules: rules, dirty: make(map[int]struct{})}
+	e.byAttr = make([][]int, db.Schema.Arity())
+	for si, r := range rules {
+		if err := r.Validate(db.Schema); err != nil {
+			return nil, err
+		}
+		if ids[r.ID] {
+			return nil, fmt.Errorf("cfd: duplicate rule id %q", r.ID)
+		}
+		ids[r.ID] = true
+		st := &ruleState{rule: r, rhsIdx: db.Schema.MustIndex(r.RHS)}
+		for _, a := range r.LHS {
+			ai := db.Schema.MustIndex(a)
+			st.lhsIdx = append(st.lhsIdx, ai)
+			st.lhsPat = append(st.lhsPat, r.TP[a])
+			e.byAttr[ai] = append(e.byAttr[ai], si)
+		}
+		e.byAttr[st.rhsIdx] = append(e.byAttr[st.rhsIdx], si)
+		if r.Constant() {
+			st.rhsPat = r.TP[r.RHS]
+			st.constViol = make(map[int]struct{})
+		} else {
+			st.buckets = make(map[string]*bucket)
+		}
+		e.states = append(e.states, st)
+	}
+	e.Rebuild()
+	return e, nil
+}
+
+// DB returns the instance the engine watches.
+func (e *Engine) DB() *relation.DB { return e.db }
+
+// Rules returns the rule set Σ in engine order.
+func (e *Engine) Rules() []*CFD { return e.rules }
+
+// RuleIndex returns the engine index of the rule with the given id, or -1.
+func (e *Engine) RuleIndex(id string) int {
+	for i, r := range e.rules {
+		if r.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rebuild recomputes all indexes from scratch. It is used at construction
+// and by tests cross-checking incremental maintenance.
+func (e *Engine) Rebuild() {
+	e.dirty = make(map[int]struct{})
+	for _, st := range e.states {
+		st.version++
+		st.ctx = 0
+		if st.rule.Constant() {
+			st.constViol = make(map[int]struct{})
+		} else {
+			st.buckets = make(map[string]*bucket)
+			st.vioTotal = 0
+			st.violTuples = 0
+		}
+	}
+	for tid := 0; tid < e.db.N(); tid++ {
+		for _, st := range e.states {
+			e.addTuple(st, tid)
+		}
+	}
+	for tid := 0; tid < e.db.N(); tid++ {
+		if e.violatesAny(tid) {
+			e.dirty[tid] = struct{}{}
+		}
+	}
+}
+
+// matchLHS tests t[X] ≼ tp[X] using the cached attribute positions.
+func (st *ruleState) matchLHS(t relation.Tuple) bool {
+	for i, ai := range st.lhsIdx {
+		if p := st.lhsPat[i]; p != Wildcard && t[ai] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// key builds the bucket key for a variable rule from t's LHS values.
+func (st *ruleState) key(t relation.Tuple) string {
+	parts := make([]string, len(st.lhsIdx))
+	for i, ai := range st.lhsIdx {
+		parts[i] = t[ai]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func (e *Engine) addTuple(st *ruleState, tid int) {
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return
+	}
+	st.ctx++
+	if st.rule.Constant() {
+		if t[st.rhsIdx] != st.rhsPat {
+			st.constViol[tid] = struct{}{}
+		}
+		return
+	}
+	k := st.key(t)
+	b := st.buckets[k]
+	if b == nil {
+		b = &bucket{byVal: make(map[string]int), tids: make(map[int]struct{})}
+		st.buckets[k] = b
+	}
+	st.vioTotal -= b.vio()
+	st.violTuples -= b.violTuples()
+	v := t[st.rhsIdx]
+	c := b.byVal[v]
+	b.sumsq += 2*c + 1
+	b.byVal[v] = c + 1
+	b.total++
+	b.tids[tid] = struct{}{}
+	st.vioTotal += b.vio()
+	st.violTuples += b.violTuples()
+}
+
+func (e *Engine) removeTuple(st *ruleState, tid int) {
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return
+	}
+	st.ctx--
+	if st.rule.Constant() {
+		delete(st.constViol, tid)
+		return
+	}
+	k := st.key(t)
+	b := st.buckets[k]
+	if b == nil {
+		return
+	}
+	st.vioTotal -= b.vio()
+	st.violTuples -= b.violTuples()
+	v := t[st.rhsIdx]
+	c := b.byVal[v]
+	b.sumsq += -2*c + 1
+	if c == 1 {
+		delete(b.byVal, v)
+	} else {
+		b.byVal[v] = c - 1
+	}
+	b.total--
+	delete(b.tids, tid)
+	if b.total == 0 {
+		delete(st.buckets, k)
+	} else {
+		st.vioTotal += b.vio()
+		st.violTuples += b.violTuples()
+	}
+}
+
+// Apply sets cell (tid, attr) to value and incrementally maintains all rule
+// indexes and the dirty set. It returns the ids of every tuple whose dirty
+// status changed, always including tid, which the consistency manager uses
+// to revisit pending updates.
+//
+// Co-bucket members of a variable rule violate it iff their bucket holds two
+// or more distinct RHS values, so their status can only change when a bucket
+// crosses that uniform↔mixed boundary; Apply re-evaluates members only on
+// such transitions, keeping the common case O(rules involving attr).
+func (e *Engine) Apply(tid int, attr, value string) []int {
+	ai := e.db.Schema.MustIndex(attr)
+	old := e.db.GetAt(tid, ai)
+	if old == value {
+		return []int{tid}
+	}
+	recheck := map[int]struct{}{tid: {}}
+	type watch struct {
+		st    *ruleState
+		key   string
+		mixed bool
+	}
+	var watches []watch
+	note := func(st *ruleState, key string) {
+		if b := st.buckets[key]; b != nil {
+			watches = append(watches, watch{st, key, len(b.byVal) >= 2})
+		} else {
+			watches = append(watches, watch{st, key, false})
+		}
+	}
+	for _, si := range e.byAttr[ai] {
+		st := e.states[si]
+		st.version++
+		if st.rule.Constant() {
+			continue
+		}
+		if st.matchLHS(e.db.Tuple(tid)) {
+			note(st, st.key(e.db.Tuple(tid)))
+		}
+	}
+	for _, si := range e.byAttr[ai] {
+		e.removeTuple(e.states[si], tid)
+	}
+	e.db.SetAt(tid, ai, value)
+	// Record the target buckets' mixedness before re-inserting the tuple so
+	// a uniform→mixed transition caused by the insertion is visible below.
+	for _, si := range e.byAttr[ai] {
+		st := e.states[si]
+		if !st.rule.Constant() && st.matchLHS(e.db.Tuple(tid)) {
+			note(st, st.key(e.db.Tuple(tid)))
+		}
+	}
+	for _, si := range e.byAttr[ai] {
+		e.addTuple(e.states[si], tid)
+	}
+	for _, w := range watches {
+		b := w.st.buckets[w.key]
+		mixedNow := b != nil && len(b.byVal) >= 2
+		if mixedNow == w.mixed {
+			continue
+		}
+		if b != nil {
+			for m := range b.tids {
+				recheck[m] = struct{}{}
+			}
+		}
+	}
+	var out []int
+	for m := range recheck {
+		wasDirty := false
+		if _, ok := e.dirty[m]; ok {
+			wasDirty = true
+		}
+		isDirty := e.violatesAny(m)
+		if isDirty {
+			e.dirty[m] = struct{}{}
+		} else {
+			delete(e.dirty, m)
+		}
+		if isDirty != wasDirty || m == tid {
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Insert appends a new tuple to the database and indexes it, supporting the
+// paper's online data-entry monitoring mode (Section 3): GDR watches newly
+// added tuples and immediately derives suggestions for them. It returns the
+// new tuple's id and the ids of all tuples whose dirty status changed
+// (including the new tuple when it is dirty).
+func (e *Engine) Insert(t relation.Tuple) (tid int, affected []int, err error) {
+	tid, err = e.db.Insert(t)
+	if err != nil {
+		return 0, nil, err
+	}
+	recheck := map[int]struct{}{tid: {}}
+	row := e.db.Tuple(tid)
+	type watch struct {
+		st    *ruleState
+		key   string
+		mixed bool
+	}
+	var watches []watch
+	for _, st := range e.states {
+		st.version++
+		if st.rule.Constant() || !st.matchLHS(row) {
+			continue
+		}
+		key := st.key(row)
+		mixed := false
+		if b := st.buckets[key]; b != nil {
+			mixed = len(b.byVal) >= 2
+		}
+		watches = append(watches, watch{st, key, mixed})
+	}
+	for _, st := range e.states {
+		e.addTuple(st, tid)
+	}
+	for _, w := range watches {
+		b := w.st.buckets[w.key]
+		if b == nil || (len(b.byVal) >= 2) == w.mixed {
+			continue
+		}
+		for m := range b.tids {
+			recheck[m] = struct{}{}
+		}
+	}
+	for m := range recheck {
+		_, wasDirty := e.dirty[m]
+		isDirty := e.violatesAny(m)
+		if isDirty {
+			e.dirty[m] = struct{}{}
+		} else {
+			delete(e.dirty, m)
+		}
+		if isDirty != wasDirty || m == tid {
+			affected = append(affected, m)
+		}
+	}
+	sort.Ints(affected)
+	return tid, affected, nil
+}
+
+// violatesAny reports whether tuple tid violates at least one rule.
+func (e *Engine) violatesAny(tid int) bool {
+	for si := range e.states {
+		if e.violates(e.states[si], tid) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) violates(st *ruleState, tid int) bool {
+	if st.rule.Constant() {
+		_, ok := st.constViol[tid]
+		return ok
+	}
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return false
+	}
+	b := st.buckets[st.key(t)]
+	return b != nil && len(b.byVal) >= 2
+}
+
+// Violates reports whether tuple tid violates rule ri (engine index).
+func (e *Engine) Violates(ri, tid int) bool { return e.violates(e.states[ri], tid) }
+
+// VioRuleList returns the engine indexes of the rules tuple tid violates —
+// the t.vioRuleList of Appendix A.
+func (e *Engine) VioRuleList(tid int) []int {
+	var out []int
+	for si := range e.states {
+		if e.violates(e.states[si], tid) {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// TupleVio returns vio(t,{φ}) per Definition 1: 1 for a violated constant
+// rule; for a variable rule, the number of tuples violating φ together with t.
+func (e *Engine) TupleVio(ri, tid int) int {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		if _, ok := st.constViol[tid]; ok {
+			return 1
+		}
+		return 0
+	}
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return 0
+	}
+	b := st.buckets[st.key(t)]
+	if b == nil {
+		return 0
+	}
+	return b.total - b.byVal[t[st.rhsIdx]]
+}
+
+// Vio returns vio(D,{φ}) for rule ri.
+func (e *Engine) Vio(ri int) int {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		return len(st.constViol)
+	}
+	return st.vioTotal
+}
+
+// VioTotal returns vio(D,Σ), the total violations across all rules.
+func (e *Engine) VioTotal() int {
+	total := 0
+	for ri := range e.states {
+		total += e.Vio(ri)
+	}
+	return total
+}
+
+// Sat returns |D ⊨ φ| for rule ri: the number of *context* tuples satisfying
+// the rule. Tuples outside the context are not counted — this matches the
+// paper's Section 4.1 worked example, where fixing one of four violating
+// tuples yields a denominator |D^r ⊨ φ| of 1, not N−3.
+func (e *Engine) Sat(ri int) int {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		return st.ctx - len(st.constViol)
+	}
+	return st.ctx - st.violTuples
+}
+
+// Context returns |D(φ)|, the number of tuples matching the rule's LHS
+// pattern; the paper uses it for the rule weights wi = |D(φi)|/|D|.
+func (e *Engine) Context(ri int) int { return e.states[ri].ctx }
+
+// Version returns a counter that changes whenever rule ri's state changes;
+// downstream caches key on it.
+func (e *Engine) Version(ri int) uint64 { return e.states[ri].version }
+
+// RulesInvolving returns the engine indexes of rules mentioning attr.
+func (e *Engine) RulesInvolving(attr string) []int {
+	ai, ok := e.db.Schema.Index(attr)
+	if !ok {
+		return nil
+	}
+	return e.byAttr[ai]
+}
+
+// IsDirty reports whether tuple tid currently violates any rule.
+func (e *Engine) IsDirty(tid int) bool {
+	_, ok := e.dirty[tid]
+	return ok
+}
+
+// DirtyCount returns |DirtyTuples|.
+func (e *Engine) DirtyCount() int { return len(e.dirty) }
+
+// Dirty returns the sorted DirtyTuples list.
+func (e *Engine) Dirty() []int {
+	out := make([]int, 0, len(e.dirty))
+	for tid := range e.dirty {
+		out = append(out, tid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ViolatingPartners returns, for a variable rule ri, the ids of the tuples
+// that violate the rule together with tid (same bucket, different RHS value).
+// It returns nil for constant rules or non-violating tuples. The update
+// generator uses it for scenario 2 (take the value of a partner t′).
+func (e *Engine) ViolatingPartners(ri, tid int) []int {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		return nil
+	}
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return nil
+	}
+	b := st.buckets[st.key(t)]
+	if b == nil || len(b.byVal) < 2 {
+		return nil
+	}
+	mine := t[st.rhsIdx]
+	var out []int
+	for m := range b.tids {
+		if e.db.GetAt(m, st.rhsIdx) != mine {
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BucketMembers returns the ids of all context tuples agreeing with tid on
+// the rule's LHS (including tid itself), for variable rule ri.
+func (e *Engine) BucketMembers(ri, tid int) []int {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		return nil
+	}
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return nil
+	}
+	b := st.buckets[st.key(t)]
+	if b == nil {
+		return nil
+	}
+	out := make([]int, 0, len(b.tids))
+	for m := range b.tids {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InBucketMajority reports, for a variable rule ri, whether tuple tid's RHS
+// value is the strict majority in its bucket. Minimal-change repair
+// semantics (refs [2,7] of the paper) attribute a variable-CFD conflict to
+// the minority side: majority members are not suspects, so the update
+// generator does not derive LHS repairs for them. Constant rules always
+// return false (single-tuple violations are genuinely suspect).
+func (e *Engine) InBucketMajority(ri, tid int) bool {
+	st := e.states[ri]
+	if st.rule.Constant() {
+		return false
+	}
+	t := e.db.Tuple(tid)
+	if !st.matchLHS(t) {
+		return false
+	}
+	b := st.buckets[st.key(t)]
+	if b == nil {
+		return false
+	}
+	return 2*b.byVal[t[st.rhsIdx]] > b.total
+}
+
+// WouldViolate reports whether tuple tid would still violate rule ri after
+// hypothetically setting attr to value. The update generator uses it to keep
+// only LHS repair candidates that actually resolve the violation they were
+// derived from (Appendix A.2: an LHS change resolves φ by making
+// t[X] ⋠ tp[X], or by moving t to agreeing company for variable rules).
+func (e *Engine) WouldViolate(ri, tid int, attr, value string) bool {
+	st := e.states[ri]
+	ai := e.db.Schema.MustIndex(attr)
+	t := e.db.Tuple(tid)
+	get := func(k int) string {
+		if k == ai {
+			return value
+		}
+		return t[k]
+	}
+	for i, li := range st.lhsIdx {
+		if p := st.lhsPat[i]; p != Wildcard && get(li) != p {
+			return false // out of context: vacuously satisfied
+		}
+	}
+	rhs := get(st.rhsIdx)
+	if st.rule.Constant() {
+		return rhs != st.rhsPat
+	}
+	parts := make([]string, len(st.lhsIdx))
+	for i, li := range st.lhsIdx {
+		parts[i] = get(li)
+	}
+	key := strings.Join(parts, "\x1f")
+	b := st.buckets[key]
+	if b == nil {
+		return false
+	}
+	// Exclude tid's own current contribution when it already sits in that
+	// bucket (possible when only the RHS or a non-key attribute changed).
+	sameBucket := st.matchLHS(t) && st.key(t) == key
+	for v, c := range b.byVal {
+		if v == rhs {
+			continue
+		}
+		if sameBucket && v == t[st.rhsIdx] && c == 1 {
+			continue
+		}
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleDelta is the hypothetical post-update state of one rule, produced by
+// WhatIf. Vio and Sat are vio(D^r,{φ}) and |D^r ⊨ φ| for the database D^r
+// that would result from applying the update.
+type RuleDelta struct {
+	Rule int // engine rule index
+	Vio  int
+	Sat  int
+}
+
+// WhatIf computes, without mutating any state, the violation and
+// satisfaction counts each affected rule would have after setting cell
+// (tid, attr) to value. Rules not mentioning attr are unaffected and
+// omitted. This powers the Eq. 6 benefit estimation: the numerator
+// vio(D,{φi}) − vio(D^rj,{φi}) and the denominator |D^rj ⊨ φi|.
+func (e *Engine) WhatIf(tid int, attr, value string) []RuleDelta {
+	ai := e.db.Schema.MustIndex(attr)
+	t := e.db.Tuple(tid)
+	old := t[ai]
+	out := make([]RuleDelta, 0, len(e.byAttr[ai]))
+	for _, si := range e.byAttr[ai] {
+		st := e.states[si]
+		if old == value {
+			out = append(out, RuleDelta{Rule: si, Vio: e.Vio(si), Sat: e.Sat(si)})
+			continue
+		}
+		if st.rule.Constant() {
+			out = append(out, e.whatIfConstant(si, st, tid, ai, value))
+		} else {
+			out = append(out, e.whatIfVariable(si, st, tid, ai, value))
+		}
+	}
+	return out
+}
+
+func (e *Engine) whatIfConstant(si int, st *ruleState, tid, ai int, value string) RuleDelta {
+	t := e.db.Tuple(tid)
+	_, violBefore := st.constViol[tid]
+	matchBefore := st.matchLHS(t)
+	matchAfter := true
+	for i, li := range st.lhsIdx {
+		v := t[li]
+		if li == ai {
+			v = value
+		}
+		if p := st.lhsPat[i]; p != Wildcard && v != p {
+			matchAfter = false
+			break
+		}
+	}
+	rhsAfter := t[st.rhsIdx]
+	if st.rhsIdx == ai {
+		rhsAfter = value
+	}
+	violAfter := matchAfter && rhsAfter != st.rhsPat
+	vioAfterTotal := len(st.constViol) + b2i(violAfter) - b2i(violBefore)
+	ctxAfter := st.ctx + b2i(matchAfter) - b2i(matchBefore)
+	return RuleDelta{Rule: si, Vio: vioAfterTotal, Sat: ctxAfter - vioAfterTotal}
+}
+
+func (e *Engine) whatIfVariable(si int, st *ruleState, tid, ai int, value string) RuleDelta {
+	t := e.db.Tuple(tid)
+	vio := st.vioTotal
+	violT := st.violTuples
+
+	// Phase 1: hypothetically remove tid from its current bucket.
+	oldInCtx := st.matchLHS(t)
+	var oldKey string
+	// Stats of the old bucket after removal, needed if the new bucket is the
+	// same one.
+	var oldAfter struct {
+		present      bool
+		total, sumsq int
+		distinct     int
+		cntByVal     map[string]int
+	}
+	if oldInCtx {
+		oldKey = st.key(t)
+		b := st.buckets[oldKey]
+		v := t[st.rhsIdx]
+		c := b.byVal[v]
+		vio -= b.vio()
+		violT -= b.violTuples()
+		total := b.total - 1
+		sumsq := b.sumsq - 2*c + 1
+		distinct := len(b.byVal)
+		if c == 1 {
+			distinct--
+		}
+		if total > 0 {
+			vio += total*total - sumsq
+			if distinct >= 2 {
+				violT += total
+			}
+		}
+		oldAfter.present = total > 0
+		oldAfter.total, oldAfter.sumsq, oldAfter.distinct = total, sumsq, distinct
+		oldAfter.cntByVal = b.byVal
+	}
+
+	// Phase 2: hypothetically add tid with its new values.
+	newVals := make([]string, len(st.lhsIdx))
+	inCtxAfter := true
+	for i, li := range st.lhsIdx {
+		v := t[li]
+		if li == ai {
+			v = value
+		}
+		newVals[i] = v
+		if p := st.lhsPat[i]; p != Wildcard && v != p {
+			inCtxAfter = false
+		}
+	}
+	if inCtxAfter {
+		newKey := strings.Join(newVals, "\x1f")
+		rhsAfter := t[st.rhsIdx]
+		if st.rhsIdx == ai {
+			rhsAfter = value
+		}
+		var total, sumsq, distinct, c int
+		if oldInCtx && newKey == oldKey {
+			// Only possible when the edited attribute is the RHS (an LHS
+			// edit always changes the key), so rhsAfter differs from the
+			// value removed in phase 1 and its count is unaffected.
+			total, sumsq, distinct = oldAfter.total, oldAfter.sumsq, oldAfter.distinct
+			c = oldAfter.cntByVal[rhsAfter]
+			if total > 0 {
+				vio -= total*total - sumsq
+				if distinct >= 2 {
+					violT -= total
+				}
+			}
+		} else if b := st.buckets[newKey]; b != nil {
+			total, sumsq, distinct = b.total, b.sumsq, len(b.byVal)
+			c = b.byVal[rhsAfter]
+			vio -= b.vio()
+			violT -= b.violTuples()
+		}
+		total++
+		sumsq += 2*c + 1
+		if c == 0 {
+			distinct++
+		}
+		vio += total*total - sumsq
+		if distinct >= 2 {
+			violT += total
+		}
+	}
+	ctxAfter := st.ctx - b2i(oldInCtx) + b2i(inCtxAfter)
+	return RuleDelta{Rule: si, Vio: vio, Sat: ctxAfter - violT}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,337 @@
+// Package cind implements Conditional Inclusion Dependencies — the first
+// rule type the paper's future work names ("extending GDR to support more
+// types of data quality rules other than CFDs like CINDs [4]"), following
+// Bravo, Fan and Ma, "Extending dependencies with conditions", VLDB 2007.
+//
+// A CIND ψ : (R1[X; Xp] ⊆ R2[Y; Yp]) states that for every R1 tuple
+// matching the pattern on Xp, some R2 tuple must exist with equal values on
+// the correspondence X = Y and matching the pattern on Yp. Unlike CFDs —
+// which constrain tuples within one relation — CINDs are referential: they
+// catch dangling references (an order naming a customer that does not
+// exist, a visit naming an unknown hospital).
+//
+// The checker indexes the referenced side and reports violating tuples of
+// the referencing side; repairs are suggested from the closest existing
+// referenced keys, scored with the same Eq. 7 similarity the CFD repairs
+// use, so CIND suggestions can flow into a GDR session as ordinary updates.
+package cind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdr/internal/relation"
+	"gdr/internal/strsim"
+)
+
+// CIND is one conditional inclusion dependency in the normal form
+// R1[X; Xp] ⊆ R2[Y; Yp] with X and Y positionally aligned.
+type CIND struct {
+	// ID names the rule.
+	ID string
+	// LHS are the referencing attributes X of the left relation.
+	LHS []string
+	// RHS are the referenced attributes Y of the right relation,
+	// positionally corresponding to LHS.
+	RHS []string
+	// LHSCond restricts which left tuples the rule applies to:
+	// attribute → required constant. Empty means all tuples.
+	LHSCond map[string]string
+	// RHSCond restricts which right tuples count as valid targets.
+	RHSCond map[string]string
+}
+
+// New validates and builds a CIND.
+func New(id string, lhs, rhs []string, lhsCond, rhsCond map[string]string) (*CIND, error) {
+	if len(lhs) == 0 || len(lhs) != len(rhs) {
+		return nil, fmt.Errorf("cind %s: correspondence must be non-empty and aligned (%d vs %d)", id, len(lhs), len(rhs))
+	}
+	c := &CIND{
+		ID:      id,
+		LHS:     append([]string(nil), lhs...),
+		RHS:     append([]string(nil), rhs...),
+		LHSCond: map[string]string{},
+		RHSCond: map[string]string{},
+	}
+	for k, v := range lhsCond {
+		c.LHSCond[k] = v
+	}
+	for k, v := range rhsCond {
+		c.RHSCond[k] = v
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(id string, lhs, rhs []string, lhsCond, rhsCond map[string]string) *CIND {
+	c, err := New(id, lhs, rhs, lhsCond, rhsCond)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *CIND) String() string {
+	return fmt.Sprintf("%s: L[%s] ⊆ R[%s]", c.ID, strings.Join(c.LHS, ","), strings.Join(c.RHS, ","))
+}
+
+// Violation is one dangling reference: left tuple Tid of rule Rule.
+type Violation struct {
+	Rule int // index into the checker's rule list
+	Tid  int // left-relation tuple id
+}
+
+// Suggestion is a candidate repair for one attribute of a dangling
+// reference: replace the left tuple's Attr with Value (an existing
+// referenced key component), with the Eq. 7 similarity Score.
+type Suggestion struct {
+	Tid   int
+	Attr  string
+	Value string
+	Score float64
+}
+
+type ruleState struct {
+	rule    *CIND
+	lhsIdx  []int
+	rhsIdx  []int
+	lhsCond [][2]int // attr position, value index into condVals
+	// keys holds the multiset of valid referenced key combinations.
+	keys map[string]int
+	// condVals aligns with lhsCond.
+	condVals []string
+	rhsCond  [][2]int
+	rhsVals  []string
+}
+
+// Checker evaluates CINDs from a left (referencing) relation into a right
+// (referenced) relation. The referenced-side index is maintained
+// incrementally under inserts and cell updates on either side.
+type Checker struct {
+	left  *relation.DB
+	right *relation.DB
+	rules []*CIND
+	state []*ruleState
+	sim   func(a, b string) float64
+}
+
+// NewChecker validates the rules against both schemas and builds the
+// referenced-key indexes.
+func NewChecker(left, right *relation.DB, rules []*CIND) (*Checker, error) {
+	c := &Checker{left: left, right: right, rules: rules, sim: strsim.Similarity}
+	for _, r := range rules {
+		st := &ruleState{rule: r, keys: make(map[string]int)}
+		for _, a := range r.LHS {
+			i, ok := left.Schema.Index(a)
+			if !ok {
+				return nil, fmt.Errorf("cind %s: attribute %q not in left schema", r.ID, a)
+			}
+			st.lhsIdx = append(st.lhsIdx, i)
+		}
+		for _, a := range r.RHS {
+			i, ok := right.Schema.Index(a)
+			if !ok {
+				return nil, fmt.Errorf("cind %s: attribute %q not in right schema", r.ID, a)
+			}
+			st.rhsIdx = append(st.rhsIdx, i)
+		}
+		for a, v := range r.LHSCond {
+			i, ok := left.Schema.Index(a)
+			if !ok {
+				return nil, fmt.Errorf("cind %s: condition attribute %q not in left schema", r.ID, a)
+			}
+			st.lhsCond = append(st.lhsCond, [2]int{i, len(st.condVals)})
+			st.condVals = append(st.condVals, v)
+		}
+		for a, v := range r.RHSCond {
+			i, ok := right.Schema.Index(a)
+			if !ok {
+				return nil, fmt.Errorf("cind %s: condition attribute %q not in right schema", r.ID, a)
+			}
+			st.rhsCond = append(st.rhsCond, [2]int{i, len(st.rhsVals)})
+			st.rhsVals = append(st.rhsVals, v)
+		}
+		c.state = append(c.state, st)
+	}
+	c.Rebuild()
+	return c, nil
+}
+
+// Rebuild recomputes the referenced-key indexes from scratch.
+func (c *Checker) Rebuild() {
+	for _, st := range c.state {
+		st.keys = make(map[string]int)
+		for tid := 0; tid < c.right.N(); tid++ {
+			if !c.rightMatches(st, tid) {
+				continue
+			}
+			st.keys[c.keyOf(st, c.right.Tuple(tid), st.rhsIdx)]++
+		}
+	}
+}
+
+func (c *Checker) rightMatches(st *ruleState, tid int) bool {
+	t := c.right.Tuple(tid)
+	for _, cond := range st.rhsCond {
+		if t[cond[0]] != st.rhsVals[cond[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Checker) leftMatches(st *ruleState, tid int) bool {
+	t := c.left.Tuple(tid)
+	for _, cond := range st.lhsCond {
+		if t[cond[0]] != st.condVals[cond[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Checker) keyOf(st *ruleState, t relation.Tuple, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, ai := range idx {
+		parts[i] = t[ai]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Violates reports whether left tuple tid violates rule ri.
+func (c *Checker) Violates(ri, tid int) bool {
+	st := c.state[ri]
+	if !c.leftMatches(st, tid) {
+		return false
+	}
+	return st.keys[c.keyOf(st, c.left.Tuple(tid), st.lhsIdx)] == 0
+}
+
+// Violations returns all dangling references across all rules, in
+// deterministic order.
+func (c *Checker) Violations() []Violation {
+	var out []Violation
+	for ri := range c.state {
+		for tid := 0; tid < c.left.N(); tid++ {
+			if c.Violates(ri, tid) {
+				out = append(out, Violation{Rule: ri, Tid: tid})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Suggest proposes repairs for a dangling reference: the existing referenced
+// keys closest to the tuple's current key, expressed as per-attribute value
+// changes with Eq. 7 scores. At most maxTargets candidate keys are returned
+// (most similar first).
+func (c *Checker) Suggest(v Violation, maxTargets int) []Suggestion {
+	st := c.state[v.Rule]
+	if maxTargets <= 0 {
+		maxTargets = 3
+	}
+	cur := make([]string, len(st.lhsIdx))
+	t := c.left.Tuple(v.Tid)
+	for i, ai := range st.lhsIdx {
+		cur[i] = t[ai]
+	}
+	type scored struct {
+		key   string
+		score float64
+	}
+	var cands []scored
+	for key := range st.keys {
+		parts := strings.Split(key, "\x1f")
+		total := 0.0
+		for i := range parts {
+			total += c.sim(cur[i], parts[i])
+		}
+		cands = append(cands, scored{key: key, score: total / float64(len(parts))})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].key < cands[j].key
+	})
+	if len(cands) > maxTargets {
+		cands = cands[:maxTargets]
+	}
+	var out []Suggestion
+	for _, cand := range cands {
+		parts := strings.Split(cand.key, "\x1f")
+		for i, p := range parts {
+			if p == cur[i] {
+				continue
+			}
+			out = append(out, Suggestion{
+				Tid:   v.Tid,
+				Attr:  st.rule.LHS[i],
+				Value: p,
+				Score: c.sim(cur[i], p),
+			})
+		}
+	}
+	return out
+}
+
+// RightInserted updates the indexes after a tuple was appended to the
+// referenced relation.
+func (c *Checker) RightInserted(tid int) {
+	for _, st := range c.state {
+		if c.rightMatches(st, tid) {
+			st.keys[c.keyOf(st, c.right.Tuple(tid), st.rhsIdx)]++
+		}
+	}
+}
+
+// RightUpdated updates the indexes after cell (tid, attr) of the referenced
+// relation changed from old to the current value.
+func (c *Checker) RightUpdated(tid int, attr, old string) {
+	ai, ok := c.right.Schema.Index(attr)
+	if !ok {
+		return
+	}
+	t := c.right.Tuple(tid)
+	for _, st := range c.state {
+		// Reconstruct the tuple's previous contribution.
+		was := func(k int) string {
+			if k == ai {
+				return old
+			}
+			return t[k]
+		}
+		matchedBefore := true
+		for _, cond := range st.rhsCond {
+			if was(cond[0]) != st.rhsVals[cond[1]] {
+				matchedBefore = false
+				break
+			}
+		}
+		if matchedBefore {
+			parts := make([]string, len(st.rhsIdx))
+			for i, k := range st.rhsIdx {
+				parts[i] = was(k)
+			}
+			key := strings.Join(parts, "\x1f")
+			if n := st.keys[key]; n <= 1 {
+				delete(st.keys, key)
+			} else {
+				st.keys[key] = n - 1
+			}
+		}
+		if c.rightMatches(st, tid) {
+			st.keys[c.keyOf(st, t, st.rhsIdx)]++
+		}
+	}
+}
+
+// Rules returns the checker's rule list.
+func (c *Checker) Rules() []*CIND { return c.rules }

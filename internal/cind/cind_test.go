@@ -1,0 +1,157 @@
+package cind
+
+import (
+	"testing"
+
+	"gdr/internal/relation"
+)
+
+// fixture: Visits reference Hospitals by name; only accredited hospitals
+// count as valid targets for emergency visits.
+func fixture(t *testing.T) (*relation.DB, *relation.DB, []*CIND) {
+	t.Helper()
+	visits := relation.NewDB(relation.MustSchema("Visits", []string{"Patient", "HospitalName", "Kind"}))
+	hospitals := relation.NewDB(relation.MustSchema("Hospitals", []string{"Name", "City", "Accredited"}))
+
+	hospitals.MustInsert(relation.Tuple{"St. Mary Medical Center", "Michigan City", "yes"})
+	hospitals.MustInsert(relation.Tuple{"Parkview Regional", "Fort Wayne", "yes"})
+	hospitals.MustInsert(relation.Tuple{"Lakeshore Clinic", "Portage", "no"})
+
+	visits.MustInsert(relation.Tuple{"Alice", "St. Mary Medical Center", "emergency"})
+	visits.MustInsert(relation.Tuple{"Bob", "St Mary Medical Center", "emergency"}) // typo: dangling
+	visits.MustInsert(relation.Tuple{"Carol", "Parkview Regional", "routine"})
+	visits.MustInsert(relation.Tuple{"Dave", "Lakeshore Clinic", "emergency"}) // not accredited: dangling
+	visits.MustInsert(relation.Tuple{"Eve", "Lakeshore Clinic", "routine"})    // unconditional rule only
+
+	rules := []*CIND{
+		MustNew("ref", []string{"HospitalName"}, []string{"Name"}, nil, nil),
+		MustNew("emergency-accredited",
+			[]string{"HospitalName"}, []string{"Name"},
+			map[string]string{"Kind": "emergency"},
+			map[string]string{"Accredited": "yes"}),
+	}
+	return visits, hospitals, rules
+}
+
+func TestViolationsDetected(t *testing.T) {
+	visits, hospitals, rules := fixture(t)
+	c, err := NewChecker(visits, hospitals, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := c.Violations()
+	// Bob (typo) violates both rules; Dave violates only the conditional one.
+	want := []Violation{{Rule: 0, Tid: 1}, {Rule: 1, Tid: 1}, {Rule: 1, Tid: 3}}
+	if len(vs) != len(want) {
+		t.Fatalf("violations = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("violations = %v, want %v", vs, want)
+		}
+	}
+	if c.Violates(0, 0) {
+		t.Fatal("Alice's reference is valid")
+	}
+	if c.Violates(1, 4) {
+		t.Fatal("Eve's routine visit is outside the conditional rule's scope")
+	}
+}
+
+func TestSuggestClosestExistingKey(t *testing.T) {
+	visits, hospitals, rules := fixture(t)
+	c, _ := NewChecker(visits, hospitals, rules)
+	sugs := c.Suggest(Violation{Rule: 0, Tid: 1}, 2)
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions for the typo reference")
+	}
+	best := sugs[0]
+	if best.Attr != "HospitalName" || best.Value != "St. Mary Medical Center" {
+		t.Fatalf("best suggestion = %+v", best)
+	}
+	if best.Score < 0.9 {
+		t.Fatalf("typo fix score = %v", best.Score)
+	}
+	// The conditional rule must not suggest the unaccredited clinic.
+	for _, s := range c.Suggest(Violation{Rule: 1, Tid: 3}, 10) {
+		if s.Value == "Lakeshore Clinic" {
+			t.Fatal("unaccredited hospital suggested as emergency target")
+		}
+	}
+}
+
+func TestRightInsertedResolvesViolation(t *testing.T) {
+	visits, hospitals, rules := fixture(t)
+	c, _ := NewChecker(visits, hospitals, rules)
+	if !c.Violates(0, 1) {
+		t.Fatal("Bob should start dangling")
+	}
+	tid := hospitals.MustInsert(relation.Tuple{"St Mary Medical Center", "Michigan City", "yes"})
+	c.RightInserted(tid)
+	if c.Violates(0, 1) {
+		t.Fatal("insert of the referenced key should resolve the violation")
+	}
+	if c.Violates(1, 1) {
+		t.Fatal("the new hospital is accredited; the conditional rule is satisfied too")
+	}
+}
+
+func TestRightUpdatedMaintainsIndex(t *testing.T) {
+	visits, hospitals, rules := fixture(t)
+	c, _ := NewChecker(visits, hospitals, rules)
+	// Accrediting the clinic legitimizes Dave's emergency visit.
+	old := hospitals.Get(2, "Accredited")
+	hospitals.Set(2, "Accredited", "yes")
+	c.RightUpdated(2, "Accredited", old)
+	if c.Violates(1, 3) {
+		t.Fatal("accreditation should resolve the conditional violation")
+	}
+	// Renaming a hospital breaks references to the old name.
+	old = hospitals.Get(0, "Name")
+	hospitals.Set(0, "Name", "St. Mary Hospital")
+	c.RightUpdated(0, "Name", old)
+	if !c.Violates(0, 0) {
+		t.Fatal("Alice's reference should dangle after the rename")
+	}
+	// Cross-check against a full rebuild.
+	fresh, err := NewChecker(visits, hospitals, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range rules {
+		for tid := 0; tid < visits.N(); tid++ {
+			if c.Violates(ri, tid) != fresh.Violates(ri, tid) {
+				t.Fatalf("incremental state diverged at rule %d tuple %d", ri, tid)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", nil, nil, nil, nil); err == nil {
+		t.Fatal("want error for empty correspondence")
+	}
+	if _, err := New("bad", []string{"A"}, []string{"X", "Y"}, nil, nil); err == nil {
+		t.Fatal("want error for misaligned correspondence")
+	}
+	visits, hospitals, _ := fixture(t)
+	bad := MustNew("r", []string{"Nope"}, []string{"Name"}, nil, nil)
+	if _, err := NewChecker(visits, hospitals, []*CIND{bad}); err == nil {
+		t.Fatal("want error for unknown left attribute")
+	}
+	bad2 := MustNew("r", []string{"HospitalName"}, []string{"Nope"}, nil, nil)
+	if _, err := NewChecker(visits, hospitals, []*CIND{bad2}); err == nil {
+		t.Fatal("want error for unknown right attribute")
+	}
+	bad3 := MustNew("r", []string{"HospitalName"}, []string{"Name"}, map[string]string{"Nope": "x"}, nil)
+	if _, err := NewChecker(visits, hospitals, []*CIND{bad3}); err == nil {
+		t.Fatal("want error for unknown condition attribute")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	r := MustNew("ref", []string{"A", "B"}, []string{"X", "Y"}, nil, nil)
+	if got := r.String(); got != "ref: L[A,B] ⊆ R[X,Y]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRankedRulesOrdersByViolationMass(t *testing.T) {
+	s := figure1Session(t)
+	ranked := s.RankedRules()
+	if len(ranked) != len(s.Engine().Rules()) {
+		t.Fatalf("ranked %d of %d rules", len(ranked), len(s.Engine().Rules()))
+	}
+	mass := func(ri int) float64 {
+		return s.Ranker().Weight(ri) * float64(s.Engine().Vio(ri))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if mass(ranked[i-1]) < mass(ranked[i]) {
+			t.Fatalf("rules not ordered by weighted violation mass at %d", i)
+		}
+	}
+	// phi1.1 (3 violations, weight 4/8) must outrank phi2.2 (1 violation,
+	// weight 1/8).
+	pos := map[string]int{}
+	for i, ri := range ranked {
+		pos[s.Engine().Rules()[ri].ID] = i
+	}
+	if pos["phi1.1"] > pos["phi2.2"] {
+		t.Fatalf("phi1.1 ranked below phi2.2: %v", pos)
+	}
+}
+
+func TestFocusTopRulesTrimsPending(t *testing.T) {
+	s := figure1Session(t)
+	before := s.PendingCount()
+	top := s.FocusTopRules(1)
+	if len(top) != 1 {
+		t.Fatalf("top = %v", top)
+	}
+	after := s.PendingCount()
+	if after == 0 || after >= before {
+		t.Fatalf("focus did not trim: %d -> %d", before, after)
+	}
+	// All remaining updates belong to tuples violating the top rule.
+	keep := map[int]bool{}
+	for _, tid := range s.DirtyTuplesOf(top) {
+		keep[tid] = true
+	}
+	for _, u := range s.PendingUpdates() {
+		if !keep[u.Tid] {
+			t.Fatalf("update %v outside the focused subset", u)
+		}
+	}
+	// Widening restores suggestions for all dirty tuples.
+	s.RefocusAll()
+	if got := s.PendingCount(); got != before {
+		t.Fatalf("refocus restored %d of %d updates", got, before)
+	}
+}
+
+func TestFocusTopRulesNoOp(t *testing.T) {
+	s := figure1Session(t)
+	before := s.PendingCount()
+	ranked := s.FocusTopRules(0)
+	if len(ranked) != len(s.Engine().Rules()) {
+		t.Fatal("no-op focus should return the full ranking")
+	}
+	if s.PendingCount() != before {
+		t.Fatal("no-op focus trimmed updates")
+	}
+}
+
+func TestDirtyTuplesOfSubset(t *testing.T) {
+	s := figure1Session(t)
+	phi5 := s.Engine().RuleIndex("phi5")
+	got := s.DirtyTuplesOf([]int{phi5})
+	want := []int{4, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("DirtyTuplesOf(phi5) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DirtyTuplesOf(phi5) = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package core implements the GDR framework itself (Figure 2 of the paper):
+// the repair session that wires the violation engine, update generation,
+// grouping, VOI ranking, per-attribute learners and the consistency manager
+// into the interactive loop of Procedure 1, plus runners for every strategy
+// evaluated in Section 5 (GDR, GDR-S-Learning, Active-Learning,
+// GDR-NoLearning, Greedy, Random and the automatic BatchRepair heuristic).
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"gdr/internal/cfd"
+	"gdr/internal/group"
+	"gdr/internal/learn"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+	"gdr/internal/strsim"
+	"gdr/internal/voi"
+)
+
+// Config tunes a repair session. The zero value selects the paper's
+// defaults.
+type Config struct {
+	// Forest configures the per-attribute random forests (k = 10 by default).
+	Forest learn.Config
+	// MinTrain is the number of labeled examples a model needs before it
+	// predicts. Default 3.
+	MinTrain int
+	// MinVerify clamps the per-group feedback quota di from below: the
+	// paper's formula di = E·(1 − g/gmax) yields 0 for the top group, which
+	// would starve the learner of training data. Default 20 (the committee
+	// needs a couple of batches of labels per attribute before its confirm
+	// predictions become trustworthy).
+	MinVerify int
+	// BatchSize is ns: how many updates the user labels per interactive
+	// round before the learner is retrained and the group reordered.
+	// Default 10.
+	BatchSize int
+	// MinDelegate is the committee vote share a prediction needs before the
+	// learner may decide an update without the user. Default 0.55.
+	MinDelegate float64
+	// MinAccuracy models the paper's "until the user is satisfied with the
+	// learner predictions": during interactive sessions the user sees the
+	// model's prediction next to their own answer, and only delegates once
+	// the model's recent (prequential) accuracy reaches this level. The
+	// assessed items are uncertainty-sampled — the hardest cases, where
+	// 3-class chance level is 1/3 — so the default is 0.4: demonstrably
+	// better than guessing on the examples the committee itself flags as
+	// difficult.
+	MinAccuracy float64
+	// Seed drives every random choice in the session.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinTrain <= 0 {
+		c.MinTrain = 3
+	}
+	if c.MinVerify <= 0 {
+		c.MinVerify = 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10
+	}
+	if c.MinDelegate <= 0 || c.MinDelegate > 1 {
+		c.MinDelegate = 0.55
+	}
+	if c.MinAccuracy <= 0 || c.MinAccuracy > 1 {
+		c.MinAccuracy = 0.4
+	}
+	return c
+}
+
+// accuracyWindow is the number of recent user-checked predictions the
+// prequential accuracy is computed over, and minAssessed the minimum number
+// required before a model may be trusted at all.
+const (
+	accuracyWindow = 25
+	minAssessed    = 10
+)
+
+// Order selects how groups are ranked before the user picks one.
+type Order int
+
+const (
+	// OrderVOI ranks groups by the Eq. 6 estimated benefit (GDR).
+	OrderVOI Order = iota
+	// OrderGreedy ranks groups by size (the Greedy baseline).
+	OrderGreedy
+	// OrderRandom shuffles groups (the Random baseline).
+	OrderRandom
+)
+
+// Session is one guided-repair session over a database instance.
+type Session struct {
+	cfg    Config
+	db     *relation.DB
+	eng    *cfd.Engine
+	gen    *repair.Generator
+	ranker *voi.Ranker
+
+	// possible is the PossibleUpdates list, at most one pending suggestion
+	// per cell (newer suggestions replace older ones for the same cell).
+	possible map[repair.CellKey]repair.Update
+
+	// models holds one learner per attribute (M_Ai of Section 4.2).
+	models map[string]*learn.Model
+
+	// hits records, per attribute, whether the model's recent predictions
+	// matched the user's subsequent answers (a sliding window).
+	hits map[string][]bool
+
+	// predCache memoizes committee predictions; entries are keyed on the
+	// model generation and the tuple version, so they survive across the
+	// many pool re-rankings of active learning and VOI scoring.
+	predCache map[predKey]predVal
+	tupleVer  []uint32
+
+	initialDirty int
+
+	// Applied counts cell changes written to the database (user confirms,
+	// learner confirms and forced constant-rule fixes).
+	Applied int
+	// ForcedFixes counts automatic constant-rule repairs (step 3(a)i of the
+	// consistency manager).
+	ForcedFixes int
+}
+
+// NewSession builds a session over db (which it mutates as repairs are
+// applied) and generates the initial PossibleUpdates list.
+func NewSession(db *relation.DB, rules []*cfd.CFD, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	eng, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		return nil, err
+	}
+	gen := repair.NewGenerator(eng)
+	s := &Session{
+		cfg:          cfg,
+		db:           db,
+		eng:          eng,
+		gen:          gen,
+		ranker:       voi.NewRanker(eng),
+		possible:     make(map[repair.CellKey]repair.Update),
+		models:       make(map[string]*learn.Model),
+		hits:         make(map[string][]bool),
+		predCache:    make(map[predKey]predVal),
+		tupleVer:     make([]uint32, db.N()),
+		initialDirty: eng.DirtyCount(),
+	}
+	for _, u := range gen.SuggestAll() {
+		s.possible[u.Cell()] = u
+	}
+	return s, nil
+}
+
+// DB returns the instance under repair.
+func (s *Session) DB() *relation.DB { return s.db }
+
+// Engine returns the violation engine.
+func (s *Session) Engine() *cfd.Engine { return s.eng }
+
+// Generator returns the update generator.
+func (s *Session) Generator() *repair.Generator { return s.gen }
+
+// Ranker returns the VOI ranker.
+func (s *Session) Ranker() *voi.Ranker { return s.ranker }
+
+// InitialDirtyCount returns E, the number of dirty tuples at session start.
+func (s *Session) InitialDirtyCount() int { return s.initialDirty }
+
+// PendingCount returns the number of suggested updates awaiting a decision.
+func (s *Session) PendingCount() int { return len(s.possible) }
+
+// Pending returns the live suggestion for a cell, if any.
+func (s *Session) Pending(c repair.CellKey) (repair.Update, bool) {
+	u, ok := s.possible[c]
+	return u, ok
+}
+
+// PendingUpdates returns all live suggestions in deterministic order.
+func (s *Session) PendingUpdates() []repair.Update {
+	out := make([]repair.Update, 0, len(s.possible))
+	for _, u := range s.possible {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// GroupUpdates returns the live suggestions belonging to a group key.
+func (s *Session) GroupUpdates(k group.Key) []repair.Update {
+	var out []repair.Update
+	for _, u := range s.possible {
+		if u.Attr == k.Attr && u.Value == k.Value {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tid < out[j].Tid })
+	return out
+}
+
+// Groups partitions the pending updates and ranks the groups: by VOI
+// benefit (step 4 of Procedure 1), by size, or randomly. rng is only used
+// for OrderRandom.
+func (s *Session) Groups(order Order, rng *rand.Rand) []*group.Group {
+	gs := group.Partition(s.PendingUpdates())
+	switch order {
+	case OrderVOI:
+		s.ranker.Rank(gs, s.Prob)
+	case OrderGreedy:
+		group.SortBySize(gs)
+	case OrderRandom:
+		if rng != nil {
+			rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
+		}
+	}
+	return gs
+}
+
+// model returns (creating if needed) the learner for an attribute.
+func (s *Session) model(attr string) *learn.Model {
+	m, ok := s.models[attr]
+	if !ok {
+		cfg := s.cfg.Forest
+		cfg.Seed = s.cfg.Seed*1315423911 + int64(len(s.models)+1)
+		m = learn.NewModel(cfg, s.cfg.MinTrain)
+		s.models[attr] = m
+	}
+	return m
+}
+
+// Features builds the learner input for an update per the paper's data
+// representation: the original tuple's attribute values and the suggested
+// value as categorical features, plus R(t[Ai], v) as the numeric
+// relationship feature. It must be called before the update is applied.
+func (s *Session) Features(u repair.Update) (cats []string, sim float64) {
+	t := s.db.Tuple(u.Tid)
+	cats = make([]string, 0, len(t)+1)
+	cats = append(cats, t...)
+	cats = append(cats, u.Value)
+	return cats, strsim.Similarity(s.db.Get(u.Tid, u.Attr), u.Value)
+}
+
+// LearnFrom adds a user feedback as a training example to the attribute's
+// model. Learner-made decisions must not be fed back (no self-training).
+func (s *Session) LearnFrom(u repair.Update, fb repair.Feedback) {
+	cats, sim := s.Features(u)
+	s.model(u.Attr).Add(learn.Example{Cats: cats, Sim: sim, Label: feedbackToLabel(fb)})
+}
+
+// UserFeedback records one user answer end to end: the model's current
+// prediction is scored against the answer (the user inherently checks the
+// learner during the session), the feedback becomes a training example
+// (step 6 of Procedure 1), and the decision is applied through the
+// consistency manager (step 7).
+func (s *Session) UserFeedback(u repair.Update, fb repair.Feedback) {
+	if label, _, ok := s.Predict(u); ok {
+		w := append(s.hits[u.Attr], label == feedbackToLabel(fb))
+		if len(w) > accuracyWindow {
+			w = w[len(w)-accuracyWindow:]
+		}
+		s.hits[u.Attr] = w
+	}
+	s.LearnFrom(u, fb)
+	s.ApplyFeedback(u, fb)
+}
+
+// ModelAccuracy returns the prequential accuracy of an attribute's model
+// over the recent user-checked predictions; ok is false until enough
+// predictions have been checked.
+func (s *Session) ModelAccuracy(attr string) (acc float64, ok bool) {
+	w := s.hits[attr]
+	if len(w) < minAssessed {
+		return 0, false
+	}
+	good := 0
+	for _, h := range w {
+		if h {
+			good++
+		}
+	}
+	return float64(good) / float64(len(w)), true
+}
+
+// Trusted reports whether the user would currently delegate decisions on
+// this attribute to the learner (recent accuracy at or above MinAccuracy).
+func (s *Session) Trusted(attr string) bool {
+	acc, ok := s.ModelAccuracy(attr)
+	return ok && acc >= s.cfg.MinAccuracy
+}
+
+type predKey struct {
+	cell  repair.CellKey
+	value string
+}
+
+type predVal struct {
+	label    learn.Label
+	votes    learn.Votes
+	ok       bool
+	modelGen int64
+	tupleVer uint32
+}
+
+// maxPredCache bounds the prediction cache; it is reset when full.
+const maxPredCache = 1 << 18
+
+// Predict consults the attribute's model for an update. ok is false while
+// the model lacks training data. Results are memoized until the attribute's
+// model retrains or the tuple changes.
+func (s *Session) Predict(u repair.Update) (learn.Label, learn.Votes, bool) {
+	m := s.model(u.Attr)
+	key := predKey{cell: u.Cell(), value: u.Value}
+	ver := s.tupleVer[u.Tid]
+	if v, hit := s.predCache[key]; hit && v.modelGen == m.Gen() && v.tupleVer == ver {
+		return v.label, v.votes, v.ok
+	}
+	cats, sim := s.Features(u)
+	label, votes, ok := m.Predict(cats, sim)
+	if len(s.predCache) >= maxPredCache {
+		s.predCache = make(map[predKey]predVal)
+	}
+	s.predCache[key] = predVal{label: label, votes: votes, ok: ok, modelGen: m.Gen(), tupleVer: ver}
+	return label, votes, ok
+}
+
+// Uncertainty returns the committee disagreement for an update; updates the
+// model cannot judge yet are maximally uncertain (1).
+func (s *Session) Uncertainty(u repair.Update) float64 {
+	_, votes, ok := s.Predict(u)
+	if !ok {
+		return 1
+	}
+	return votes.Uncertainty()
+}
+
+// Prob is the user model p̃j of Section 4.1: the learner's confirm
+// probability once trained, the repair algorithm's score sj before that.
+func (s *Session) Prob(u repair.Update) float64 {
+	_, votes, ok := s.Predict(u)
+	if !ok {
+		return u.Score
+	}
+	return votes[learn.Confirm]
+}
+
+// ModelFor exposes the per-attribute model (creating it if necessary);
+// examples and readiness are observable for tests and tooling.
+func (s *Session) ModelFor(attr string) *learn.Model { return s.model(attr) }
+
+func feedbackToLabel(fb repair.Feedback) learn.Label {
+	switch fb {
+	case repair.Confirm:
+		return learn.Confirm
+	case repair.Reject:
+		return learn.Reject
+	default:
+		return learn.Retain
+	}
+}
+
+func labelToFeedback(l learn.Label) repair.Feedback {
+	switch l {
+	case learn.Confirm:
+		return repair.Confirm
+	case learn.Reject:
+		return repair.Reject
+	default:
+		return repair.Retain
+	}
+}

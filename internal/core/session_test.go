@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// figure1Session builds the running-example instance used across packages.
+func figure1Session(t testing.TB) *Session {
+	t.Helper()
+	schema := relation.MustSchema("Customer", []string{"Name", "SRC", "STR", "CT", "STT", "ZIP"})
+	db := relation.NewDB(schema)
+	rows := []relation.Tuple{
+		{"Alice", "H1", "Redwood Dr", "Michigan City", "IN", "46360"},
+		{"Bob", "H2", "Oak St", "Westville", "IN", "46360"},
+		{"Carol", "H2", "Pine Ave", "Westvile", "IN", "46360"},
+		{"Dave", "H2", "Main St", "Michigan Cty", "IN", "46360"},
+		{"Eve", "H1", "Sherden RD", "Fort Wayne", "IN", "46391"},
+		{"Frank", "H1", "Sherden RD", "Fort Wayne", "IN", "46825"},
+		{"Grace", "H3", "Canal Rd", "New Haven", "OH", "46774"},
+		{"Heidi", "H3", "Sherden RD", "Fort Wayne", "IN", "46835"},
+	}
+	for _, r := range rows {
+		db.MustInsert(r)
+	}
+	rules := cfd.MustParse(`
+phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN
+phi2: ZIP -> CT, STT :: 46774 || New Haven, IN
+phi3: ZIP -> CT, STT :: 46825 || Fort Wayne, IN
+phi4: ZIP -> CT, STT :: 46391 || Westville, IN
+phi5: STR, CT -> ZIP :: _, Fort Wayne || _
+`)
+	s, err := NewSession(db, rules, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionInitialState(t *testing.T) {
+	s := figure1Session(t)
+	if s.InitialDirtyCount() != 7 {
+		t.Fatalf("initial dirty = %d", s.InitialDirtyCount())
+	}
+	if s.PendingCount() == 0 {
+		t.Fatal("no initial updates")
+	}
+	// Every pending update targets a dirty tuple and a non-locked cell.
+	for _, u := range s.PendingUpdates() {
+		if !s.Engine().IsDirty(u.Tid) {
+			t.Errorf("pending update %v for clean tuple", u)
+		}
+	}
+	// The Michigan City group must exist (t1, t2, t3 city fixes).
+	found := false
+	for _, g := range s.Groups(OrderVOI, nil) {
+		if g.Key.Attr == "CT" && g.Key.Value == "Michigan City" && g.Size() == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Michigan City group missing")
+	}
+}
+
+// TestConsistencyManagerPaperStory reproduces Section 3's example: after the
+// user confirms r1 (t5's zip becomes the partner's 46391), the pending
+// update r2 for the partner is discarded, and the on-demand process derives
+// r′2 = ⟨t5, CT, Westville⟩ because t5 now falls in φ4's context.
+func TestConsistencyManagerPaperStory(t *testing.T) {
+	s := figure1Session(t)
+	// t5 (Frank) violates only phi5; its zip suggestion comes from a
+	// violating partner (scenario 2).
+	r1, ok := s.Pending(repair.CellKey{Tid: 5, Attr: "ZIP"})
+	if !ok {
+		t.Fatal("no pending zip update for t5")
+	}
+	if r1.Value != "46391" && r1.Value != "46835" {
+		t.Fatalf("t5 zip suggestion = %v, want a partner value", r1)
+	}
+	// Force the paper's choice: confirm 46391.
+	r1.Value = "46391"
+	s.ApplyFeedback(r1, repair.Confirm)
+
+	if got := s.DB().Get(5, "ZIP"); got != "46391" {
+		t.Fatalf("t5 zip = %q after confirm", got)
+	}
+	// t5 now falls in φ4's context with a wrong CT, and — since the ZIP
+	// (φ4's whole LHS) was just confirmed — step 3(a)i resolves r′2
+	// automatically: CT is forced to the pattern value Westville. This is
+	// the strong form of the paper's story (Section 3 narrates r′2 as a
+	// suggestion; Appendix A.5's manager applies it directly).
+	if got := s.DB().Get(5, "CT"); got != "Westville" {
+		t.Fatalf("t5 CT = %q, want forced Westville", got)
+	}
+	if s.ForcedFixes == 0 {
+		t.Fatal("expected a forced constant-rule fix")
+	}
+	if !s.Generator().Locked(5, "ZIP") || !s.Generator().Locked(5, "CT") {
+		t.Fatal("confirmed and forced cells should be locked")
+	}
+}
+
+func TestRejectRegeneratesDifferentValue(t *testing.T) {
+	s := figure1Session(t)
+	u, ok := s.Pending(repair.CellKey{Tid: 2, Attr: "CT"})
+	if !ok {
+		t.Fatal("no CT suggestion for t2")
+	}
+	if u.Value != "Michigan City" {
+		t.Fatalf("t2 CT suggestion = %v", u)
+	}
+	s.ApplyFeedback(u, repair.Reject)
+	if s.Generator().IsPrevented(2, "CT", "Michigan City") != true {
+		t.Fatal("rejected value not prevented")
+	}
+	if nu, ok := s.Pending(repair.CellKey{Tid: 2, Attr: "CT"}); ok && nu.Value == "Michigan City" {
+		t.Fatalf("rejected value suggested again: %v", nu)
+	}
+}
+
+func TestRetainLocksAndForcesConstantFix(t *testing.T) {
+	s := figure1Session(t)
+	// t2 violates phi1.1 (ZIP 46360 → CT Michigan City). Retaining the ZIP
+	// (it is correct) locks the entire LHS, so the RHS is forced.
+	u := repair.Update{Tid: 2, Attr: "ZIP", Value: "46999", Score: 0.5}
+	s.ApplyFeedback(u, repair.Retain)
+	if got := s.DB().Get(2, "CT"); got != "Michigan City" {
+		t.Fatalf("forced fix missing: CT = %q", got)
+	}
+	if s.ForcedFixes != 1 {
+		t.Fatalf("ForcedFixes = %d", s.ForcedFixes)
+	}
+	if s.Engine().IsDirty(2) {
+		t.Fatal("t2 should be clean after the forced fix")
+	}
+}
+
+func TestLearnerIntegration(t *testing.T) {
+	s := figure1Session(t)
+	u, _ := s.Pending(repair.CellKey{Tid: 2, Attr: "CT"})
+	// Before any feedback the model is not ready: Prob falls back to the
+	// update score and uncertainty is maximal.
+	if got := s.Prob(u); got != u.Score {
+		t.Fatalf("initial Prob = %v, want score %v", got, u.Score)
+	}
+	if got := s.Uncertainty(u); got != 1 {
+		t.Fatalf("initial uncertainty = %v", got)
+	}
+	// Teach the model three confirms for CT updates.
+	for _, tid := range []int{1, 2, 3} {
+		uu := repair.Update{Tid: tid, Attr: "CT", Value: "Michigan City", Score: 0.5}
+		s.LearnFrom(uu, repair.Confirm)
+	}
+	label, votes, ok := s.Predict(u)
+	if !ok {
+		t.Fatal("model should be ready after 3 examples")
+	}
+	if label != 0 { // learn.Confirm
+		t.Fatalf("label = %v, votes %v", label, votes)
+	}
+	if got := s.Prob(u); got != votes[0] {
+		t.Fatalf("Prob = %v, want confirm votes %v", got, votes[0])
+	}
+}
+
+// TestConsistencyInvariants drives random feedback sequences and checks
+// invariant (ii): no pending update targets a locked cell, suggests a
+// prevented or current value, or belongs to a clean tuple.
+func TestConsistencyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		s := figure1Session(t)
+		for step := 0; step < 60 && s.PendingCount() > 0; step++ {
+			ups := s.PendingUpdates()
+			u := ups[rng.Intn(len(ups))]
+			fb := repair.Feedback(rng.Intn(3))
+			s.ApplyFeedback(u, fb)
+
+			for _, p := range s.PendingUpdates() {
+				if s.Generator().Locked(p.Tid, p.Attr) {
+					t.Fatalf("trial %d step %d: pending update %v on locked cell", trial, step, p)
+				}
+				if s.Generator().IsPrevented(p.Tid, p.Attr, p.Value) {
+					t.Fatalf("trial %d step %d: pending update %v is prevented", trial, step, p)
+				}
+				if s.DB().Get(p.Tid, p.Attr) == p.Value {
+					t.Fatalf("trial %d step %d: pending update %v suggests current value", trial, step, p)
+				}
+				if !s.Engine().IsDirty(p.Tid) {
+					t.Fatalf("trial %d step %d: pending update %v for clean tuple", trial, step, p)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupsOrders(t *testing.T) {
+	s := figure1Session(t)
+	voiGroups := s.Groups(OrderVOI, nil)
+	if len(voiGroups) < 2 {
+		t.Fatalf("got %d groups", len(voiGroups))
+	}
+	for i := 1; i < len(voiGroups); i++ {
+		if voiGroups[i-1].Benefit < voiGroups[i].Benefit {
+			t.Fatal("VOI groups not sorted by benefit")
+		}
+	}
+	greedy := s.Groups(OrderGreedy, nil)
+	for i := 1; i < len(greedy); i++ {
+		if greedy[i-1].Size() < greedy[i].Size() {
+			t.Fatal("greedy groups not sorted by size")
+		}
+	}
+	// Random order with the same seed is reproducible.
+	r1 := s.Groups(OrderRandom, rand.New(rand.NewSource(5)))
+	r2 := s.Groups(OrderRandom, rand.New(rand.NewSource(5)))
+	for i := range r1 {
+		if r1[i].Key != r2[i].Key {
+			t.Fatal("random order not reproducible with equal seeds")
+		}
+	}
+}
+
+func TestSessionInsertMonitoring(t *testing.T) {
+	s := figure1Session(t)
+	before := s.PendingCount()
+	// A new data entry with a wrong city for zip 46774 must immediately
+	// receive a suggestion (online monitoring mode).
+	tid, err := s.Insert(relation.Tuple{"Ivan", "H9", "Canal Rd", "NewHaven", "IN", "46774"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Engine().IsDirty(tid) {
+		t.Fatal("inserted dirty tuple not flagged")
+	}
+	u, ok := s.Pending(repair.CellKey{Tid: tid, Attr: "CT"})
+	if !ok || u.Value != "New Haven" {
+		t.Fatalf("monitoring suggestion = %v, %v", u, ok)
+	}
+	if s.PendingCount() <= before {
+		t.Fatal("pending count did not grow")
+	}
+	// A clean insert adds nothing.
+	tid2, err := s.Insert(relation.Tuple{"Judy", "H9", "Maple Ln", "Michigan City", "IN", "46360"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine().IsDirty(tid2) {
+		t.Fatal("clean insert flagged dirty")
+	}
+}

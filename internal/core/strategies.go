@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gdr/internal/cfd"
+	"gdr/internal/group"
+	"gdr/internal/metrics"
+	"gdr/internal/oracle"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// Strategy names the repair-driving policies evaluated in Section 5.
+type Strategy string
+
+// The strategies of Figures 3 and 4.
+const (
+	// StrategyGDR is the full framework: VOI-ranked groups, active-learning
+	// ordering inside groups, learner takes over after di verifications.
+	StrategyGDR Strategy = "GDR"
+	// StrategyGDRNoLearning ranks groups by VOI and has the user verify
+	// every update (Section 5.1's GDR-NoLearning).
+	StrategyGDRNoLearning Strategy = "GDR-NoLearning"
+	// StrategyGDRSLearning keeps VOI ranking and the learner, but labels a
+	// random selection inside each group (passive learning).
+	StrategyGDRSLearning Strategy = "GDR-S-Learning"
+	// StrategyActiveLearning drops grouping and VOI entirely: one global
+	// pool ordered by learner uncertainty.
+	StrategyActiveLearning Strategy = "Active-Learning"
+	// StrategyGreedy ranks groups by size, user verifies everything.
+	StrategyGreedy Strategy = "Greedy"
+	// StrategyRandom orders groups randomly, user verifies everything.
+	StrategyRandom Strategy = "Random"
+	// StrategyHeuristic is the automatic BatchRepair of Cong et al. [7]: no
+	// user at all, highest-scored update applied repeatedly.
+	StrategyHeuristic Strategy = "Heuristic"
+)
+
+// RunConfig parameterizes one strategy run.
+type RunConfig struct {
+	// Session configures the underlying GDR session.
+	Session Config
+	// Budget caps the number of user feedbacks; 0 means unlimited (run to
+	// convergence). The learner never consumes budget.
+	Budget int
+	// RecordEvery samples an improvement point every k-th feedback
+	// (default 1).
+	RecordEvery int
+	// Seed drives the Random strategy's shuffles and random in-group
+	// selections.
+	Seed int64
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.RecordEvery <= 0 {
+		rc.RecordEvery = 1
+	}
+	return rc
+}
+
+// Point is one sample of the quality trajectory: improvement after the
+// Verified-th user feedback.
+type Point struct {
+	Verified    int
+	Improvement float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Strategy         Strategy
+	Points           []Point
+	Verified         int // user feedbacks consumed
+	LearnerDecisions int // updates decided by the models
+	Applied          int // cell changes written
+	ForcedFixes      int
+	InitialDirty     int
+	FinalImprovement float64
+	Precision        float64
+	Recall           float64
+}
+
+// runner bundles the per-run state shared by all strategies.
+type runner struct {
+	sess *Session
+	orc  *oracle.Oracle
+	qual *metrics.Quality
+	acc  *metrics.Accuracy
+	res  *Result
+	rc   RunConfig
+	rng  *rand.Rand
+}
+
+// Run executes one strategy on a copy of the dirty instance, simulating the
+// user with a ground-truth oracle, and returns the quality trajectory.
+func Run(st Strategy, dirty, truth *relation.DB, rules []*cfd.CFD, rc RunConfig) (*Result, error) {
+	rc = rc.withDefaults()
+	db := dirty.Clone()
+	sess, err := NewSession(db, rules, rc.Session)
+	if err != nil {
+		return nil, err
+	}
+	orc := oracle.New(truth)
+	if err := orc.Validate(db); err != nil {
+		return nil, err
+	}
+	qual, err := metrics.NewQuality(truth, sess.Engine(), nil)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := metrics.NewAccuracy(dirty, truth)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		sess: sess, orc: orc, qual: qual, acc: acc,
+		res: &Result{Strategy: st, InitialDirty: sess.InitialDirtyCount()},
+		rc:  rc, rng: rand.New(rand.NewSource(rc.Seed)),
+	}
+	r.record() // the zero point
+
+	switch st {
+	case StrategyGDRNoLearning:
+		r.runRanked(OrderVOI)
+	case StrategyGreedy:
+		r.runRanked(OrderGreedy)
+	case StrategyRandom:
+		r.runRanked(OrderRandom)
+	case StrategyGDR:
+		r.runGDR(false)
+	case StrategyGDRSLearning:
+		r.runGDR(true)
+	case StrategyActiveLearning:
+		r.runActiveLearning()
+	case StrategyHeuristic:
+		r.runHeuristic()
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", st)
+	}
+
+	r.res.Verified = r.orc.Asked
+	r.res.Applied = sess.Applied
+	r.res.ForcedFixes = sess.ForcedFixes
+	r.res.FinalImprovement = qual.Improvement(sess.Engine())
+	r.res.Precision, r.res.Recall = acc.PrecisionRecall(sess.DB())
+	r.res.Points = append(r.res.Points, Point{Verified: r.orc.Asked, Improvement: r.res.FinalImprovement})
+	return r.res, nil
+}
+
+func (r *runner) budgetLeft() bool {
+	return r.rc.Budget <= 0 || r.orc.Asked < r.rc.Budget
+}
+
+func (r *runner) record() {
+	r.res.Points = append(r.res.Points, Point{
+		Verified:    r.orc.Asked,
+		Improvement: r.qual.Improvement(r.sess.Engine()),
+	})
+}
+
+// verify asks the simulated user about one update, optionally feeds the
+// answer to the learner, applies it, and samples the trajectory.
+func (r *runner) verify(u repair.Update, teach bool) {
+	fb := r.orc.Feedback(r.sess.DB(), u)
+	if teach {
+		r.sess.UserFeedback(u, fb)
+	} else {
+		r.sess.ApplyFeedback(u, fb)
+	}
+	if r.orc.Asked%r.rc.RecordEvery == 0 {
+		r.record()
+	}
+}
+
+// runRanked drives the learning-free strategies of Figure 3: rank groups
+// (VOI / size / random), let the user verify every update in the top group,
+// repeat.
+func (r *runner) runRanked(order Order) {
+	for r.budgetLeft() && r.sess.PendingCount() > 0 {
+		gs := r.sess.Groups(order, r.rng)
+		if len(gs) == 0 {
+			return
+		}
+		c := gs[0]
+		for _, u := range c.Updates {
+			if !r.budgetLeft() {
+				return
+			}
+			if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+				continue // invalidated by an earlier feedback in this group
+			}
+			r.verify(u, false)
+		}
+	}
+}
+
+// runGDR drives the full framework (and, with randomSelection, the
+// GDR-S-Learning variant): VOI-ranked groups; inside the chosen group the
+// user labels di updates — ordered by committee uncertainty (active) or
+// picked at random (passive) — then the learner decides the rest.
+func (r *runner) runGDR(randomSelection bool) {
+	gmax := 0.0
+	for r.budgetLeft() && r.sess.PendingCount() > 0 {
+		gs := r.sess.Groups(OrderVOI, nil)
+		if len(gs) == 0 {
+			return
+		}
+		c := gs[0]
+		if c.Benefit > gmax {
+			gmax = c.Benefit
+		}
+		// The paper sizes the per-group verification quota inversely to the
+		// group's benefit: di = E × (1 − g(ci)/gmax). Taken literally, any
+		// benefit ratio below ≈1 makes di exceed every group size for
+		// realistic E, degenerating GDR into verify-everything; we keep the
+		// inverse proportionality but scale by the group's own size, clamped
+		// to [MinVerify, |ci|] (see DESIGN.md).
+		di := r.sess.cfg.MinVerify
+		if gmax > 0 {
+			want := int(math.Ceil(float64(c.Size()) * (1 - c.Benefit/gmax)))
+			if want > di {
+				di = want
+			}
+		}
+		if di > c.Size() {
+			di = c.Size()
+		}
+
+		progressed := r.interactiveGroupSession(c.Key, di, randomSelection)
+		progressed = r.learnerDecideGroup(c.Key) || progressed
+		if !progressed {
+			// Neither the user (stale group / exhausted) nor the learner
+			// (not ready) could act: fall back to verifying the single top
+			// update so the loop always advances.
+			if live := r.sess.GroupUpdates(c.Key); len(live) > 0 && r.budgetLeft() {
+				r.verify(live[0], true)
+			} else {
+				return
+			}
+		}
+	}
+	r.learnerFinish()
+}
+
+// interactiveGroupSession is the interactive active-learning session of
+// Section 4.2: the user labels up to di updates of the group in batches of
+// ns, with the (re-trained) committee reordering the remainder after each
+// batch. It reports whether any feedback was collected.
+func (r *runner) interactiveGroupSession(k group.Key, di int, randomSelection bool) bool {
+	labeled := 0
+	for labeled < di && r.budgetLeft() {
+		live := r.sess.GroupUpdates(k)
+		if len(live) == 0 {
+			break
+		}
+		if randomSelection {
+			r.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		} else {
+			r.sortByUncertainty(live)
+		}
+		batch := r.sess.cfg.BatchSize
+		if rem := di - labeled; batch > rem {
+			batch = rem
+		}
+		if batch > len(live) {
+			batch = len(live)
+		}
+		for _, u := range live[:batch] {
+			if !r.budgetLeft() {
+				break
+			}
+			if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			r.verify(u, true)
+			labeled++
+		}
+	}
+	return labeled > 0
+}
+
+// sortByUncertainty orders updates by decreasing committee disagreement;
+// before a model is ready every update is maximally uncertain and the update
+// score breaks ties (most-certain-of-the-repair-algorithm first).
+func (r *runner) sortByUncertainty(live []repair.Update) {
+	unc := make([]float64, len(live))
+	for i, u := range live {
+		unc[i] = r.sess.Uncertainty(u)
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		if unc[i] != unc[j] {
+			return unc[i] > unc[j]
+		}
+		if live[i].Score != live[j].Score {
+			return live[i].Score > live[j].Score
+		}
+		return live[i].Tid < live[j].Tid
+	})
+}
+
+// learnerDecideGroup lets the trained models decide every remaining update
+// of the group (no budget consumed). Only confident committees act — the
+// paper's user delegates only when satisfied with the predictions. It
+// reports whether anything happened.
+func (r *runner) learnerDecideGroup(k group.Key) bool {
+	decided := false
+	for _, u := range r.sess.GroupUpdates(k) {
+		if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+			continue
+		}
+		if fb, ok := r.confidentDecision(u); ok {
+			if r.sess.LearnerDecision(u, fb) {
+				r.res.LearnerDecisions++
+				decided = true
+			}
+		}
+	}
+	return decided
+}
+
+// confidentDecision returns the learner's decision for an update when the
+// committee's majority share reaches the delegation threshold (confirms are
+// applied; rejects and retains merely set the suggestion aside — see
+// Session.LearnerDecision).
+func (r *runner) confidentDecision(u repair.Update) (repair.Feedback, bool) {
+	if !r.sess.Trusted(u.Attr) {
+		return 0, false
+	}
+	label, votes, ok := r.sess.Predict(u)
+	if !ok || votes[label] < r.sess.cfg.MinDelegate {
+		return 0, false
+	}
+	return labelToFeedback(label), true
+}
+
+// learnerFinish applies the models to everything still pending once the
+// feedback budget is exhausted (how Figures 4 and 5 evaluate a budget F).
+// Rejected suggestions regenerate, so a few passes are allowed.
+func (r *runner) learnerFinish() {
+	for pass := 0; pass < 4; pass++ {
+		decided := false
+		for _, u := range r.sess.PendingUpdates() {
+			if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			if fb, ok := r.confidentDecision(u); ok {
+				if r.sess.LearnerDecision(u, fb) {
+					r.res.LearnerDecisions++
+					decided = true
+				}
+			}
+		}
+		if !decided {
+			return
+		}
+	}
+}
+
+// runActiveLearning is the no-grouping baseline: a single pool ordered by
+// committee uncertainty; the user labels batches until the budget runs out,
+// then the model decides the rest.
+func (r *runner) runActiveLearning() {
+	for r.budgetLeft() && r.sess.PendingCount() > 0 {
+		live := r.sess.PendingUpdates()
+		r.sortByUncertainty(live)
+		batch := r.sess.cfg.BatchSize
+		if batch > len(live) {
+			batch = len(live)
+		}
+		any := false
+		for _, u := range live[:batch] {
+			if !r.budgetLeft() {
+				break
+			}
+			if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			r.verify(u, true)
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	r.learnerFinish()
+}
+
+// runHeuristic is the automatic BatchRepair baseline [7]: one batch pass
+// over the initially detected violations, applying for each the
+// highest-scored suggestion, never asking the user. Like Cong et al.'s
+// algorithm it resolves each detected violation once; violations that
+// emerge from its own repairs are left for the next (hypothetical) batch,
+// so its quality line is constant and below a guided process.
+func (r *runner) runHeuristic() {
+	initial := r.sess.PendingUpdates()
+	sort.SliceStable(initial, func(i, j int) bool { return initial[i].Score > initial[j].Score })
+	for _, u := range initial {
+		if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
+			continue // consumed by a cascading repair of an earlier update
+		}
+		r.sess.ApplyFeedback(u, repair.Confirm)
+	}
+	r.record()
+}

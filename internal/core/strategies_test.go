@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"gdr/internal/dataset"
+)
+
+func hospitalData(t testing.TB, n int) *dataset.Data {
+	t.Helper()
+	return dataset.Hospital(dataset.Config{N: n, Seed: 42})
+}
+
+func TestNoLearningConvergesToClean(t *testing.T) {
+	d := hospitalData(t, 800)
+	res, err := Run(StrategyGDRNoLearning, d.Dirty, d.Truth, d.Rules, RunConfig{RecordEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalImprovement < 90 {
+		t.Fatalf("NoLearning final improvement = %.1f, want ≥ 90", res.FinalImprovement)
+	}
+	if res.Verified == 0 || res.Applied == 0 {
+		t.Fatalf("verified=%d applied=%d", res.Verified, res.Applied)
+	}
+	// The trajectory must be recorded and non-decreasing in feedback count.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Verified < res.Points[i-1].Verified {
+			t.Fatal("points not ordered by verified count")
+		}
+	}
+}
+
+func TestBudgetIsRespected(t *testing.T) {
+	d := hospitalData(t, 600)
+	for _, st := range []Strategy{StrategyGDRNoLearning, StrategyGreedy, StrategyRandom, StrategyGDR, StrategyGDRSLearning, StrategyActiveLearning} {
+		res, err := Run(st, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: 40, RecordEvery: 10, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+		if res.Verified > 40 {
+			t.Fatalf("%s consumed %d feedbacks with budget 40", st, res.Verified)
+		}
+	}
+}
+
+func TestHeuristicNeedsNoUser(t *testing.T) {
+	d := hospitalData(t, 600)
+	res, err := Run(StrategyHeuristic, d.Dirty, d.Truth, d.Rules, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified != 0 {
+		t.Fatalf("heuristic asked the user %d times", res.Verified)
+	}
+	if res.Applied == 0 {
+		t.Fatal("heuristic applied nothing")
+	}
+	if res.FinalImprovement <= 0 {
+		t.Fatalf("heuristic improvement = %v", res.FinalImprovement)
+	}
+}
+
+func TestGDRUsesLearnerDecisions(t *testing.T) {
+	d := hospitalData(t, 800)
+	res, err := Run(StrategyGDR, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: 120, RecordEvery: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LearnerDecisions == 0 {
+		t.Fatal("GDR made no learner decisions")
+	}
+	if res.FinalImprovement < 30 {
+		t.Fatalf("GDR improvement with 120 feedbacks = %.1f", res.FinalImprovement)
+	}
+}
+
+func TestGDRBeatsNoLearningAtEqualBudget(t *testing.T) {
+	d := hospitalData(t, 1000)
+	budget := d.Truth.N() / 20 // a small budget where learning should pay off
+	gdr, err := Run(StrategyGDR, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: budget, RecordEvery: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Run(StrategyGDRNoLearning, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: budget, RecordEvery: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdr.FinalImprovement < nl.FinalImprovement {
+		t.Fatalf("GDR (%.1f%%) below NoLearning (%.1f%%) at budget %d",
+			gdr.FinalImprovement, nl.FinalImprovement, budget)
+	}
+}
+
+func TestVOIBeatsRandomEarly(t *testing.T) {
+	d := hospitalData(t, 1000)
+	budget := 100
+	voiRes, err := Run(StrategyGDRNoLearning, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: budget, RecordEvery: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndRes, err := Run(StrategyRandom, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: budget, RecordEvery: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voiRes.FinalImprovement <= rndRes.FinalImprovement {
+		t.Fatalf("VOI (%.1f%%) not above Random (%.1f%%) after %d feedbacks",
+			voiRes.FinalImprovement, rndRes.FinalImprovement, budget)
+	}
+}
+
+func TestPrecisionRecallReported(t *testing.T) {
+	d := hospitalData(t, 600)
+	res, err := Run(StrategyGDR, d.Dirty, d.Truth, d.Rules, RunConfig{Budget: 80, Seed: 1, RecordEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precision < 0 || res.Precision > 1 || res.Recall < 0 || res.Recall > 1 {
+		t.Fatalf("p/r out of range: %v/%v", res.Precision, res.Recall)
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	d := hospitalData(t, 100)
+	if _, err := Run(Strategy("nope"), d.Dirty, d.Truth, d.Rules, RunConfig{}); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	d := hospitalData(t, 300)
+	before := d.Dirty.Clone()
+	if _, err := Run(StrategyHeuristic, d.Dirty, d.Truth, d.Rules, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := d.Dirty.DiffCells(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("Run mutated the caller's instance: %d cells", len(diff))
+	}
+}

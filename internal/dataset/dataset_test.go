@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdr/internal/cfd"
+)
+
+func TestTypoAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := []string{"Michigan City", "a", "", "46360", "Fort Wayne"}
+	for _, in := range inputs {
+		for i := 0; i < 50; i++ {
+			if out := typo(rng, in); out == in {
+				t.Fatalf("typo(%q) returned the input", in)
+			}
+		}
+	}
+}
+
+func TestSwapValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dom := []string{"a", "b", "c"}
+	for i := 0; i < 50; i++ {
+		if v := swapValue(rng, dom, "a"); v == "a" {
+			t.Fatal("swapValue returned the current value")
+		}
+	}
+	// Degenerate domain falls back to a typo.
+	if v := swapValue(rng, []string{"only"}, "only"); v == "only" {
+		t.Fatal("degenerate domain returned input")
+	}
+}
+
+func TestWeightedPickDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := []float64{8, 1, 1}
+	counts := make([]int, 3)
+	for i := 0; i < 5000; i++ {
+		counts[weightedPick(rng, w)]++
+	}
+	if counts[0] < 3500 {
+		t.Fatalf("heavy item picked only %d/5000 times", counts[0])
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatal("light items never picked")
+	}
+}
+
+func TestHospitalGeneration(t *testing.T) {
+	d := Hospital(Config{N: 2000, Seed: 7})
+	if d.Truth.N() != 2000 || d.Dirty.N() != 2000 {
+		t.Fatalf("sizes: %d/%d", d.Truth.N(), d.Dirty.N())
+	}
+	// The ground truth must satisfy every rule.
+	te, err := cfd.NewEngine(d.Truth.Clone(), d.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := te.DirtyCount(); got != 0 {
+		t.Fatalf("ground truth has %d dirty tuples", got)
+	}
+	// The dirty copy must have violations, roughly matching the dirty rate.
+	de, err := cfd.NewEngine(d.Dirty.Clone(), d.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := de.DirtyCount(); got < 200 {
+		t.Fatalf("dirty instance has only %d dirty tuples", got)
+	}
+	// Roughly 30% of tuples differ from the truth.
+	diff, err := d.Dirty.DiffCells(d.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(diff)) / 2000
+	if frac < 0.2 || frac > 0.45 {
+		t.Fatalf("perturbed cell fraction per tuple = %v, want ≈0.3", frac)
+	}
+}
+
+func TestHospitalDeterminism(t *testing.T) {
+	a := Hospital(Config{N: 300, Seed: 11})
+	b := Hospital(Config{N: 300, Seed: 11})
+	da, _ := a.Dirty.DiffCells(b.Dirty)
+	if len(da) != 0 {
+		t.Fatalf("same seed produced %d differing cells", len(da))
+	}
+	c := Hospital(Config{N: 300, Seed: 12})
+	dc, _ := a.Dirty.DiffCells(c.Dirty)
+	if len(dc) == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestHospitalErrorCorrelation(t *testing.T) {
+	d := Hospital(Config{N: 4000, Seed: 13})
+	// S2 corrupts City but never Zip; S3 corrupts Zip but never City.
+	badCityS2, badZipS2, badCityS3, badZipS3 := 0, 0, 0, 0
+	for tid := 0; tid < d.Dirty.N(); tid++ {
+		src := d.Dirty.Get(tid, "Source")
+		cityWrong := d.Dirty.Get(tid, "City") != d.Truth.Get(tid, "City")
+		zipWrong := d.Dirty.Get(tid, "Zip") != d.Truth.Get(tid, "Zip")
+		switch src {
+		case "S2":
+			if cityWrong {
+				badCityS2++
+			}
+			if zipWrong {
+				badZipS2++
+			}
+		case "S3":
+			if cityWrong {
+				badCityS3++
+			}
+			if zipWrong {
+				badZipS3++
+			}
+		}
+	}
+	if badCityS2 == 0 || badZipS3 == 0 {
+		t.Fatal("expected recurrent errors for S2 city and S3 zip")
+	}
+	if badZipS2 != 0 || badCityS3 != 0 {
+		t.Fatalf("correlation broken: S2 zip errors %d, S3 city errors %d", badZipS2, badCityS3)
+	}
+}
+
+func TestHospitalRulesParse(t *testing.T) {
+	rules := HospitalRules()
+	// 28 zips x 2 normalized rules + per-city variable rules + 74 hospital rules.
+	if len(rules) != len(zipDirectory)*2+len(strcityCities)+74 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	variable := 0
+	for _, r := range rules {
+		if !r.Constant() {
+			variable++
+		}
+	}
+	if variable != len(strcityCities) {
+		t.Fatalf("got %d variable rules, want %d", variable, len(strcityCities))
+	}
+}
+
+func TestCensusGeneration(t *testing.T) {
+	d := Census(Config{N: 3000, Seed: 21})
+	if d.Truth.N() != 3000 {
+		t.Fatalf("truth size %d", d.Truth.N())
+	}
+	if len(d.Rules) == 0 {
+		t.Fatal("discovery found no rules")
+	}
+	// The embedded associations must hold exactly on the truth.
+	for tid := 0; tid < d.Truth.N(); tid++ {
+		rel := d.Truth.Get(tid, "relationship")
+		sex := d.Truth.Get(tid, "sex")
+		if rel == "Husband" && sex != "Male" {
+			t.Fatalf("t%d: Husband with sex %q", tid, sex)
+		}
+		if rel == "Wife" && sex != "Female" {
+			t.Fatalf("t%d: Wife with sex %q", tid, sex)
+		}
+		if d.Truth.Get(tid, "education") == "Preschool" && d.Truth.Get(tid, "income") != "<=50K" {
+			t.Fatalf("t%d: Preschool with high income", tid)
+		}
+		if d.Truth.Get(tid, "education") == "Doctorate" && d.Truth.Get(tid, "income") != ">50K" {
+			t.Fatalf("t%d: Doctorate with low income", tid)
+		}
+	}
+	// Discovery must recover the Husband → Male association in some form.
+	found := false
+	for _, r := range d.Rules {
+		if len(r.LHS) == 1 && r.LHS[0] == "relationship" && r.TP["relationship"] == "Husband" &&
+			r.RHS == "sex" && r.TP["sex"] == "Male" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Husband→Male not discovered; rules: %v", d.Rules)
+	}
+	// The dirty copy must violate the discovered rules.
+	de, err := cfd.NewEngine(d.Dirty.Clone(), d.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.DirtyCount() == 0 {
+		t.Fatal("dirty census instance has no violations")
+	}
+}
+
+func TestCensusDeterminism(t *testing.T) {
+	a := Census(Config{N: 400, Seed: 5})
+	b := Census(Config{N: 400, Seed: 5})
+	diff, _ := a.Dirty.DiffCells(b.Dirty)
+	if len(diff) != 0 {
+		t.Fatalf("same seed produced %d differing cells", len(diff))
+	}
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a.Rules), len(b.Rules))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N != 20000 || c.DirtyRate != 0.3 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}

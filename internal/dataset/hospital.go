@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// zipEntry is one line of the Indiana-style zip directory; adjacency in the
+// slice models geographic adjacency for "boundary zip" confusions.
+type zipEntry struct {
+	zip, city, state string
+}
+
+var zipDirectory = []zipEntry{
+	{"46360", "Michigan City", "IN"},
+	{"46391", "Westville", "IN"},
+	{"46601", "South Bend", "IN"},
+	{"46544", "Mishawaka", "IN"},
+	{"46514", "Elkhart", "IN"},
+	{"46774", "New Haven", "IN"},
+	{"46825", "Fort Wayne", "IN"},
+	{"46835", "Fort Wayne", "IN"},
+	{"46902", "Kokomo", "IN"},
+	{"46952", "Marion", "IN"},
+	{"47906", "West Lafayette", "IN"},
+	{"47901", "Lafayette", "IN"},
+	{"46032", "Carmel", "IN"},
+	{"46038", "Fishers", "IN"},
+	{"46060", "Noblesville", "IN"},
+	{"46201", "Indianapolis", "IN"},
+	{"46220", "Indianapolis", "IN"},
+	{"46140", "Greenfield", "IN"},
+	{"46112", "Brownsburg", "IN"},
+	{"47401", "Bloomington", "IN"},
+	{"47714", "Evansville", "IN"},
+	{"47130", "Jeffersonville", "IN"},
+	{"46307", "Crown Point", "IN"},
+	{"46320", "Hammond", "IN"},
+	{"46402", "Gary", "IN"},
+	{"46368", "Portage", "IN"},
+	{"46383", "Valparaiso", "IN"},
+	{"47302", "Muncie", "IN"},
+}
+
+var hospitalStems = []string{
+	"St. Mary Medical Center", "Mercy General Hospital", "Parkview Regional",
+	"Community Health Pavilion", "Sacred Heart Hospital", "Union Memorial",
+	"Good Samaritan Hospital", "Riverview Medical", "Lakeshore Clinic",
+	"St. Vincent Hospital", "Methodist Medical Center", "Franciscan Health",
+}
+
+var streetStems = []string{
+	"Sherden RD", "Canal Rd", "Oak St", "Pine Ave", "Main St", "Elm St",
+	"Harris Rd", "Lima Rd", "Redwood Dr", "Maple Ln", "Jefferson Blvd",
+	"Washington Ave", "2nd St", "State Rd 2", "Ridge Rd", "Lincoln Hwy",
+}
+
+var complaints = []string{
+	"chest pain", "abdominal pain", "fever", "headache", "fracture",
+	"laceration", "shortness of breath", "dizziness", "back pain",
+	"allergic reaction", "burn", "cough", "nausea", "sprain", "rash",
+	"eye injury", "dehydration", "palpitations", "seizure", "fall",
+}
+
+var classifications = []string{
+	"respiratory", "gastrointestinal", "trauma", "neurological",
+	"cardiac", "dermatological",
+}
+
+// hospital is one of the 74 sources whose records are integrated; patients
+// of a hospital live in its zip area.
+type hospital struct {
+	name string
+	zip  zipEntry
+}
+
+// hospitals builds the 74-hospital directory deterministically.
+func hospitals() []hospital {
+	const numHospitals = 74
+	out := make([]hospital, 0, numHospitals)
+	for i := 0; i < numHospitals; i++ {
+		z := zipDirectory[i%len(zipDirectory)]
+		stem := hospitalStems[i%len(hospitalStems)]
+		name := fmt.Sprintf("%s %s %d", stem, z.city, i+1)
+		out = append(out, hospital{name: name, zip: z})
+	}
+	return out
+}
+
+// streetsOf returns the street names used by patients of one zip area.
+// Streets are deliberately coarse (block-level, shared by several patients)
+// so the variable rule StreetAddress, City → Zip has small, meaningful
+// buckets; the per-zip block number keeps streets unique across zips, so
+// the ground truth satisfies the rule even where two zips share a city.
+func streetsOf(zi int) []string {
+	out := make([]string, 0, 6)
+	for k := 0; k < 6; k++ {
+		out = append(out, fmt.Sprintf("%d %s", 100*(zi+1), streetStems[(zi*5+k*3)%len(streetStems)]))
+	}
+	return out
+}
+
+// HospitalSchema is the attribute set of Dataset 1 (the paper's selected
+// patient attributes plus Source, the data-entry operator whose recurrent
+// mistakes the intro's example motivates).
+func HospitalSchema() *relation.Schema {
+	return relation.MustSchema("Visits", []string{
+		"PatientID", "Age", "Sex", "Classification", "Complaint",
+		"HospitalName", "StreetAddress", "City", "Zip", "State",
+		"VisitDate", "Source",
+	})
+}
+
+// strcityCities lists the cities carrying a φ5-style variable rule
+// (StreetAddress, City → Zip within that city). The paper's φ5 binds a
+// single city (Fort Wayne); a handful here keeps the rule contexts — and so
+// the rule weights wi = |D(φi)|/|D| — Figure-1-shaped.
+var strcityCities = []string{
+	"Fort Wayne", "Michigan City", "South Bend", "Indianapolis", "Westville", "New Haven",
+}
+
+// HospitalRules returns Σ for Dataset 1: one constant CFD Zip → City, State
+// per directory zip and per-city variable CFDs StreetAddress, City → Zip —
+// the Figure 1 rule shapes — plus one constant CFD HospitalName → City per
+// hospital (a hospital's visits carry its city). The last family is what
+// makes blindly chosen repairs risky, the paper's core motivation: "fixing"
+// the city of a tuple whose zip is actually wrong resolves the zip rule but
+// violates the hospital rule.
+func HospitalRules() []*cfd.CFD {
+	var b strings.Builder
+	for i, z := range zipDirectory {
+		fmt.Fprintf(&b, "zip%d: Zip -> City, State :: %s || %s, %s\n", i+1, z.zip, z.city, z.state)
+	}
+	for i, c := range strcityCities {
+		fmt.Fprintf(&b, "strcity%d: StreetAddress, City -> Zip :: _, %s || _\n", i+1, c)
+	}
+	for i, h := range hospitals() {
+		fmt.Fprintf(&b, "hosp%d: HospitalName -> City :: %s || %s\n", i+1, h.name, h.zip.city)
+	}
+	return cfd.MustParse(b.String())
+}
+
+// Hospital generates Dataset 1: n emergency-room visit records over 74
+// hospitals with zipf-skewed popularity (so update group sizes vary widely),
+// perturbed with source-correlated recurrent errors.
+func Hospital(cfg Config) *Data {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := HospitalSchema()
+	truth := relation.NewDB(schema)
+	hs := hospitals()
+
+	// Zipf-ish hospital popularity: weight 1/rank^0.9. The skew makes
+	// correction-group sizes vary widely, the Dataset 1 property the paper
+	// credits for Greedy/Random underperforming VOI.
+	weights := make([]float64, len(hs))
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 0.9)
+	}
+	zipIdx := make(map[string]int, len(zipDirectory))
+	for i, z := range zipDirectory {
+		zipIdx[z.zip] = i
+	}
+	sources := []string{"S1", "S2", "S3", "S4", "S5", "S6"}
+
+	for i := 0; i < cfg.N; i++ {
+		h := hs[weightedPick(rng, weights)]
+		streets := streetsOf(zipIdx[h.zip.zip])
+		sex := "M"
+		if rng.Intn(2) == 0 {
+			sex = "F"
+		}
+		t := relation.Tuple{
+			fmt.Sprintf("P%06d", i+1),
+			fmt.Sprintf("%d", 1+rng.Intn(99)),
+			sex,
+			classifications[rng.Intn(len(classifications))],
+			complaints[rng.Intn(len(complaints))],
+			h.name,
+			streets[rng.Intn(len(streets))],
+			h.zip.city,
+			h.zip.zip,
+			h.zip.state,
+			fmt.Sprintf("2010-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+			sources[rng.Intn(len(sources))],
+		}
+		truth.MustInsert(t)
+	}
+
+	dirty := truth.Clone()
+	perturbHospital(rng, dirty, cfg.DirtyRate)
+	return &Data{Name: "hospital", Truth: truth, Dirty: dirty, Rules: HospitalRules()}
+}
+
+// perturbHospital injects the paper's correlated recurrent mistakes: which
+// attribute a dirty tuple corrupts — and how — depends on its Source, so a
+// learner can associate (Source, values) with the right feedback. The
+// boundary-zip confusion of the paper's Dataset 1 discussion is modeled by
+// swapping a zip with an adjacent directory entry's.
+func perturbHospital(rng *rand.Rand, db *relation.DB, rate float64) {
+	cityIdx := db.Schema.MustIndex("City")
+	zipIdx := db.Schema.MustIndex("Zip")
+	streetIdx := db.Schema.MustIndex("StreetAddress")
+	stateIdx := db.Schema.MustIndex("State")
+	srcIdx := db.Schema.MustIndex("Source")
+
+	zipAt := make(map[string]int, len(zipDirectory))
+	cities := make([]string, len(zipDirectory))
+	for i, z := range zipDirectory {
+		zipAt[z.zip] = i
+		cities[i] = z.city
+	}
+	neighborZip := func(zip string) string {
+		i, ok := zipAt[zip]
+		if !ok {
+			return zip
+		}
+		j := (i + 1) % len(zipDirectory)
+		if rng.Intn(2) == 0 {
+			j = (i + len(zipDirectory) - 1) % len(zipDirectory)
+		}
+		return zipDirectory[j].zip
+	}
+
+	for tid := 0; tid < db.N(); tid++ {
+		if rng.Float64() >= rate {
+			continue
+		}
+		switch db.GetAt(tid, srcIdx) {
+		case "S1": // sloppy typist: city typos, zip correct
+			db.SetAt(tid, cityIdx, typo(rng, db.GetAt(tid, cityIdx)))
+		case "S2": // wrong-city picker: swaps city for another, zip correct
+			db.SetAt(tid, cityIdx, swapValue(rng, cities, db.GetAt(tid, cityIdx)))
+		case "S3": // boundary confusion: adjacent zip, city correct
+			db.SetAt(tid, zipIdx, neighborZip(db.GetAt(tid, zipIdx)))
+		case "S4": // street typos
+			db.SetAt(tid, streetIdx, typo(rng, db.GetAt(tid, streetIdx)))
+		case "S5": // state mangling
+			alts := []string{"Ind", "IN.", "IND", "Indiana"}
+			db.SetAt(tid, stateIdx, alts[rng.Intn(len(alts))])
+		default: // S6: no recurrent pattern — random attribute, random damage
+			switch rng.Intn(3) {
+			case 0:
+				db.SetAt(tid, cityIdx, typo(rng, db.GetAt(tid, cityIdx)))
+			case 1:
+				db.SetAt(tid, zipIdx, neighborZip(db.GetAt(tid, zipIdx)))
+			default:
+				db.SetAt(tid, streetIdx, typo(rng, db.GetAt(tid, streetIdx)))
+			}
+		}
+	}
+}

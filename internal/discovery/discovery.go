@@ -1,0 +1,221 @@
+// Package discovery implements automatic constant-CFD discovery in the
+// spirit of Fan et al.'s CFDMiner (reference [9] of the paper): it mines
+// rules (X → A, (x ‖ a)) whose LHS pattern has support above a threshold and
+// whose RHS value is (nearly) functionally determined within that context.
+// The paper uses this technique with a 5% support threshold to obtain the
+// quality rules for Dataset 2.
+//
+// Discovery runs on dirty data, so a confidence threshold below 1 tolerates
+// the errors the rules are later used to find.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// Options controls mining.
+type Options struct {
+	// MinSupport is the minimum fraction of tuples an LHS pattern must
+	// cover. Default 0.05 (the paper's Dataset 2 setting).
+	MinSupport float64
+	// MinConfidence is the minimum fraction of context tuples that must
+	// agree on the majority RHS value. Default 0.9.
+	MinConfidence float64
+	// MaxLHS bounds the LHS size (1 or 2). Default 1.
+	MaxLHS int
+	// MaxDomain excludes attributes with more distinct values than this
+	// from rule positions (identifiers, free text). Default 64.
+	MaxDomain int
+	// MaxRules caps the number of emitted rules, keeping the highest-support
+	// ones. Default 100.
+	MaxRules int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.05
+	}
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 0.9
+	}
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 1
+	}
+	if o.MaxLHS > 2 {
+		o.MaxLHS = 2
+	}
+	if o.MaxDomain <= 0 {
+		o.MaxDomain = 64
+	}
+	if o.MaxRules <= 0 {
+		o.MaxRules = 100
+	}
+	return o
+}
+
+type mined struct {
+	lhs     []string
+	lhsVals []string
+	rhs     string
+	rhsVal  string
+	support int
+}
+
+// ConstantCFDs mines constant CFDs from the instance.
+func ConstantCFDs(db *relation.DB, opt Options) []*cfd.CFD {
+	opt = opt.withDefaults()
+	n := db.N()
+	if n == 0 {
+		return nil
+	}
+	minSup := int(opt.MinSupport * float64(n))
+	if minSup < 1 {
+		minSup = 1
+	}
+
+	// Attributes eligible as rule positions: bounded domains only. Values
+	// seen once do not count toward the bound — dirty data is full of
+	// singleton typo variants, and what disqualifies an attribute is a
+	// large *genuine* domain (identifiers, free text).
+	var attrs []int
+	for ai, a := range db.Schema.Attrs {
+		repeated := 0
+		for _, v := range db.Domain(a) {
+			if db.ValueCount(a, v) >= 2 {
+				repeated++
+			}
+		}
+		if repeated <= opt.MaxDomain {
+			attrs = append(attrs, ai)
+		}
+	}
+
+	var out []mined
+	// Single-attribute LHS.
+	singleSup := make([]map[string]int, db.Schema.Arity())
+	for _, ai := range attrs {
+		singleSup[ai] = make(map[string]int)
+		for tid := 0; tid < n; tid++ {
+			singleSup[ai][db.GetAt(tid, ai)]++
+		}
+	}
+	for _, ai := range attrs {
+		for v, sup := range singleSup[ai] {
+			if sup < minSup {
+				continue
+			}
+			out = append(out, mineRHS(db, attrs, []int{ai}, []string{v}, sup, opt)...)
+		}
+	}
+	// Pair LHS, restricted to free sets (neither single side already has the
+	// same support, which would make the pair redundant).
+	if opt.MaxLHS >= 2 {
+		for i := 0; i < len(attrs); i++ {
+			for j := i + 1; j < len(attrs); j++ {
+				ai, aj := attrs[i], attrs[j]
+				pairSup := make(map[[2]string]int)
+				for tid := 0; tid < n; tid++ {
+					pairSup[[2]string{db.GetAt(tid, ai), db.GetAt(tid, aj)}]++
+				}
+				for pv, sup := range pairSup {
+					if sup < minSup {
+						continue
+					}
+					if singleSup[ai][pv[0]] == sup || singleSup[aj][pv[1]] == sup {
+						continue // not a free set
+					}
+					out = append(out, mineRHS(db, attrs, []int{ai, aj}, []string{pv[0], pv[1]}, sup, opt)...)
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].support != out[b].support {
+			return out[a].support > out[b].support
+		}
+		if out[a].rhs != out[b].rhs {
+			return out[a].rhs < out[b].rhs
+		}
+		if out[a].rhsVal != out[b].rhsVal {
+			return out[a].rhsVal < out[b].rhsVal
+		}
+		return fmt.Sprint(out[a].lhsVals) < fmt.Sprint(out[b].lhsVals)
+	})
+	if len(out) > opt.MaxRules {
+		out = out[:opt.MaxRules]
+	}
+
+	rules := make([]*cfd.CFD, 0, len(out))
+	for i, m := range out {
+		tp := make(map[string]string, len(m.lhs)+1)
+		for k, a := range m.lhs {
+			tp[a] = m.lhsVals[k]
+		}
+		tp[m.rhs] = m.rhsVal
+		rules = append(rules, cfd.MustNew(fmt.Sprintf("d%d", i+1), m.lhs, m.rhs, tp))
+	}
+	return rules
+}
+
+// mineRHS finds, for a fixed LHS pattern, every RHS attribute whose majority
+// value reaches the confidence threshold.
+func mineRHS(db *relation.DB, attrs []int, lhsIdx []int, lhsVals []string, sup int, opt Options) []mined {
+	n := db.N()
+	counts := make(map[int]map[string]int)
+	for _, ai := range attrs {
+		if !contains(lhsIdx, ai) {
+			counts[ai] = make(map[string]int)
+		}
+	}
+	for tid := 0; tid < n; tid++ {
+		match := true
+		for k, li := range lhsIdx {
+			if db.GetAt(tid, li) != lhsVals[k] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for ai, m := range counts {
+			m[db.GetAt(tid, ai)]++
+		}
+	}
+	var out []mined
+	for ai, m := range counts {
+		bestV, bestC := "", 0
+		for v, c := range m {
+			if c > bestC || (c == bestC && v < bestV) {
+				bestV, bestC = v, c
+			}
+		}
+		if bestC == 0 || float64(bestC)/float64(sup) < opt.MinConfidence {
+			continue
+		}
+		lhsNames := make([]string, len(lhsIdx))
+		for k, li := range lhsIdx {
+			lhsNames[k] = db.Schema.Attrs[li]
+		}
+		out = append(out, mined{
+			lhs: lhsNames, lhsVals: append([]string(nil), lhsVals...),
+			rhs: db.Schema.Attrs[ai], rhsVal: bestV, support: sup,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].rhs < out[b].rhs })
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

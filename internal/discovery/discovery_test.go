@@ -1,0 +1,136 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdr/internal/relation"
+)
+
+// build creates an instance where B is functionally determined by A for two
+// frequent A values, with a controlled error rate.
+func build(t *testing.T, n int, errRate float64) *relation.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := relation.MustSchema("R", []string{"A", "B", "C", "ID"})
+	db := relation.NewDB(s)
+	for i := 0; i < n; i++ {
+		a, b := "a1", "b1"
+		if rng.Intn(2) == 0 {
+			a, b = "a2", "b2"
+		}
+		if rng.Float64() < errRate {
+			b = "junk"
+		}
+		c := []string{"c1", "c2", "c3"}[rng.Intn(3)]
+		db.MustInsert(relation.Tuple{a, b, c, string(rune('A'+i%26)) + string(rune('0'+i/26))})
+	}
+	return db
+}
+
+func TestDiscoversCleanFunctionalPattern(t *testing.T) {
+	db := build(t, 400, 0)
+	rules := ConstantCFDs(db, Options{MinSupport: 0.05, MinConfidence: 0.95})
+	var found int
+	for _, r := range rules {
+		if len(r.LHS) == 1 && r.LHS[0] == "A" && r.RHS == "B" {
+			v := r.TP["A"]
+			if (v == "a1" && r.TP["B"] == "b1") || (v == "a2" && r.TP["B"] == "b2") {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d of 2 expected A→B rules; rules: %v", found, rules)
+	}
+	// C is random: no A→C rule should reach 95% confidence.
+	for _, r := range rules {
+		if r.RHS == "C" {
+			t.Fatalf("spurious rule discovered: %v", r)
+		}
+	}
+}
+
+func TestDiscoveryToleratesNoise(t *testing.T) {
+	db := build(t, 600, 0.08)
+	rules := ConstantCFDs(db, Options{MinSupport: 0.05, MinConfidence: 0.85})
+	found := false
+	for _, r := range rules {
+		if len(r.LHS) == 1 && r.LHS[0] == "A" && r.RHS == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pattern lost under 8%% noise; rules: %v", rules)
+	}
+}
+
+func TestHighCardinalityAttrsExcluded(t *testing.T) {
+	db := build(t, 300, 0)
+	rules := ConstantCFDs(db, Options{MinSupport: 0.05, MaxDomain: 10})
+	for _, r := range rules {
+		for _, a := range r.Attrs() {
+			if a == "ID" {
+				t.Fatalf("identifier attribute leaked into rule %v", r)
+			}
+		}
+	}
+}
+
+func TestMaxRulesCap(t *testing.T) {
+	db := build(t, 300, 0)
+	rules := ConstantCFDs(db, Options{MinSupport: 0.05, MaxRules: 1})
+	if len(rules) != 1 {
+		t.Fatalf("cap ignored: %d rules", len(rules))
+	}
+}
+
+func TestPairLHSFreeSetPruning(t *testing.T) {
+	// D is determined by the pair (A,B) jointly but not by either alone;
+	// the pair must be mined. Conversely (A=a1, B=b1) pairs where A alone
+	// has the same support must be pruned.
+	rng := rand.New(rand.NewSource(2))
+	s := relation.MustSchema("R", []string{"A", "B", "D"})
+	db := relation.NewDB(s)
+	for i := 0; i < 400; i++ {
+		a := []string{"x", "y"}[rng.Intn(2)]
+		b := []string{"u", "v"}[rng.Intn(2)]
+		d := "d1"
+		if a == "x" && b == "u" {
+			d = "d2"
+		}
+		db.MustInsert(relation.Tuple{a, b, d})
+	}
+	rules := ConstantCFDs(db, Options{MinSupport: 0.05, MinConfidence: 0.99, MaxLHS: 2})
+	found := false
+	for _, r := range rules {
+		if len(r.LHS) == 2 && r.RHS == "D" && r.TP["D"] == "d2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pair rule (A=x,B=u)→D=d2 not discovered; rules: %v", rules)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	s := relation.MustSchema("R", []string{"A"})
+	db := relation.NewDB(s)
+	if rules := ConstantCFDs(db, Options{}); rules != nil {
+		t.Fatalf("empty instance yielded rules: %v", rules)
+	}
+}
+
+func TestDiscoveryDeterminism(t *testing.T) {
+	db := build(t, 500, 0.05)
+	r1 := ConstantCFDs(db, Options{MinSupport: 0.05, MaxLHS: 2})
+	r2 := ConstantCFDs(db, Options{MinSupport: 0.05, MaxLHS: 2})
+	if len(r1) != len(r2) {
+		t.Fatalf("rule counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].String() != r2[i].String() {
+			t.Fatalf("rule %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}

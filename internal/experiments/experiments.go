@@ -1,0 +1,293 @@
+// Package experiments regenerates the paper's evaluation (Section 5 and
+// Appendix B.1): Figure 3 (VOI ranking vs Greedy vs Random), Figure 4
+// (GDR and its ablations vs the automatic heuristic) and Figure 5
+// (precision/recall vs user effort), on both experimental datasets. Each
+// figure is returned as labeled series and can be rendered as an aligned
+// text table whose rows mirror the paper's plotted curves.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"gdr/internal/core"
+	"gdr/internal/dataset"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure bundles the reproduced series of one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Config parameterizes a reproduction run.
+type Config struct {
+	// N is the dataset size (default 20000, the paper's scale).
+	N int
+	// Seed drives data generation and all strategy randomness.
+	Seed int64
+	// DirtyRate is the perturbed-tuple fraction (default 0.3).
+	DirtyRate float64
+	// BudgetFractions are the feedback budgets of Figures 4 and 5, as
+	// fractions of the initial dirty-tuple count E.
+	// Default {0.05, 0.1, 0.2, ..., 1.0}.
+	BudgetFractions []float64
+	// Session tunes the underlying GDR sessions.
+	Session core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.DirtyRate <= 0 {
+		c.DirtyRate = 0.3
+	}
+	if len(c.BudgetFractions) == 0 {
+		c.BudgetFractions = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	return c
+}
+
+// Dataset materializes the paper's Dataset 1 (hospital) or 2 (census).
+func Dataset(id int, cfg Config) (*dataset.Data, error) {
+	cfg = cfg.withDefaults()
+	dc := dataset.Config{N: cfg.N, Seed: cfg.Seed, DirtyRate: cfg.DirtyRate}
+	switch id {
+	case 1:
+		return dataset.Hospital(dc), nil
+	case 2:
+		return dataset.Census(dc), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %d (want 1 or 2)", id)
+	}
+}
+
+// Figure3 reproduces Figure 3: the quality trajectory of the learning-free
+// ranking strategies (GDR-NoLearning, Greedy, Random) as user feedback
+// accumulates. Feedback is reported, as in the paper, as a percentage of
+// each approach's own total verified updates; every strategy runs to
+// convergence.
+func Figure3(d *dataset.Data, cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := Figure{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Figure 3 (%s): VOI-based ranking vs naive strategies", d.Name),
+		XLabel: "feedback (% of updates verified by the approach)",
+		YLabel: "% quality improvement",
+	}
+	for _, st := range []core.Strategy{core.StrategyGDRNoLearning, core.StrategyGreedy, core.StrategyRandom} {
+		res, err := core.Run(st, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+			Session:     cfg.Session,
+			RecordEvery: recordStep(cfg.N),
+			Seed:        cfg.Seed + 1,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, normalizeTrajectory(string(st), res))
+	}
+	return fig, nil
+}
+
+// Figure4 reproduces Figure 4: final quality improvement per feedback
+// budget (as % of the initial dirty count E) for GDR, GDR-S-Learning,
+// Active-Learning and GDR-NoLearning, plus the constant Automatic-Heuristic
+// line. Each budget point is an independent run from the initial instance.
+func Figure4(d *dataset.Data, cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := Figure{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Figure 4 (%s): overall evaluation of GDR", d.Name),
+		XLabel: "feedback (% of initial dirty tuples E)",
+		YLabel: "% quality improvement",
+	}
+	e, err := initialDirty(d, cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	strategies := []core.Strategy{
+		core.StrategyGDR, core.StrategyGDRSLearning,
+		core.StrategyActiveLearning, core.StrategyGDRNoLearning,
+	}
+	for _, st := range strategies {
+		s := Series{Name: string(st)}
+		for _, frac := range cfg.BudgetFractions {
+			budget := int(math.Ceil(frac * float64(e)))
+			res, err := core.Run(st, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+				Session:     cfg.Session,
+				Budget:      budget,
+				RecordEvery: 1 << 30, // only the final point matters
+				Seed:        cfg.Seed + 1,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points = append(s.Points, Point{X: 100 * frac, Y: res.FinalImprovement})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	heur, err := core.Run(core.StrategyHeuristic, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+		Session: cfg.Session, RecordEvery: 1 << 30, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	hs := Series{Name: string(core.StrategyHeuristic)}
+	for _, frac := range cfg.BudgetFractions {
+		hs.Points = append(hs.Points, Point{X: 100 * frac, Y: heur.FinalImprovement})
+	}
+	fig.Series = append(fig.Series, hs)
+	return fig, nil
+}
+
+// Figure5 reproduces Figure 5: repair precision and recall of GDR as the
+// affordable user effort F grows (reported as % of the initial dirty count).
+func Figure5(d *dataset.Data, cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := Figure{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Figure 5 (%s): accuracy vs user effort", d.Name),
+		XLabel: "feedback (% of initial dirty tuples E)",
+		YLabel: "precision / recall",
+	}
+	e, err := initialDirty(d, cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	prec := Series{Name: "Precision"}
+	rec := Series{Name: "Recall"}
+	for _, frac := range cfg.BudgetFractions {
+		budget := int(math.Ceil(frac * float64(e)))
+		res, err := core.Run(core.StrategyGDR, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+			Session:     cfg.Session,
+			Budget:      budget,
+			RecordEvery: 1 << 30,
+			Seed:        cfg.Seed + 1,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		prec.Points = append(prec.Points, Point{X: 100 * frac, Y: res.Precision})
+		rec.Points = append(rec.Points, Point{X: 100 * frac, Y: res.Recall})
+	}
+	fig.Series = append(fig.Series, prec, rec)
+	return fig, nil
+}
+
+// initialDirty counts E on a throwaway session (cheap relative to runs).
+func initialDirty(d *dataset.Data, cfg Config) (int, error) {
+	res, err := core.Run(core.StrategyGDRNoLearning, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+		Session: cfg.Session, Budget: 1, RecordEvery: 1 << 30,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.InitialDirty, nil
+}
+
+// normalizeTrajectory converts a run's (verified, improvement) samples to
+// the paper's Figure 3 x-axis: percent of the approach's total feedback,
+// resampled on a fixed 0..100 grid with step interpolation.
+func normalizeTrajectory(name string, res *core.Result) Series {
+	s := Series{Name: name}
+	total := res.Verified
+	if total == 0 {
+		s.Points = append(s.Points, Point{X: 0, Y: res.FinalImprovement})
+		return s
+	}
+	for x := 0; x <= 100; x += 5 {
+		cut := float64(x) / 100 * float64(total)
+		y := 0.0
+		for _, p := range res.Points {
+			if float64(p.Verified) <= cut {
+				y = p.Improvement
+			} else {
+				break
+			}
+		}
+		s.Points = append(s.Points, Point{X: float64(x), Y: y})
+	}
+	return s
+}
+
+// recordStep samples trajectories densely enough for the normalized grid
+// without recording every single feedback on large instances.
+func recordStep(n int) int {
+	step := n / 2000
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// Render writes the figure as an aligned text table: one row per x value,
+// one column per series — the same rows the paper plots.
+func (f Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "x = %s, y = %s\n\n", f.XLabel, f.YLabel)
+
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	header := []string{"x"}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(pad(header), "  "))
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%.0f", x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.2f", p.Y)
+				}
+			}
+			row = append(row, cell)
+		}
+		fmt.Fprintln(w, strings.Join(pad(row), "  "))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// pad right-pads cells to a common width per column position.
+func pad(cells []string) []string {
+	const width = 16
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if len(c) < width {
+			c = c + strings.Repeat(" ", width-len(c))
+		}
+		out[i] = c
+	}
+	return out
+}

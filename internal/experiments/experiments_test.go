@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{
+		N:               700,
+		Seed:            42,
+		BudgetFractions: []float64{0.1, 0.3, 0.6},
+	}
+}
+
+func TestDatasetSelection(t *testing.T) {
+	cfg := smallCfg()
+	d1, err := Dataset(1, cfg)
+	if err != nil || d1.Name != "hospital" {
+		t.Fatalf("dataset 1: %v %v", d1, err)
+	}
+	d2, err := Dataset(2, cfg)
+	if err != nil || d2.Name != "census" {
+		t.Fatalf("dataset 2: %v %v", d2, err)
+	}
+	if _, err := Dataset(3, cfg); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	cfg := smallCfg()
+	d, err := Dataset(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Figure3(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("got %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 21 {
+			t.Fatalf("series %s has %d points, want 21", s.Name, len(s.Points))
+		}
+		// Trajectories are non-decreasing (confirms only ever reduce loss;
+		// retained/rejected feedback leaves it unchanged).
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y-1e-9 {
+				t.Fatalf("series %s not monotone at %v", s.Name, s.Points[i])
+			}
+		}
+		// Full verification converges to (near-)perfect quality.
+		final := s.Points[len(s.Points)-1].Y
+		if final < 90 {
+			t.Fatalf("series %s final improvement %.1f, want ≥ 90", s.Name, final)
+		}
+	}
+	// The headline claim: VOI ranking dominates Random in the first half of
+	// the feedback range (area under curve).
+	voi, rnd := fig.Series[0], fig.Series[2]
+	var aVOI, aRnd float64
+	for i := 0; i <= 10; i++ {
+		aVOI += voi.Points[i].Y
+		aRnd += rnd.Points[i].Y
+	}
+	if aVOI <= aRnd {
+		t.Fatalf("VOI early area %.1f not above Random %.1f", aVOI, aRnd)
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	cfg := smallCfg()
+	d, err := Dataset(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Figure4(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("got %d series", len(fig.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+		if len(s.Points) != len(cfg.BudgetFractions) {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+	}
+	// The heuristic line is constant.
+	h := byName["Heuristic"]
+	for _, p := range h.Points {
+		if p.Y != h.Points[0].Y {
+			t.Fatal("heuristic series not constant")
+		}
+	}
+	// GDR at the largest budget beats the automatic heuristic.
+	gdr := byName["GDR"]
+	if gdr.Points[len(gdr.Points)-1].Y <= h.Points[0].Y {
+		t.Fatalf("GDR (%.1f) does not beat Heuristic (%.1f) at full budget",
+			gdr.Points[len(gdr.Points)-1].Y, h.Points[0].Y)
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	cfg := smallCfg()
+	d, err := Dataset(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Figure5(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || fig.Series[0].Name != "Precision" || fig.Series[1].Name != "Recall" {
+		t.Fatalf("series: %v", fig.Series)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("%s out of range: %v", s.Name, p)
+			}
+		}
+	}
+	// Recall grows with effort.
+	rec := fig.Series[1].Points
+	if rec[len(rec)-1].Y <= rec[0].Y {
+		t.Fatalf("recall does not grow with effort: %v .. %v", rec[0], rec[len(rec)-1])
+	}
+}
+
+func TestRender(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "A", Points: []Point{{0, 1}, {10, 2}}},
+			{Name: "B", Points: []Point{{0, 3}, {10, 4}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "A", "B", "1.00", "4.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package group implements GDR's update grouping (Section 3 of the paper):
+// suggested updates that set the same attribute to the same value are
+// presented together, so the user can batch-inspect contextually related
+// repairs (e.g. "all tuples whose CT should become 'Michigan City'") and the
+// learner receives correlated training examples.
+package group
+
+import (
+	"fmt"
+	"sort"
+
+	"gdr/internal/repair"
+)
+
+// Key identifies a group: the attribute being repaired and the suggested
+// value shared by every update in the group.
+type Key struct {
+	Attr  string
+	Value string
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s := %q", k.Attr, k.Value) }
+
+// Group is a set of suggested updates sharing a Key, plus the VOI benefit
+// score E[g(c)] the ranker assigns to it.
+type Group struct {
+	Key     Key
+	Updates []repair.Update
+	Benefit float64
+}
+
+// Size returns the number of updates in the group.
+func (g *Group) Size() int { return len(g.Updates) }
+
+// Partition groups updates by (attribute, suggested value). The result is
+// deterministic: groups are ordered by key and updates within a group by
+// tuple id.
+func Partition(ups []repair.Update) []*Group {
+	byKey := make(map[Key]*Group)
+	for _, u := range ups {
+		k := Key{Attr: u.Attr, Value: u.Value}
+		g := byKey[k]
+		if g == nil {
+			g = &Group{Key: k}
+			byKey[k] = g
+		}
+		g.Updates = append(g.Updates, u)
+	}
+	out := make([]*Group, 0, len(byKey))
+	for _, g := range byKey {
+		sort.Slice(g.Updates, func(i, j int) bool {
+			if g.Updates[i].Tid != g.Updates[j].Tid {
+				return g.Updates[i].Tid < g.Updates[j].Tid
+			}
+			return g.Updates[i].Attr < g.Updates[j].Attr
+		})
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].Key, out[j].Key) })
+	return out
+}
+
+// SortByBenefit orders groups by descending benefit, breaking ties by size
+// (larger first) and then key, so ranking is deterministic.
+func SortByBenefit(gs []*Group) {
+	sort.SliceStable(gs, func(i, j int) bool {
+		if gs[i].Benefit != gs[j].Benefit {
+			return gs[i].Benefit > gs[j].Benefit
+		}
+		if gs[i].Size() != gs[j].Size() {
+			return gs[i].Size() > gs[j].Size()
+		}
+		return less(gs[i].Key, gs[j].Key)
+	})
+}
+
+// SortBySize orders groups by descending size (the Greedy baseline of
+// Section 5.1), breaking ties by key.
+func SortBySize(gs []*Group) {
+	sort.SliceStable(gs, func(i, j int) bool {
+		if gs[i].Size() != gs[j].Size() {
+			return gs[i].Size() > gs[j].Size()
+		}
+		return less(gs[i].Key, gs[j].Key)
+	})
+}
+
+func less(a, b Key) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.Value < b.Value
+}

@@ -1,0 +1,100 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdr/internal/repair"
+)
+
+func ups() []repair.Update {
+	return []repair.Update{
+		{Tid: 3, Attr: "CT", Value: "Michigan City", Score: 0.5},
+		{Tid: 1, Attr: "CT", Value: "Michigan City", Score: 0.9},
+		{Tid: 2, Attr: "ZIP", Value: "46825", Score: 0.4},
+		{Tid: 2, Attr: "CT", Value: "Michigan City", Score: 0.6},
+		{Tid: 5, Attr: "ZIP", Value: "46825", Score: 0.4},
+		{Tid: 9, Attr: "ZIP", Value: "46391", Score: 0.7},
+	}
+}
+
+func TestPartition(t *testing.T) {
+	gs := Partition(ups())
+	if len(gs) != 3 {
+		t.Fatalf("got %d groups, want 3", len(gs))
+	}
+	// Deterministic order: by attr then value.
+	if gs[0].Key != (Key{"CT", "Michigan City"}) ||
+		gs[1].Key != (Key{"ZIP", "46391"}) ||
+		gs[2].Key != (Key{"ZIP", "46825"}) {
+		t.Fatalf("group order: %v %v %v", gs[0].Key, gs[1].Key, gs[2].Key)
+	}
+	ct := gs[0]
+	if ct.Size() != 3 {
+		t.Fatalf("CT group size = %d", ct.Size())
+	}
+	// Updates sorted by tid.
+	if ct.Updates[0].Tid != 1 || ct.Updates[1].Tid != 2 || ct.Updates[2].Tid != 3 {
+		t.Fatalf("CT group update order: %v", ct.Updates)
+	}
+}
+
+func TestPartitionIsAPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	attrs := []string{"A", "B", "C"}
+	vals := []string{"x", "y", "z"}
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(50)
+		in := make([]repair.Update, n)
+		for i := range in {
+			in[i] = repair.Update{Tid: r.Intn(20), Attr: attrs[r.Intn(3)], Value: vals[r.Intn(3)]}
+		}
+		gs := Partition(in)
+		total := 0
+		for _, g := range gs {
+			total += g.Size()
+			for _, u := range g.Updates {
+				if u.Attr != g.Key.Attr || u.Value != g.Key.Value {
+					t.Fatalf("update %v in group %v", u, g.Key)
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("groups cover %d updates, want %d", total, n)
+		}
+	}
+}
+
+func TestSortByBenefit(t *testing.T) {
+	gs := Partition(ups())
+	gs[0].Benefit = 0.1
+	gs[1].Benefit = 2.0
+	gs[2].Benefit = 0.1
+	SortByBenefit(gs)
+	if gs[0].Key != (Key{"ZIP", "46391"}) {
+		t.Fatalf("top group = %v", gs[0].Key)
+	}
+	// Tie at 0.1: larger group first (CT has 3 updates, ZIP/46825 has 2).
+	if gs[1].Key != (Key{"CT", "Michigan City"}) {
+		t.Fatalf("second group = %v", gs[1].Key)
+	}
+}
+
+func TestSortBySize(t *testing.T) {
+	gs := Partition(ups())
+	SortBySize(gs)
+	if gs[0].Key != (Key{"CT", "Michigan City"}) || gs[0].Size() != 3 {
+		t.Fatalf("largest group = %v (%d)", gs[0].Key, gs[0].Size())
+	}
+	// Size tie between the two singleton/two-element ZIP groups resolved by key.
+	if gs[1].Key != (Key{"ZIP", "46825"}) {
+		t.Fatalf("second group = %v", gs[1].Key)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Attr: "CT", Value: "Michigan City"}
+	if k.String() != `CT := "Michigan City"` {
+		t.Fatalf("Key.String = %q", k.String())
+	}
+}

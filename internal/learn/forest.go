@@ -1,0 +1,204 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config controls forest training. The zero value is usable: it is filled
+// with the paper's defaults (k = 10 trees, bootstrap fraction 0.7 so that
+// N′ < N, M′ = ⌈√M⌉ features per split).
+type Config struct {
+	// K is the committee size (number of trees). Default 10.
+	K int
+	// MaxDepth bounds tree depth. Default 12.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples required to split. Default 1.
+	MinLeaf int
+	// SampleFrac is N′/N for bootstrap sampling (with replacement). Default 0.7.
+	SampleFrac float64
+	// Mtry is the number of features considered per split; 0 means ⌈√M⌉.
+	Mtry int
+	// Unbalanced disables the class-balanced bootstrap. By default each
+	// tree's sample draws equally from every label present: active-learning
+	// feedback is heavily skewed toward reject/retain (uncertain updates
+	// are disproportionately the wrong ones), and an unbalanced committee
+	// grows too shy to confirm anything.
+	Unbalanced bool
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
+		c.SampleFrac = 0.7
+	}
+	return c
+}
+
+// Votes is the committee's vote distribution over the three labels; entries
+// sum to 1 for a trained forest.
+type Votes [NumLabels]float64
+
+// Top returns the majority label (ties break toward the smaller label index,
+// i.e. confirm before reject before retain).
+func (v Votes) Top() Label {
+	best := Confirm
+	for l := Label(1); l < NumLabels; l++ {
+		if v[l] > v[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// Uncertainty quantifies committee disagreement as the entropy of the vote
+// fractions with logarithm base 3 (the paper's example: votes {3,1,1}/5 give
+// 0.86 and {1,4,0}/5 give 0.45). It ranges over [0, 1].
+func (v Votes) Uncertainty() float64 {
+	h := 0.0
+	for _, p := range v {
+		if p <= 0 {
+			continue
+		}
+		h -= p * math.Log(p) / math.Log(NumLabels)
+	}
+	return h
+}
+
+// Forest is a trained random-forest committee.
+type Forest struct {
+	trees []*node
+	nCats int
+}
+
+// Train grows a random forest over the examples. All examples must share the
+// same categorical arity. Training with no examples returns nil.
+func Train(examples []Example, cfg Config) *Forest {
+	if len(examples) == 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	nCats := len(examples[0].Cats)
+	mtry := cfg.Mtry
+	if mtry <= 0 {
+		mtry = int(math.Ceil(math.Sqrt(float64(nCats + 1))))
+	}
+	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, mtry: mtry, nCats: nCats}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nSample := int(math.Ceil(cfg.SampleFrac * float64(len(examples))))
+	if nSample < 1 {
+		nSample = 1
+	}
+	var byLabel [NumLabels][]int
+	for i, ex := range examples {
+		byLabel[ex.Label] = append(byLabel[ex.Label], i)
+	}
+	var classes [][]int
+	for _, idxs := range byLabel {
+		if len(idxs) > 0 {
+			classes = append(classes, idxs)
+		}
+	}
+	f := &Forest{nCats: nCats}
+	for k := 0; k < cfg.K; k++ {
+		idx := make([]int, nSample)
+		if cfg.Unbalanced || len(classes) < 2 {
+			for i := range idx {
+				idx[i] = rng.Intn(len(examples))
+			}
+		} else {
+			for i := range idx {
+				class := classes[i%len(classes)]
+				idx[i] = class[rng.Intn(len(class))]
+			}
+		}
+		f.trees = append(f.trees, buildTree(examples, idx, tc, rng, 0))
+	}
+	return f
+}
+
+// Predict classifies a feature vector: each committee member votes and the
+// majority label wins. It panics if cats does not match the training arity.
+func (f *Forest) Predict(cats []string, sim float64) (Label, Votes) {
+	if len(cats) != f.nCats {
+		panic("learn: feature arity mismatch")
+	}
+	var v Votes
+	for _, t := range f.trees {
+		v[t.classify(cats, sim)] += 1
+	}
+	for i := range v {
+		v[i] /= float64(len(f.trees))
+	}
+	return v.Top(), v
+}
+
+// K returns the committee size.
+func (f *Forest) K() int { return len(f.trees) }
+
+// Model is the per-attribute learner M_Ai of Section 4.2: it accumulates
+// training examples from user feedback and retrains its forest lazily.
+type Model struct {
+	cfg      Config
+	minTrain int
+	examples []Example
+	forest   *Forest
+	stale    bool
+	retrains int64
+}
+
+// NewModel creates an empty model; minTrain is the minimum number of labeled
+// examples before the model makes predictions (values < 1 default to 3).
+func NewModel(cfg Config, minTrain int) *Model {
+	if minTrain < 1 {
+		minTrain = 3
+	}
+	return &Model{cfg: cfg, minTrain: minTrain, stale: true}
+}
+
+// Add appends a training example (the user's feedback on one update).
+func (m *Model) Add(ex Example) {
+	ex.Cats = append([]string(nil), ex.Cats...)
+	m.examples = append(m.examples, ex)
+	m.stale = true
+}
+
+// Len returns the number of accumulated training examples.
+func (m *Model) Len() int { return len(m.examples) }
+
+// Gen returns a counter that changes whenever the model's training set
+// (and therefore its predictions) may have changed; caches key on it.
+func (m *Model) Gen() int64 { return int64(len(m.examples)) }
+
+// Ready reports whether the model has enough feedback to predict.
+func (m *Model) Ready() bool { return len(m.examples) >= m.minTrain }
+
+// Predict classifies a feature vector, retraining first if new examples
+// arrived. ok is false while the model is not Ready; callers should treat
+// such updates as maximally uncertain.
+func (m *Model) Predict(cats []string, sim float64) (label Label, votes Votes, ok bool) {
+	if !m.Ready() {
+		return Confirm, Votes{}, false
+	}
+	if m.stale || m.forest == nil {
+		m.retrains++
+		cfg := m.cfg
+		// Vary the training seed across retrains (deterministically) so the
+		// committee is re-drawn as the training set evolves.
+		cfg.Seed = cfg.Seed*31 + int64(len(m.examples)) + m.retrains
+		m.forest = Train(m.examples, cfg)
+		m.stale = false
+	}
+	label, votes = m.forest.Predict(cats, sim)
+	return label, votes, true
+}

@@ -1,0 +1,283 @@
+// Package learn is GDR's machine-learning substrate (Section 4.2 of the
+// paper): a from-scratch random forest — an ensemble of decision trees acting
+// as a committee of classifiers — used to predict user feedback
+// (confirm / reject / retain) for suggested updates, plus the
+// committee-entropy uncertainty score that drives active-learning ordering.
+//
+// The paper used WEKA's RandomForest with k = 10 trees; this package
+// re-implements the same scheme on the stdlib: bootstrap samples of size
+// N′ < N per tree and a random subsample of M′ < M features considered at
+// each split (M′ = ⌈√M⌉), with information-gain split selection.
+//
+// Feature vectors mirror the paper's data representation for a suggested
+// update r = ⟨t, Ai, v, s⟩: the original attribute values t[A1..An] and the
+// suggested value v are categorical features, and the relationship function
+// R(t[Ai], v) (a string similarity) is a numeric feature.
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Label is the class predicted for a suggested update; it mirrors the
+// expected user feedback.
+type Label int
+
+// The three feedback classes of Section 4.2.
+const (
+	Confirm Label = iota
+	Reject
+	Retain
+)
+
+// NumLabels is the size of the label alphabet.
+const NumLabels = 3
+
+func (l Label) String() string {
+	switch l {
+	case Confirm:
+		return "confirm"
+	case Reject:
+		return "reject"
+	case Retain:
+		return "retain"
+	default:
+		return "unknown"
+	}
+}
+
+// Example is one training instance ⟨t[A1],…,t[An], v, R(t[Ai],v), F⟩.
+type Example struct {
+	// Cats holds the categorical features: the original tuple's attribute
+	// values followed by the suggested value. Its length must be identical
+	// across all examples given to one model.
+	Cats []string
+	// Sim is the numeric relationship feature R(t[Ai], v).
+	Sim float64
+	// Label is the observed user feedback.
+	Label Label
+}
+
+// node is one decision-tree node. A leaf predicts its majority label;
+// internal nodes split on either a categorical feature (children by value)
+// or the numeric similarity feature (threshold).
+type node struct {
+	majority Label
+
+	leaf bool
+
+	// Categorical split: catFeat >= 0 and children indexed by value.
+	catFeat  int
+	children map[string]*node
+
+	// Numeric split: catFeat == -1; Sim <= thresh goes left.
+	thresh float64
+	left   *node
+	right  *node
+}
+
+// treeConfig bundles the per-tree growth limits.
+type treeConfig struct {
+	maxDepth int
+	minLeaf  int
+	mtry     int
+	nCats    int // number of categorical features; the numeric feature has index nCats
+}
+
+func countLabels(exs []Example, idx []int) [NumLabels]int {
+	var c [NumLabels]int
+	for _, i := range idx {
+		c[exs[i].Label]++
+	}
+	return c
+}
+
+func majorityOf(c [NumLabels]int) Label {
+	best := Confirm
+	for l := Label(1); l < NumLabels; l++ {
+		if c[l] > c[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// entropy returns the Shannon entropy (nats) of a label distribution.
+func entropy(c [NumLabels]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, k := range c {
+		if k == 0 {
+			continue
+		}
+		p := float64(k) / float64(n)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// buildTree grows one decision tree over exs[idx] with random feature
+// subsampling at each split.
+func buildTree(exs []Example, idx []int, cfg treeConfig, rng *rand.Rand, depth int) *node {
+	counts := countLabels(exs, idx)
+	n := &node{majority: majorityOf(counts), catFeat: -1}
+	total := len(idx)
+	if total == 0 {
+		n.leaf = true
+		return n
+	}
+	pure := false
+	for _, k := range counts {
+		if k == total {
+			pure = true
+		}
+	}
+	if pure || depth >= cfg.maxDepth || total < 2*cfg.minLeaf {
+		n.leaf = true
+		return n
+	}
+
+	parentH := entropy(counts, total)
+	nFeats := cfg.nCats + 1
+	feats := rng.Perm(nFeats)
+	if len(feats) > cfg.mtry {
+		feats = feats[:cfg.mtry]
+	}
+
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+	var bestParts map[string][]int
+	var bestLeft, bestRight []int
+
+	for _, f := range feats {
+		if f < cfg.nCats {
+			parts := make(map[string][]int)
+			for _, i := range idx {
+				v := exs[i].Cats[f]
+				parts[v] = append(parts[v], i)
+			}
+			if len(parts) < 2 {
+				continue
+			}
+			childH := 0.0
+			for _, part := range parts {
+				childH += float64(len(part)) / float64(total) * entropy(countLabels(exs, part), len(part))
+			}
+			if gain := parentH - childH; gain > bestGain+1e-12 {
+				bestGain, bestFeat, bestParts = gain, f, parts
+			}
+			continue
+		}
+		// Numeric feature: try quantile thresholds over distinct sims.
+		sims := make([]float64, 0, total)
+		for _, i := range idx {
+			sims = append(sims, exs[i].Sim)
+		}
+		sort.Float64s(sims)
+		for _, th := range thresholds(sims) {
+			var lc, rc [NumLabels]int
+			ln, rn := 0, 0
+			for _, i := range idx {
+				if exs[i].Sim <= th {
+					lc[exs[i].Label]++
+					ln++
+				} else {
+					rc[exs[i].Label]++
+					rn++
+				}
+			}
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			childH := float64(ln)/float64(total)*entropy(lc, ln) + float64(rn)/float64(total)*entropy(rc, rn)
+			if gain := parentH - childH; gain > bestGain+1e-12 {
+				bestGain, bestFeat, bestThresh = gain, f, th
+				bestParts = nil
+			}
+		}
+	}
+
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		n.leaf = true
+		return n
+	}
+	if bestParts != nil {
+		n.catFeat = bestFeat
+		n.children = make(map[string]*node, len(bestParts))
+		// Recurse over children in sorted key order so the shared RNG is
+		// consumed identically across runs: training stays deterministic.
+		keys := make([]string, 0, len(bestParts))
+		for v := range bestParts {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+		for _, v := range keys {
+			n.children[v] = buildTree(exs, bestParts[v], cfg, rng, depth+1)
+		}
+		return n
+	}
+	// Numeric split.
+	n.thresh = bestThresh
+	for _, i := range idx {
+		if exs[i].Sim <= bestThresh {
+			bestLeft = append(bestLeft, i)
+		} else {
+			bestRight = append(bestRight, i)
+		}
+	}
+	n.left = buildTree(exs, bestLeft, cfg, rng, depth+1)
+	n.right = buildTree(exs, bestRight, cfg, rng, depth+1)
+	return n
+}
+
+// thresholds picks up to 8 candidate split points (midpoints between
+// adjacent distinct values) from a sorted slice.
+func thresholds(sorted []float64) []float64 {
+	var uniq []float64
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	var mids []float64
+	for i := 1; i < len(uniq); i++ {
+		mids = append(mids, (uniq[i-1]+uniq[i])/2)
+	}
+	if len(mids) <= 8 {
+		return mids
+	}
+	out := make([]float64, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, mids[i*len(mids)/8])
+	}
+	return out
+}
+
+// classify walks the tree; unseen categorical values fall back to the
+// current node's majority label.
+func (n *node) classify(cats []string, sim float64) Label {
+	for !n.leaf {
+		if n.catFeat >= 0 {
+			child, ok := n.children[cats[n.catFeat]]
+			if !ok {
+				return n.majority
+			}
+			n = child
+			continue
+		}
+		if sim <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.majority
+}

@@ -1,0 +1,240 @@
+// Package md implements Matching Dependencies — the second rule type the
+// paper's future work names (Fan, "Dependencies revisited for improving data
+// quality", PODS 2008). An MD
+//
+//	R[A ≈δ A] → R[B ⇌ B]
+//
+// states that whenever two tuples agree *approximately* on A (similarity at
+// least δ), their B values must be identified (made equal). MDs catch the
+// duplicate-entity inconsistencies exact-match CFDs cannot: two records for
+// the same street spelled slightly differently must carry the same zip.
+//
+// The checker uses q-gram blocking to avoid the quadratic similarity join,
+// reports violating pairs, and suggests the standard MD repair: identify the
+// mismatching values, preferring the value carried by the larger fraction of
+// the block (the matching counterpart of minimal change).
+package md
+
+import (
+	"fmt"
+	"sort"
+
+	"gdr/internal/relation"
+	"gdr/internal/strsim"
+)
+
+// MD is one matching dependency over a single relation: tuples similar on
+// SimAttr (≥ Threshold) must agree on MatchAttr.
+type MD struct {
+	// ID names the rule.
+	ID string
+	// SimAttr is the approximately-compared attribute A.
+	SimAttr string
+	// Threshold δ ∈ (0, 1]: pairs with sim(A, A') ≥ δ are matches.
+	Threshold float64
+	// MatchAttr is the attribute B whose values must be identified.
+	MatchAttr string
+}
+
+// New validates and builds an MD.
+func New(id, simAttr string, threshold float64, matchAttr string) (*MD, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("md %s: threshold %v outside (0,1]", id, threshold)
+	}
+	if simAttr == matchAttr {
+		return nil, fmt.Errorf("md %s: compared and identified attributes must differ", id)
+	}
+	return &MD{ID: id, SimAttr: simAttr, Threshold: threshold, MatchAttr: matchAttr}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(id, simAttr string, threshold float64, matchAttr string) *MD {
+	m, err := New(id, simAttr, threshold, matchAttr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *MD) String() string {
+	return fmt.Sprintf("%s: [%s ≈%.2f] -> [%s ⇌]", m.ID, m.SimAttr, m.Threshold, m.MatchAttr)
+}
+
+// Violation is one matching pair with diverging identified values; T1 < T2.
+type Violation struct {
+	Rule       int
+	T1, T2     int
+	Similarity float64
+}
+
+// Suggestion proposes identifying a tuple's MatchAttr with its match
+// partner's value; Support counts how many matching partners carry Value.
+type Suggestion struct {
+	Tid     int
+	Attr    string
+	Value   string
+	Support int
+}
+
+// Checker evaluates MDs over one relation with q-gram blocking.
+type Checker struct {
+	db    *relation.DB
+	rules []*MD
+	sim   func(a, b string) float64
+	// q is the blocking gram size.
+	q int
+	// maxBlock caps candidate comparisons per tuple; enormous blocks (very
+	// frequent grams) are skipped for that gram.
+	maxBlock int
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithSimilarity replaces the similarity function (default: Eq. 7 edit
+// similarity).
+func WithSimilarity(f func(a, b string) float64) Option {
+	return func(c *Checker) { c.sim = f }
+}
+
+// WithBlocking tunes the q-gram size and per-gram block cap.
+func WithBlocking(q, maxBlock int) Option {
+	return func(c *Checker) { c.q, c.maxBlock = q, maxBlock }
+}
+
+// NewChecker validates the rules against the schema.
+func NewChecker(db *relation.DB, rules []*MD, opts ...Option) (*Checker, error) {
+	c := &Checker{db: db, rules: rules, sim: strsim.Similarity, q: 3, maxBlock: 256}
+	for _, o := range opts {
+		o(c)
+	}
+	for _, r := range rules {
+		if _, ok := db.Schema.Index(r.SimAttr); !ok {
+			return nil, fmt.Errorf("md %s: attribute %q not in schema", r.ID, r.SimAttr)
+		}
+		if _, ok := db.Schema.Index(r.MatchAttr); !ok {
+			return nil, fmt.Errorf("md %s: attribute %q not in schema", r.ID, r.MatchAttr)
+		}
+	}
+	return c, nil
+}
+
+// grams returns the q-gram set of s (whole string when shorter than q).
+func (c *Checker) grams(s string) []string {
+	rs := []rune(s)
+	if len(rs) < c.q {
+		return []string{string(rs)}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i+c.q <= len(rs); i++ {
+		g := string(rs[i : i+c.q])
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Violations computes all violating pairs of rule ri.
+func (c *Checker) Violations(ri int) []Violation {
+	r := c.rules[ri]
+	simIdx := c.db.Schema.MustIndex(r.SimAttr)
+	matchIdx := c.db.Schema.MustIndex(r.MatchAttr)
+
+	// Block by q-grams of the compared attribute.
+	blocks := make(map[string][]int)
+	for tid := 0; tid < c.db.N(); tid++ {
+		for _, g := range c.grams(c.db.GetAt(tid, simIdx)) {
+			blocks[g] = append(blocks[g], tid)
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out []Violation
+	for _, block := range blocks {
+		if len(block) > c.maxBlock {
+			continue
+		}
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				t1, t2 := block[i], block[j]
+				if t1 > t2 {
+					t1, t2 = t2, t1
+				}
+				key := [2]int{t1, t2}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if c.db.GetAt(t1, matchIdx) == c.db.GetAt(t2, matchIdx) {
+					continue
+				}
+				s := c.sim(c.db.GetAt(t1, simIdx), c.db.GetAt(t2, simIdx))
+				if s >= r.Threshold {
+					out = append(out, Violation{Rule: ri, T1: t1, T2: t2, Similarity: s})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].T1 != out[b].T1 {
+			return out[a].T1 < out[b].T1
+		}
+		return out[a].T2 < out[b].T2
+	})
+	return out
+}
+
+// AllViolations concatenates Violations across every rule.
+func (c *Checker) AllViolations() []Violation {
+	var out []Violation
+	for ri := range c.rules {
+		out = append(out, c.Violations(ri)...)
+	}
+	return out
+}
+
+// Suggest proposes the MD repair for a violating pair: identify the
+// identified attribute on both sides, preferring the value held by more of
+// each tuple's matching partners. Both directions are returned, strongest
+// support first.
+func (c *Checker) Suggest(v Violation) []Suggestion {
+	r := c.rules[v.Rule]
+	matchIdx := c.db.Schema.MustIndex(r.MatchAttr)
+	v1 := c.db.GetAt(v.T1, matchIdx)
+	v2 := c.db.GetAt(v.T2, matchIdx)
+	s1 := c.partnerSupport(v.Rule, v.T1, v2)
+	s2 := c.partnerSupport(v.Rule, v.T2, v1)
+	out := []Suggestion{
+		{Tid: v.T1, Attr: r.MatchAttr, Value: v2, Support: s1},
+		{Tid: v.T2, Attr: r.MatchAttr, Value: v1, Support: s2},
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Support > out[j].Support })
+	return out
+}
+
+// partnerSupport counts the matching partners of tid carrying value on the
+// identified attribute.
+func (c *Checker) partnerSupport(ri, tid int, value string) int {
+	r := c.rules[ri]
+	simIdx := c.db.Schema.MustIndex(r.SimAttr)
+	matchIdx := c.db.Schema.MustIndex(r.MatchAttr)
+	mine := c.db.GetAt(tid, simIdx)
+	n := 0
+	for other := 0; other < c.db.N(); other++ {
+		if other == tid {
+			continue
+		}
+		if c.db.GetAt(other, matchIdx) != value {
+			continue
+		}
+		if c.sim(mine, c.db.GetAt(other, simIdx)) >= r.Threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Rules returns the checker's rule list.
+func (c *Checker) Rules() []*MD { return c.rules }

@@ -1,0 +1,123 @@
+package md
+
+import (
+	"testing"
+
+	"gdr/internal/relation"
+)
+
+func fixture(t *testing.T) *relation.DB {
+	t.Helper()
+	db := relation.NewDB(relation.MustSchema("Addr", []string{"Street", "Zip"}))
+	rows := []relation.Tuple{
+		{"100 Sherden Road", "46825"},
+		{"100 Sherden Raod", "46835"}, // near-duplicate street, different zip
+		{"100 Sherden Road", "46825"},
+		{"200 Canal Street", "46601"},
+		{"742 Evergreen Terrace", "99999"},
+	}
+	for _, r := range rows {
+		db.MustInsert(r)
+	}
+	return db
+}
+
+func TestViolatingPairsFound(t *testing.T) {
+	db := fixture(t)
+	c, err := NewChecker(db, []*MD{MustNew("m", "Street", 0.85, "Zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := c.Violations(0)
+	// t0/t1 and t1/t2 are similar streets with diverging zips; t0/t2 agree
+	// on zip so they are fine despite being identical streets.
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].T1 != 0 || vs[0].T2 != 1 || vs[1].T1 != 1 || vs[1].T2 != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Similarity < 0.85 {
+		t.Fatalf("similarity = %v", vs[0].Similarity)
+	}
+	if got := c.AllViolations(); len(got) != 2 {
+		t.Fatalf("AllViolations = %v", got)
+	}
+}
+
+func TestSuggestPrefersSupportedValue(t *testing.T) {
+	db := fixture(t)
+	c, _ := NewChecker(db, []*MD{MustNew("m", "Street", 0.85, "Zip")})
+	vs := c.Violations(0)
+	sugs := c.Suggest(vs[0]) // pair (t0, t1)
+	if len(sugs) != 2 {
+		t.Fatalf("suggestions = %v", sugs)
+	}
+	// The typo'd record t1 should adopt 46825: two matching partners carry
+	// it, while t0's adoption of 46835 has support 1 (only t1 itself).
+	best := sugs[0]
+	if best.Tid != 1 || best.Value != "46825" {
+		t.Fatalf("best suggestion = %+v", best)
+	}
+	if best.Support <= sugs[1].Support {
+		t.Fatalf("support ordering broken: %+v vs %+v", sugs[0], sugs[1])
+	}
+}
+
+func TestNoFalsePairsAcrossBlocks(t *testing.T) {
+	db := fixture(t)
+	c, _ := NewChecker(db, []*MD{MustNew("m", "Street", 0.85, "Zip")})
+	for _, v := range c.Violations(0) {
+		if v.T1 == 4 || v.T2 == 4 {
+			t.Fatalf("Evergreen Terrace matched something: %v", v)
+		}
+	}
+}
+
+func TestThresholdControlsMatching(t *testing.T) {
+	db := fixture(t)
+	strict, _ := NewChecker(db, []*MD{MustNew("m", "Street", 0.999, "Zip")})
+	if vs := strict.Violations(0); len(vs) != 0 {
+		t.Fatalf("near-exact threshold still matched: %v", vs)
+	}
+	loose, _ := NewChecker(db, []*MD{MustNew("m", "Street", 0.3, "Zip")})
+	if vs := loose.Violations(0); len(vs) < 2 {
+		t.Fatalf("loose threshold found only %v", vs)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("bad", "A", 0, "B"); err == nil {
+		t.Fatal("want error for zero threshold")
+	}
+	if _, err := New("bad", "A", 1.5, "B"); err == nil {
+		t.Fatal("want error for threshold > 1")
+	}
+	if _, err := New("bad", "A", 0.5, "A"); err == nil {
+		t.Fatal("want error for self-identified attribute")
+	}
+	db := fixture(t)
+	if _, err := NewChecker(db, []*MD{MustNew("m", "Nope", 0.9, "Zip")}); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := NewChecker(db, []*MD{MustNew("m", "Street", 0.9, "Nope")}); err == nil {
+		t.Fatal("want error for unknown match attribute")
+	}
+}
+
+func TestShortValuesBlockedWholesale(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	db.MustInsert(relation.Tuple{"ab", "1"})
+	db.MustInsert(relation.Tuple{"ab", "2"})
+	c, _ := NewChecker(db, []*MD{MustNew("m", "A", 0.9, "B")}, WithBlocking(3, 64))
+	if vs := c.Violations(0); len(vs) != 1 {
+		t.Fatalf("short-string pair missed: %v", vs)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	m := MustNew("m", "Street", 0.85, "Zip")
+	if got := m.String(); got != "m: [Street ≈0.85] -> [Zip ⇌]" {
+		t.Fatalf("String = %q", got)
+	}
+}

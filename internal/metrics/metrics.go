@@ -1,0 +1,152 @@
+// Package metrics implements the paper's evaluation measures: the data
+// quality loss of Eq. 2–3 computed against the ground truth as Dopt
+// (Section 5's "data quality state metric"), the derived percentage quality
+// improvement plotted in Figures 3–4, and the precision/recall of applied
+// repairs from Appendix B.1 (Figure 5).
+package metrics
+
+import (
+	"fmt"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// Quality measures the Eq. 3 loss of a database under repair against a
+// fixed ground-truth instance Dopt:
+//
+//	L(D) = Σ_i wi · (|Dopt ⊨ φi| − |D ⊨ φi|) / |Dopt ⊨ φi|        (Eq. 2–3)
+//
+// with wi = |D(φi)|/|D| by default (the paper's experimental choice, taken
+// on the initial dirty instance). Rules that no ground-truth tuple satisfies
+// are skipped: they cannot measure quality.
+type Quality struct {
+	weights []float64
+	satOpt  []int
+	loss0   float64
+}
+
+// NewQuality snapshots the rule weights and the ground-truth satisfaction
+// counts, plus the initial loss L(D0) of the dirty engine, which anchors the
+// percentage-improvement scale.
+func NewQuality(truth *relation.DB, dirty *cfd.Engine, weights []float64) (*Quality, error) {
+	rules := dirty.Rules()
+	truthEng, err := cfd.NewEngine(truth, rules)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: building ground-truth engine: %w", err)
+	}
+	q := &Quality{satOpt: make([]int, len(rules))}
+	if weights != nil {
+		if len(weights) != len(rules) {
+			return nil, fmt.Errorf("metrics: %d weights for %d rules", len(weights), len(rules))
+		}
+		q.weights = append([]float64(nil), weights...)
+	} else {
+		q.weights = make([]float64, len(rules))
+		n := dirty.DB().N()
+		for ri := range rules {
+			if n > 0 {
+				q.weights[ri] = float64(dirty.Context(ri)) / float64(n)
+			}
+		}
+	}
+	for ri := range rules {
+		q.satOpt[ri] = truthEng.Sat(ri)
+	}
+	q.loss0 = q.Loss(dirty)
+	return q, nil
+}
+
+// Loss computes L(D) for the engine's current instance.
+func (q *Quality) Loss(eng *cfd.Engine) float64 {
+	total := 0.0
+	for ri := range q.satOpt {
+		opt := q.satOpt[ri]
+		if opt <= 0 {
+			continue
+		}
+		ql := float64(opt-eng.Sat(ri)) / float64(opt)
+		if ql < 0 {
+			ql = 0
+		}
+		total += q.weights[ri] * ql
+	}
+	return total
+}
+
+// InitialLoss returns L(D0), the loss of the dirty instance at construction.
+func (q *Quality) InitialLoss() float64 { return q.loss0 }
+
+// Improvement returns the percentage quality improvement relative to the
+// initial dirty instance: 100 · (L(D0) − L(D)) / L(D0), clamped to [0, 100].
+// A database that was already clean reports 100.
+func (q *Quality) Improvement(eng *cfd.Engine) float64 {
+	if q.loss0 <= 0 {
+		return 100
+	}
+	imp := 100 * (q.loss0 - q.Loss(eng)) / q.loss0
+	if imp < 0 {
+		return 0
+	}
+	if imp > 100 {
+		return 100
+	}
+	return imp
+}
+
+// Accuracy measures repair precision and recall against the ground truth
+// (Appendix B.1): precision is the fraction of modified cells whose new
+// value is correct; recall is the fraction of initially incorrect cells that
+// now hold the correct value.
+type Accuracy struct {
+	initial *relation.DB
+	truth   *relation.DB
+	wrong0  [][2]int
+}
+
+// NewAccuracy snapshots the initial dirty instance and diffs it against the
+// ground truth to enumerate the initially incorrect cells.
+func NewAccuracy(dirty, truth *relation.DB) (*Accuracy, error) {
+	wrong0, err := dirty.DiffCells(truth)
+	if err != nil {
+		return nil, err
+	}
+	return &Accuracy{initial: dirty.Clone(), truth: truth, wrong0: wrong0}, nil
+}
+
+// InitiallyWrong returns the number of cells that differed from the truth
+// in the initial instance.
+func (a *Accuracy) InitiallyWrong() int { return len(a.wrong0) }
+
+// PrecisionRecall evaluates the current instance. With no modified cells the
+// precision is defined as 1; with no initially wrong cells the recall is 1.
+func (a *Accuracy) PrecisionRecall(current *relation.DB) (precision, recall float64) {
+	changed, correct := 0, 0
+	for tid := 0; tid < current.N(); tid++ {
+		for ai := 0; ai < current.Schema.Arity(); ai++ {
+			cur := current.GetAt(tid, ai)
+			if cur == a.initial.GetAt(tid, ai) {
+				continue
+			}
+			changed++
+			if cur == a.truth.GetAt(tid, ai) {
+				correct++
+			}
+		}
+	}
+	precision = 1
+	if changed > 0 {
+		precision = float64(correct) / float64(changed)
+	}
+	recall = 1
+	if len(a.wrong0) > 0 {
+		fixed := 0
+		for _, c := range a.wrong0 {
+			if current.GetAt(c[0], c[1]) == a.truth.GetAt(c[0], c[1]) {
+				fixed++
+			}
+		}
+		recall = float64(fixed) / float64(len(a.wrong0))
+	}
+	return precision, recall
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+func fixture(t *testing.T) (*relation.DB, *relation.DB, []*cfd.CFD) {
+	t.Helper()
+	s := relation.MustSchema("R", []string{"CT", "STT", "ZIP"})
+	truth := relation.NewDB(s)
+	rows := []relation.Tuple{
+		{"Michigan City", "IN", "46360"},
+		{"Michigan City", "IN", "46360"},
+		{"Westville", "IN", "46391"},
+		{"Fort Wayne", "IN", "46825"},
+	}
+	for _, r := range rows {
+		truth.MustInsert(r)
+	}
+	dirty := truth.Clone()
+	dirty.Set(0, "CT", "Westvile")
+	dirty.Set(2, "CT", "Michigan Cty")
+	rules := cfd.MustParse(`
+p1: ZIP -> CT :: 46360 || Michigan City
+p2: ZIP -> CT :: 46391 || Westville
+p3: ZIP -> CT :: 46825 || Fort Wayne
+`)
+	return dirty, truth, rules
+}
+
+func TestLossAndImprovement(t *testing.T) {
+	dirty, truth, rules := fixture(t)
+	eng, err := cfd.NewEngine(dirty, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuality(truth, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights: p1 = 2/4, p2 = 1/4, p3 = 1/4; satOpt: 2, 1, 1.
+	// dirty sat: p1 = 1 (t1), p2 = 0, p3 = 1.
+	// L0 = 0.5*(2-1)/2 + 0.25*(1-0)/1 + 0.25*0 = 0.25 + 0.25 = 0.5
+	if got := q.InitialLoss(); !close(got, 0.5) {
+		t.Fatalf("L0 = %v, want 0.5", got)
+	}
+	if got := q.Improvement(eng); !close(got, 0) {
+		t.Fatalf("initial improvement = %v", got)
+	}
+	// Fix t0: p1 fully satisfied -> L = 0.25, improvement 50%.
+	eng.Apply(0, "CT", "Michigan City")
+	if got := q.Loss(eng); !close(got, 0.25) {
+		t.Fatalf("L after one fix = %v, want 0.25", got)
+	}
+	if got := q.Improvement(eng); !close(got, 50) {
+		t.Fatalf("improvement = %v, want 50", got)
+	}
+	// Fix t2: loss 0, improvement 100%.
+	eng.Apply(2, "CT", "Westville")
+	if got := q.Improvement(eng); !close(got, 100) {
+		t.Fatalf("improvement = %v, want 100", got)
+	}
+}
+
+func TestQualityCustomWeightsValidation(t *testing.T) {
+	dirty, truth, rules := fixture(t)
+	eng, _ := cfd.NewEngine(dirty, rules)
+	if _, err := NewQuality(truth, eng, []float64{1}); err == nil {
+		t.Fatal("want error for wrong weight count")
+	}
+	q, err := NewQuality(truth, eng, []float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only p1 counts now: L0 = (2-1)/2 = 0.5.
+	if got := q.InitialLoss(); !close(got, 0.5) {
+		t.Fatalf("weighted L0 = %v", got)
+	}
+}
+
+func TestCleanDatabaseImprovementIs100(t *testing.T) {
+	_, truth, rules := fixture(t)
+	eng, _ := cfd.NewEngine(truth.Clone(), rules)
+	q, err := NewQuality(truth, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Improvement(eng); got != 100 {
+		t.Fatalf("clean improvement = %v", got)
+	}
+}
+
+func TestAccuracyPrecisionRecall(t *testing.T) {
+	dirty, truth, _ := fixture(t)
+	a, err := NewAccuracy(dirty, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InitiallyWrong() != 2 {
+		t.Fatalf("InitiallyWrong = %d", a.InitiallyWrong())
+	}
+	// Nothing changed yet: precision 1 by convention, recall 0.
+	p, r := a.PrecisionRecall(dirty)
+	if p != 1 || r != 0 {
+		t.Fatalf("initial p/r = %v/%v", p, r)
+	}
+	// One correct fix and one wrong edit.
+	dirty.Set(0, "CT", "Michigan City") // correct
+	dirty.Set(3, "ZIP", "00000")        // damage a clean cell
+	p, r = a.PrecisionRecall(dirty)
+	if !close(p, 0.5) {
+		t.Fatalf("precision = %v, want 0.5", p)
+	}
+	if !close(r, 0.5) {
+		t.Fatalf("recall = %v, want 0.5", r)
+	}
+	// Fix the remaining wrong cell: recall 1, precision 2/3.
+	dirty.Set(2, "CT", "Westville")
+	p, r = a.PrecisionRecall(dirty)
+	if !close(p, 2.0/3) || !close(r, 1) {
+		t.Fatalf("final p/r = %v/%v", p, r)
+	}
+}
+
+func TestAccuracyMismatchedInstances(t *testing.T) {
+	dirty, _, _ := fixture(t)
+	other := relation.NewDB(dirty.Schema)
+	if _, err := NewAccuracy(dirty, other); err == nil {
+		t.Fatal("want error for mismatched instances")
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

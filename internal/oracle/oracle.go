@@ -1,0 +1,62 @@
+// Package oracle simulates the domain expert of the paper's experiments
+// (Section 5, "User interaction simulation"): feedback on suggested updates
+// is answered from a ground-truth instance. It also implements the optional
+// "user suggests a new value v′" interaction, which GDR treats as a confirm
+// of ⟨t, A, v′, 1⟩.
+package oracle
+
+import (
+	"fmt"
+
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// Oracle answers feedback queries from a ground-truth database.
+type Oracle struct {
+	truth *relation.DB
+
+	// Asked counts feedback queries, i.e. the user effort spent.
+	Asked int
+}
+
+// New builds an oracle over the ground truth. The truth instance must be
+// positionally aligned with the database under repair (same tuple ids).
+func New(truth *relation.DB) *Oracle { return &Oracle{truth: truth} }
+
+// Truth returns the ground-truth instance.
+func (o *Oracle) Truth() *relation.DB { return o.truth }
+
+// Feedback answers one suggested update exactly as the simulated user of the
+// paper: confirm when the suggested value is the true one, retain when the
+// database's current value is already true, reject otherwise.
+func (o *Oracle) Feedback(current *relation.DB, u repair.Update) repair.Feedback {
+	o.Asked++
+	want := o.truth.Get(u.Tid, u.Attr)
+	switch {
+	case u.Value == want:
+		return repair.Confirm
+	case current.Get(u.Tid, u.Attr) == want:
+		return repair.Retain
+	default:
+		return repair.Reject
+	}
+}
+
+// Correct returns the ground-truth value for a cell, modeling the user
+// volunteering the right value v′.
+func (o *Oracle) Correct(tid int, attr string) string { return o.truth.Get(tid, attr) }
+
+// IsCorrect reports whether the cell currently holds its true value.
+func (o *Oracle) IsCorrect(current *relation.DB, tid int, attr string) bool {
+	return current.Get(tid, attr) == o.truth.Get(tid, attr)
+}
+
+// Validate checks that the truth instance is comparable with db.
+func (o *Oracle) Validate(db *relation.DB) error {
+	if db.N() != o.truth.N() || db.Schema.Arity() != o.truth.Schema.Arity() {
+		return fmt.Errorf("oracle: ground truth %dx%d not aligned with instance %dx%d",
+			o.truth.N(), o.truth.Schema.Arity(), db.N(), db.Schema.Arity())
+	}
+	return nil
+}

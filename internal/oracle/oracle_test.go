@@ -1,0 +1,67 @@
+package oracle
+
+import (
+	"testing"
+
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+func pair(t *testing.T) (*relation.DB, *relation.DB) {
+	t.Helper()
+	s := relation.MustSchema("R", []string{"CT", "ZIP"})
+	truth := relation.NewDB(s)
+	truth.MustInsert(relation.Tuple{"Michigan City", "46360"})
+	truth.MustInsert(relation.Tuple{"Westville", "46391"})
+	dirty := truth.Clone()
+	dirty.Set(0, "CT", "Westvile") // wrong
+	return dirty, truth
+}
+
+func TestFeedbackAnswers(t *testing.T) {
+	dirty, truth := pair(t)
+	o := New(truth)
+	if err := o.Validate(dirty); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u    repair.Update
+		want repair.Feedback
+	}{
+		{repair.Update{Tid: 0, Attr: "CT", Value: "Michigan City"}, repair.Confirm},
+		{repair.Update{Tid: 0, Attr: "CT", Value: "Fort Wayne"}, repair.Reject},
+		{repair.Update{Tid: 1, Attr: "CT", Value: "Fort Wayne"}, repair.Retain},
+		{repair.Update{Tid: 0, Attr: "ZIP", Value: "99999"}, repair.Retain},
+	}
+	for _, c := range cases {
+		if got := o.Feedback(dirty, c.u); got != c.want {
+			t.Errorf("Feedback(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+	if o.Asked != len(cases) {
+		t.Errorf("Asked = %d, want %d", o.Asked, len(cases))
+	}
+}
+
+func TestCorrectAndIsCorrect(t *testing.T) {
+	dirty, truth := pair(t)
+	o := New(truth)
+	if got := o.Correct(0, "CT"); got != "Michigan City" {
+		t.Fatalf("Correct = %q", got)
+	}
+	if o.IsCorrect(dirty, 0, "CT") {
+		t.Fatal("dirty cell reported correct")
+	}
+	if !o.IsCorrect(dirty, 1, "CT") {
+		t.Fatal("clean cell reported incorrect")
+	}
+}
+
+func TestValidateMismatch(t *testing.T) {
+	_, truth := pair(t)
+	o := New(truth)
+	small := relation.NewDB(truth.Schema)
+	if err := o.Validate(small); err == nil {
+		t.Fatal("want error for size mismatch")
+	}
+}

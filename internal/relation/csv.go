@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header and
+// becomes the schema attribute list; relationName names the relation.
+func ReadCSV(r io.Reader, relationName string) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(relationName, header)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Arity() {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), schema.Arity())
+		}
+		if _, err := db.Insert(rec); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path; the relation is named after the path.
+func ReadCSVFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}
+
+// WriteCSV writes the instance as CSV with a header row.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(db.Schema.Attrs); err != nil {
+		return err
+	}
+	for _, t := range db.tuples {
+		if err := cw.Write(t); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the instance to the given path.
+func (db *DB) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

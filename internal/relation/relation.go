@@ -1,0 +1,217 @@
+// Package relation implements the in-memory relational substrate GDR repairs:
+// schemas, tuples, a mutable cell-addressed database instance, per-attribute
+// value domains and tuple weights (Definition 1 of the paper allows scaling a
+// tuple's violations by a business-importance weight).
+//
+// The paper stored records in MySQL and kept all repair state application
+// side; here the whole instance lives in memory so the violation engine in
+// package cfd can maintain incremental indexes over it.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema describes a relation: its name and ordered attribute list.
+type Schema struct {
+	Relation string
+	Attrs    []string
+	pos      map[string]int
+}
+
+// NewSchema builds a schema for the named relation over the given attributes.
+// Attribute names must be unique.
+func NewSchema(relationName string, attrs []string) (*Schema, error) {
+	s := &Schema{Relation: relationName, Attrs: append([]string(nil), attrs...), pos: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.pos[a]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q in schema %q", a, relationName)
+		}
+		s.pos[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known-good schemas; it panics on error.
+func MustSchema(relationName string, attrs []string) *Schema {
+	s, err := NewSchema(relationName, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of attr in the schema and whether it exists.
+func (s *Schema) Index(attr string) (int, bool) {
+	i, ok := s.pos[attr]
+	return i, ok
+}
+
+// MustIndex returns the position of attr, panicking if the attribute is not
+// part of the schema. It is intended for internal call sites that have
+// already validated rule/schema compatibility.
+func (s *Schema) MustIndex(attr string) int {
+	i, ok := s.pos[attr]
+	if !ok {
+		panic(fmt.Sprintf("relation: attribute %q not in schema %q", attr, s.Relation))
+	}
+	return i
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// Tuple is a row of attribute values, positionally aligned with the schema.
+type Tuple []string
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return append(Tuple(nil), t...)
+}
+
+// DB is a mutable database instance of a single relation. Tuples are
+// addressed by dense integer ids (their insertion order).
+//
+// DB is not safe for concurrent mutation; GDR sessions own their instance.
+type DB struct {
+	Schema *Schema
+
+	tuples  []Tuple
+	weights []float64
+
+	domains    []map[string]int // per attribute: value -> count
+	domainsUp  bool
+	domainList [][]string // cached sorted distinct values
+}
+
+// NewDB returns an empty instance over the schema.
+func NewDB(s *Schema) *DB {
+	return &DB{Schema: s}
+}
+
+// Insert appends a tuple and returns its id. The tuple is copied; it must
+// have exactly Schema.Arity() values.
+func (db *DB) Insert(t Tuple) (int, error) {
+	if len(t) != db.Schema.Arity() {
+		return 0, fmt.Errorf("relation: tuple arity %d does not match schema %q arity %d", len(t), db.Schema.Relation, db.Schema.Arity())
+	}
+	db.tuples = append(db.tuples, t.Clone())
+	db.weights = append(db.weights, 1)
+	db.domainsUp = false
+	return len(db.tuples) - 1, nil
+}
+
+// MustInsert is Insert for known-good tuples; it panics on arity mismatch.
+func (db *DB) MustInsert(t Tuple) int {
+	id, err := db.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// N returns the number of tuples.
+func (db *DB) N() int { return len(db.tuples) }
+
+// Tuple returns the tuple with the given id. The returned slice is the live
+// storage; callers must not mutate it directly (use Set).
+func (db *DB) Tuple(tid int) Tuple { return db.tuples[tid] }
+
+// Get returns the value of attr in tuple tid.
+func (db *DB) Get(tid int, attr string) string {
+	return db.tuples[tid][db.Schema.MustIndex(attr)]
+}
+
+// GetAt returns the value at attribute position ai in tuple tid.
+func (db *DB) GetAt(tid, ai int) string { return db.tuples[tid][ai] }
+
+// Set updates one cell. It invalidates the domain cache; violation indexes
+// are maintained by the cfd.Engine wrapper, which is the only component that
+// should mutate a database under repair.
+func (db *DB) Set(tid int, attr, value string) {
+	db.tuples[tid][db.Schema.MustIndex(attr)] = value
+	db.domainsUp = false
+}
+
+// SetAt updates one cell by attribute position.
+func (db *DB) SetAt(tid, ai int, value string) {
+	db.tuples[tid][ai] = value
+	db.domainsUp = false
+}
+
+// Weight returns the business-importance weight of a tuple (default 1).
+func (db *DB) Weight(tid int) float64 { return db.weights[tid] }
+
+// SetWeight sets the business-importance weight of a tuple.
+func (db *DB) SetWeight(tid int, w float64) { db.weights[tid] = w }
+
+// Clone deep-copies the instance (tuples and weights; caches are rebuilt
+// lazily).
+func (db *DB) Clone() *DB {
+	out := NewDB(db.Schema)
+	out.tuples = make([]Tuple, len(db.tuples))
+	for i, t := range db.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	out.weights = append([]float64(nil), db.weights...)
+	return out
+}
+
+func (db *DB) refreshDomains() {
+	if db.domainsUp {
+		return
+	}
+	n := db.Schema.Arity()
+	db.domains = make([]map[string]int, n)
+	db.domainList = make([][]string, n)
+	for ai := 0; ai < n; ai++ {
+		db.domains[ai] = make(map[string]int)
+	}
+	for _, t := range db.tuples {
+		for ai, v := range t {
+			db.domains[ai][v]++
+		}
+	}
+	for ai := 0; ai < n; ai++ {
+		vals := make([]string, 0, len(db.domains[ai]))
+		for v := range db.domains[ai] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		db.domainList[ai] = vals
+	}
+	db.domainsUp = true
+}
+
+// Domain returns the sorted distinct values currently stored under attr.
+// The returned slice must not be mutated.
+func (db *DB) Domain(attr string) []string {
+	db.refreshDomains()
+	return db.domainList[db.Schema.MustIndex(attr)]
+}
+
+// ValueCount returns how many tuples currently hold value under attr.
+func (db *DB) ValueCount(attr, value string) int {
+	db.refreshDomains()
+	return db.domains[db.Schema.MustIndex(attr)][value]
+}
+
+// DiffCells returns the list of cells (tid, attribute index) on which db and
+// other disagree. Both instances must share a schema and size; it is used to
+// measure repair precision/recall against a ground-truth instance.
+func (db *DB) DiffCells(other *DB) ([][2]int, error) {
+	if db.Schema.Arity() != other.Schema.Arity() || db.N() != other.N() {
+		return nil, fmt.Errorf("relation: instances not comparable (%dx%d vs %dx%d)",
+			db.N(), db.Schema.Arity(), other.N(), other.Schema.Arity())
+	}
+	var out [][2]int
+	for tid := range db.tuples {
+		for ai := range db.tuples[tid] {
+			if db.tuples[tid][ai] != other.tuples[tid][ai] {
+				out = append(out, [2]int{tid, ai})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func custSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("Customer", []string{"Name", "SRC", "STR", "CT", "STT", "ZIP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaDuplicateAttr(t *testing.T) {
+	if _, err := NewSchema("R", []string{"A", "B", "A"}); err == nil {
+		t.Fatal("want error for duplicate attribute")
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := custSchema(t)
+	if i, ok := s.Index("CT"); !ok || i != 3 {
+		t.Fatalf("Index(CT) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("Nope"); ok {
+		t.Fatal("Index(Nope) should not exist")
+	}
+	if s.Arity() != 6 {
+		t.Fatalf("Arity = %d", s.Arity())
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	s := custSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex should panic for unknown attribute")
+		}
+	}()
+	s.MustIndex("missing")
+}
+
+func TestInsertGetSet(t *testing.T) {
+	db := NewDB(custSchema(t))
+	id, err := db.Insert(Tuple{"Jim", "H1", "Redwood", "Westville", "IN", "46360"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || db.N() != 1 {
+		t.Fatalf("id=%d n=%d", id, db.N())
+	}
+	if got := db.Get(0, "CT"); got != "Westville" {
+		t.Fatalf("Get CT = %q", got)
+	}
+	db.Set(0, "CT", "Michigan City")
+	if got := db.Get(0, "CT"); got != "Michigan City" {
+		t.Fatalf("after Set, CT = %q", got)
+	}
+	if _, err := db.Insert(Tuple{"too", "short"}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	db := NewDB(custSchema(t))
+	db.MustInsert(Tuple{"a", "b", "c", "d", "e", "f"})
+	if db.Weight(0) != 1 {
+		t.Fatalf("default weight = %v", db.Weight(0))
+	}
+	db.SetWeight(0, 2.5)
+	if db.Weight(0) != 2.5 {
+		t.Fatalf("weight = %v", db.Weight(0))
+	}
+}
+
+func TestDomainTracksSets(t *testing.T) {
+	db := NewDB(custSchema(t))
+	db.MustInsert(Tuple{"a", "H1", "s", "Westville", "IN", "46391"})
+	db.MustInsert(Tuple{"b", "H2", "s", "Westville", "IN", "46360"})
+	db.MustInsert(Tuple{"c", "H2", "s", "Fort Wayne", "IN", "46825"})
+
+	dom := db.Domain("CT")
+	if len(dom) != 2 || dom[0] != "Fort Wayne" || dom[1] != "Westville" {
+		t.Fatalf("Domain(CT) = %v", dom)
+	}
+	if got := db.ValueCount("CT", "Westville"); got != 2 {
+		t.Fatalf("ValueCount = %d", got)
+	}
+	db.Set(0, "CT", "Fort Wayne")
+	if got := db.ValueCount("CT", "Westville"); got != 1 {
+		t.Fatalf("ValueCount after Set = %d", got)
+	}
+	if got := len(db.Domain("SRC")); got != 2 {
+		t.Fatalf("Domain(SRC) size = %d", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	db := NewDB(custSchema(t))
+	db.MustInsert(Tuple{"a", "H1", "s", "Westville", "IN", "46391"})
+	cp := db.Clone()
+	cp.Set(0, "CT", "Fort Wayne")
+	if db.Get(0, "CT") != "Westville" {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDiffCells(t *testing.T) {
+	db := NewDB(custSchema(t))
+	db.MustInsert(Tuple{"a", "H1", "s", "Westville", "IN", "46391"})
+	other := db.Clone()
+	other.Set(0, "ZIP", "46360")
+	diff, err := db.DiffCells(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 1 || diff[0] != [2]int{0, 5} {
+		t.Fatalf("diff = %v", diff)
+	}
+	small := NewDB(custSchema(t))
+	if _, err := db.DiffCells(small); err == nil {
+		t.Fatal("want error comparing different sizes")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := NewDB(custSchema(t))
+	db.MustInsert(Tuple{"a, with comma", "H1", "s", "Westville", "IN", "46391"})
+	db.MustInsert(Tuple{`quote "q"`, "H2", "s", "Fort Wayne", "IN", "46825"})
+
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 {
+		t.Fatalf("N = %d", back.N())
+	}
+	if back.Get(0, "Name") != "a, with comma" || back.Get(1, "Name") != `quote "q"` {
+		t.Fatalf("round trip mangled values: %q %q", back.Get(0, "Name"), back.Get(1, "Name"))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "R"); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n"), "R"); err == nil {
+		t.Fatal("want error on short record")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B,A\n"), "R"); err == nil {
+		t.Fatal("want error on duplicate header")
+	}
+}

@@ -1,0 +1,159 @@
+package repair
+
+import (
+	"sort"
+	"strings"
+)
+
+// cooccur is a co-occurrence index supporting scenario 3 of Algorithm 1:
+// for a violated rule φ = (X → A) and a target attribute B ∈ X, candidate
+// repair values for t[B] are the B-values of tuples agreeing with t on the
+// remaining rule attributes (X ∪ A) − {B} — "the tuples identified by the
+// pattern t[X ∪ A − {B}]" in the paper's words.
+//
+// Indexes are keyed by their attribute signature and shared across rules
+// (all per-zip constant rules Zip → City share one {City}→Zip index, etc.),
+// built lazily on first use and maintained incrementally on every Apply.
+type cooccur struct {
+	target int   // attribute position whose values are collected
+	others []int // key attribute positions, sorted
+	m      map[string]map[string]int
+}
+
+func (c *cooccur) keyOf(vals func(ai int) string) string {
+	parts := make([]string, len(c.others))
+	for i, ai := range c.others {
+		parts[i] = vals(ai)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func (c *cooccur) add(key, val string) {
+	bucket := c.m[key]
+	if bucket == nil {
+		bucket = make(map[string]int)
+		c.m[key] = bucket
+	}
+	bucket[val]++
+}
+
+func (c *cooccur) remove(key, val string) {
+	bucket := c.m[key]
+	if bucket == nil {
+		return
+	}
+	if n := bucket[val]; n <= 1 {
+		delete(bucket, val)
+		if len(bucket) == 0 {
+			delete(c.m, key)
+		}
+	} else {
+		bucket[val] = n - 1
+	}
+}
+
+func sigOf(target int, others []int) string {
+	parts := make([]string, 0, len(others)+1)
+	for _, o := range others {
+		parts = append(parts, itoa(o))
+	}
+	return itoa(target) + "|" + strings.Join(parts, ",")
+}
+
+func itoa(i int) string {
+	// small positive ints only; avoids strconv import noise in the hot path
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// ensureIndex returns (building if needed) the co-occurrence index for the
+// given target and key attributes.
+func (g *Generator) ensureIndex(target int, others []int) *cooccur {
+	sorted := append([]int(nil), others...)
+	sort.Ints(sorted)
+	sig := sigOf(target, sorted)
+	if idx, ok := g.indexes[sig]; ok {
+		return idx
+	}
+	idx := &cooccur{target: target, others: sorted, m: make(map[string]map[string]int)}
+	for tid := 0; tid < g.db.N(); tid++ {
+		t := g.db.Tuple(tid)
+		idx.add(idx.keyOf(func(ai int) string { return t[ai] }), t[target])
+	}
+	g.indexes[sig] = idx
+	return idx
+}
+
+// updateIndexes maintains every built co-occurrence index after the cell
+// (tid, ai) changed from old to new; the rest of the tuple is unchanged.
+func (g *Generator) updateIndexes(tid, ai int, oldV, newV string) {
+	t := g.db.Tuple(tid) // already holds the new value at ai
+	for _, idx := range g.indexes {
+		inOthers := false
+		for _, o := range idx.others {
+			if o == ai {
+				inOthers = true
+				break
+			}
+		}
+		switch {
+		case idx.target == ai:
+			key := idx.keyOf(func(k int) string { return t[k] })
+			idx.remove(key, oldV)
+			idx.add(key, newV)
+		case inOthers:
+			oldKey := idx.keyOf(func(k int) string {
+				if k == ai {
+					return oldV
+				}
+				return t[k]
+			})
+			newKey := idx.keyOf(func(k int) string { return t[k] })
+			idx.remove(oldKey, t[idx.target])
+			idx.add(newKey, t[idx.target])
+		}
+	}
+}
+
+// minCoCount is the minimum support a co-occurring value needs to become a
+// scenario-3 candidate. In dirty data a value co-occurring once or twice
+// with the tuple's pattern is overwhelmingly an error itself (e.g. a typo
+// variant of the correct value, which similarity scoring would otherwise
+// love); genuine values co-occur broadly.
+const minCoCount = 3
+
+// coCandidates returns the candidate values for attribute target among the
+// tuples agreeing with tuple tid on the others attributes, with their
+// frequencies, in deterministic order (most frequent first).
+func (g *Generator) coCandidates(tid, target int, others []int) []string {
+	idx := g.ensureIndex(target, others)
+	t := g.db.Tuple(tid)
+	bucket := idx.m[idx.keyOf(func(ai int) string { return t[ai] })]
+	if len(bucket) == 0 {
+		return nil
+	}
+	type vc struct {
+		v string
+		c int
+	}
+	all := make([]vc, 0, len(bucket))
+	for v, c := range bucket {
+		if c < minCoCount {
+			continue
+		}
+		all = append(all, vc{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v < all[j].v
+	})
+	out := make([]string, len(all))
+	for i, x := range all {
+		out[i] = x.v
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+// Package repair implements GDR's candidate-update generation (Appendix A of
+// the paper): the on-demand UpdateAttributeTuple procedure with its three
+// resolution scenarios, the update evaluation function (Eq. 7), and the
+// per-cell bookkeeping the consistency manager relies on — prevented value
+// lists and changeable flags.
+package repair
+
+import (
+	"fmt"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+	"gdr/internal/strsim"
+)
+
+// Feedback is a user (or learner) decision about a suggested update.
+type Feedback int
+
+const (
+	// Confirm: the suggested value is correct; apply it and stop generating
+	// updates for this cell.
+	Confirm Feedback = iota
+	// Reject: the suggested value is wrong; add it to the prevented list and
+	// look for a different suggestion.
+	Reject
+	// Retain: the cell's current value is already correct; stop generating
+	// updates for it.
+	Retain
+)
+
+func (f Feedback) String() string {
+	switch f {
+	case Confirm:
+		return "confirm"
+	case Reject:
+		return "reject"
+	case Retain:
+		return "retain"
+	default:
+		return fmt.Sprintf("Feedback(%d)", int(f))
+	}
+}
+
+// Update is a suggested repair r = ⟨t, A, v, s⟩: set attribute Attr of tuple
+// Tid to Value; Score is the update evaluation function's certainty in [0,1].
+type Update struct {
+	Tid   int
+	Attr  string
+	Value string
+	Score float64
+}
+
+// Cell returns the cell the update targets.
+func (u Update) Cell() CellKey { return CellKey{Tid: u.Tid, Attr: u.Attr} }
+
+func (u Update) String() string {
+	return fmt.Sprintf("⟨t%d, %s, %q, %.2f⟩", u.Tid, u.Attr, u.Value, u.Score)
+}
+
+// CellKey identifies one database cell.
+type CellKey struct {
+	Tid  int
+	Attr string
+}
+
+// Similarity scores how close a suggested value is to the current one;
+// Eq. 7's normalized edit-distance similarity is the default.
+type Similarity func(current, suggested string) float64
+
+// Generator produces candidate updates for dirty cells. All cell mutations
+// during a session must go through Generator.Apply so its domain statistics
+// stay current.
+type Generator struct {
+	eng *cfd.Engine
+	db  *relation.DB
+	sim Similarity
+
+	prevented map[CellKey]map[string]bool
+	locked    map[CellKey]bool
+
+	domains []map[string]int // per attribute position: value -> count
+
+	// simMemo caches similarity scores; candidate values recur constantly
+	// across Suggest calls (rule constants, frequent domain values).
+	simMemo map[[2]string]float64
+
+	// indexes holds the lazily built co-occurrence indexes backing
+	// scenario 3, keyed by attribute signature.
+	indexes map[string]*cooccur
+}
+
+// maxSimMemo bounds the similarity cache; it is reset when full.
+const maxSimMemo = 1 << 20
+
+func (g *Generator) simCached(a, b string) float64 {
+	k := [2]string{a, b}
+	if s, ok := g.simMemo[k]; ok {
+		return s
+	}
+	s := g.sim(a, b)
+	if len(g.simMemo) >= maxSimMemo {
+		g.simMemo = make(map[[2]string]float64)
+	}
+	g.simMemo[k] = s
+	return s
+}
+
+// Option configures a Generator.
+type Option func(*Generator)
+
+// WithSimilarity replaces the Eq. 7 evaluation function.
+func WithSimilarity(s Similarity) Option { return func(g *Generator) { g.sim = s } }
+
+// NewGenerator builds a generator over the engine's database.
+func NewGenerator(eng *cfd.Engine, opts ...Option) *Generator {
+	g := &Generator{
+		eng:       eng,
+		db:        eng.DB(),
+		sim:       strsim.Similarity,
+		prevented: make(map[CellKey]map[string]bool),
+		locked:    make(map[CellKey]bool),
+		simMemo:   make(map[[2]string]float64),
+		indexes:   make(map[string]*cooccur),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	g.domains = make([]map[string]int, g.db.Schema.Arity())
+	for ai := range g.domains {
+		g.domains[ai] = make(map[string]int)
+	}
+	for tid := 0; tid < g.db.N(); tid++ {
+		for ai := 0; ai < g.db.Schema.Arity(); ai++ {
+			g.domains[ai][g.db.GetAt(tid, ai)]++
+		}
+	}
+	return g
+}
+
+// Engine returns the violation engine the generator works against.
+func (g *Generator) Engine() *cfd.Engine { return g.eng }
+
+// Apply routes a confirmed cell update through the violation engine and
+// keeps the generator's domain statistics in sync. It returns the tuples
+// whose dirty status may have changed.
+func (g *Generator) Apply(tid int, attr, value string) []int {
+	ai := g.db.Schema.MustIndex(attr)
+	old := g.db.GetAt(tid, ai)
+	affected := g.eng.Apply(tid, attr, value)
+	if old != value {
+		if c := g.domains[ai][old]; c <= 1 {
+			delete(g.domains[ai], old)
+		} else {
+			g.domains[ai][old] = c - 1
+		}
+		g.domains[ai][value]++
+		g.updateIndexes(tid, ai, old, value)
+	}
+	return affected
+}
+
+// Insert routes a newly entered tuple through the violation engine and
+// keeps the generator's statistics and co-occurrence indexes in sync. It
+// returns the new tuple id and the affected tuples.
+func (g *Generator) Insert(t relation.Tuple) (tid int, affected []int, err error) {
+	tid, affected, err = g.eng.Insert(t)
+	if err != nil {
+		return 0, nil, err
+	}
+	row := g.db.Tuple(tid)
+	for ai, v := range row {
+		g.domains[ai][v]++
+	}
+	for _, idx := range g.indexes {
+		idx.add(idx.keyOf(func(ai int) string { return row[ai] }), row[idx.target])
+	}
+	return tid, affected, nil
+}
+
+// DomainCount returns how many tuples currently hold value under attr,
+// according to the generator's incrementally maintained statistics.
+func (g *Generator) DomainCount(attr, value string) int {
+	return g.domains[g.db.Schema.MustIndex(attr)][value]
+}
+
+// Prevent records that value was confirmed wrong for the cell
+// (⟨t,B⟩.preventedList of Appendix A).
+func (g *Generator) Prevent(tid int, attr, value string) {
+	k := CellKey{tid, attr}
+	m := g.prevented[k]
+	if m == nil {
+		m = make(map[string]bool)
+		g.prevented[k] = m
+	}
+	m[value] = true
+}
+
+// IsPrevented reports whether value was confirmed wrong for the cell.
+func (g *Generator) IsPrevented(tid int, attr, value string) bool {
+	return g.prevented[CellKey{tid, attr}][value]
+}
+
+// Lock marks the cell as confirmed correct (⟨t,B⟩.Changeable = false): no
+// further updates will be suggested for it.
+func (g *Generator) Lock(tid int, attr string) { g.locked[CellKey{tid, attr}] = true }
+
+// Locked reports whether the cell is locked.
+func (g *Generator) Locked(tid int, attr string) bool { return g.locked[CellKey{tid, attr}] }
+
+// candidate is an internal scored suggestion.
+type candidate struct {
+	value string
+	score float64
+	// rank breaks score ties deterministically: lower is better.
+	rank int
+}
+
+func better(a, b candidate) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.value < b.value
+}
+
+// Suggest implements UpdateAttributeTuple(t, B) (Algorithm 1): it finds the
+// best update value for cell (tid, attr) across the three scenarios and
+// returns it with its Eq. 7 score. ok is false when the cell is locked, the
+// tuple violates no rule involving the attribute, or every candidate is
+// prevented.
+func (g *Generator) Suggest(tid int, attr string) (u Update, ok bool) {
+	return g.suggest(tid, attr, g.eng.VioRuleList(tid))
+}
+
+func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool) {
+	if g.Locked(tid, attr) {
+		return Update{}, false
+	}
+	cur := g.db.Get(tid, attr)
+	best := candidate{score: -1}
+	consider := func(v string, rank int) {
+		if v == cur || g.IsPrevented(tid, attr, v) {
+			return
+		}
+		c := candidate{value: v, score: g.simCached(cur, v), rank: rank}
+		if best.score < 0 || better(c, best) {
+			best = c
+		}
+	}
+
+	lhsOf := vio[:0:0] // violated rules with attr in their LHS
+	for _, ri := range vio {
+		rule := g.eng.Rules()[ri]
+		switch {
+		case rule.RHS == attr && rule.Constant():
+			// Scenario 1: enforce the constant RHS pattern value.
+			consider(rule.TP[rule.RHS], 0)
+		case rule.RHS == attr:
+			// Scenario 2: take the RHS value of a violating partner t′ —
+			// but only when the tuple is a plausible culprit. Tuples whose
+			// value holds a strict bucket majority are not suspects
+			// (minimal-change repair changes the minority side); in an even
+			// split, both sides are suggested, as in the paper's t5/t8
+			// example.
+			if g.eng.InBucketMajority(ri, tid) {
+				continue
+			}
+			for _, p := range g.eng.ViolatingPartners(ri, tid) {
+				consider(g.db.Get(p, attr), 1)
+			}
+		default:
+			// Candidate LHS repairs are only derived when the tuple is a
+			// plausible culprit: for a variable rule, tuples agreeing with
+			// their bucket's strict majority are not suspects (the conflict
+			// is attributable to the minority side — minimal-change repair).
+			if rule.Involves(attr) && !g.eng.InBucketMajority(ri, tid) {
+				lhsOf = append(lhsOf, ri)
+			}
+		}
+	}
+	if len(lhsOf) > 0 {
+		// Scenario 3: semantically related values for an LHS attribute —
+		// first constants from the violated rules' tableaux, then the values
+		// of attr among the tuples identified by the pattern t[X ∪ A − {B}]
+		// (co-occurrence). A candidate is only eligible if it resolves the
+		// violation it was derived from (Appendix A.2: the change must make
+		// t[X] ⋠ tp[X], or move t into agreeing company).
+		ai := g.db.Schema.MustIndex(attr)
+		for _, ri := range lhsOf {
+			rule := g.eng.Rules()[ri]
+			if p := rule.TP[attr]; p != cfd.Wildcard && !g.eng.WouldViolate(ri, tid, attr, p) {
+				consider(p, 2)
+			}
+			others := make([]int, 0, len(rule.LHS))
+			for _, a := range rule.Attrs() {
+				if a != attr {
+					others = append(others, g.db.Schema.MustIndex(a))
+				}
+			}
+			for _, v := range g.coCandidates(tid, ai, others) {
+				if !g.eng.WouldViolate(ri, tid, attr, v) {
+					consider(v, 3)
+				}
+			}
+		}
+	}
+	if best.score < 0 {
+		return Update{}, false
+	}
+	return Update{Tid: tid, Attr: attr, Value: best.value, Score: best.score}, true
+}
+
+// SuggestTuple runs Suggest for every attribute of a tuple and returns the
+// resulting updates; the initial pass of Procedure 1 step 1 calls this for
+// every dirty tuple. The tuple's violated-rule list is computed once and
+// shared across attributes.
+func (g *Generator) SuggestTuple(tid int) []Update {
+	vio := g.eng.VioRuleList(tid)
+	if len(vio) == 0 {
+		return nil
+	}
+	var out []Update
+	for _, attr := range g.db.Schema.Attrs {
+		if u, ok := g.suggest(tid, attr, vio); ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SuggestAll generates the initial PossibleUpdates list over all dirty tuples.
+func (g *Generator) SuggestAll() []Update {
+	var out []Update
+	for _, tid := range g.eng.Dirty() {
+		out = append(out, g.SuggestTuple(tid)...)
+	}
+	return out
+}

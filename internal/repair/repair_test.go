@@ -1,0 +1,338 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// figure1 mirrors the running-example fixture used across packages.
+func figure1(t testing.TB) *cfd.Engine {
+	t.Helper()
+	schema := relation.MustSchema("Customer", []string{"Name", "SRC", "STR", "CT", "STT", "ZIP"})
+	db := relation.NewDB(schema)
+	rows := []relation.Tuple{
+		{"Alice", "H1", "Redwood Dr", "Michigan City", "IN", "46360"},
+		{"Bob", "H2", "Oak St", "Westville", "IN", "46360"},
+		{"Carol", "H2", "Pine Ave", "Westvile", "IN", "46360"},
+		{"Dave", "H2", "Main St", "Michigan Cty", "IN", "46360"},
+		{"Eve", "H1", "Sherden RD", "Fort Wayne", "IN", "46391"},
+		{"Frank", "H1", "Sherden RD", "Fort Wayne", "IN", "46825"},
+		{"Grace", "H3", "Canal Rd", "New Haven", "OH", "46774"},
+		{"Heidi", "H3", "Sherden RD", "Fort Wayne", "IN", "46835"},
+	}
+	for _, r := range rows {
+		db.MustInsert(r)
+	}
+	rules := cfd.MustParse(`
+phi1: ZIP -> CT, STT :: 46360 || Michigan City, IN
+phi2: ZIP -> CT, STT :: 46774 || New Haven, IN
+phi3: ZIP -> CT, STT :: 46825 || Fort Wayne, IN
+phi4: ZIP -> CT, STT :: 46391 || Westville, IN
+phi5: STR, CT -> ZIP :: _, Fort Wayne || _
+`)
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSuggestScenario1ConstantRHS(t *testing.T) {
+	g := NewGenerator(figure1(t))
+	// t3 has ZIP 46360 and CT "Michigan Cty": phi1.1 forces "Michigan City".
+	u, ok := g.Suggest(3, "CT")
+	if !ok {
+		t.Fatal("no suggestion for t3.CT")
+	}
+	if u.Value != "Michigan City" {
+		t.Fatalf("suggested %q, want Michigan City", u.Value)
+	}
+	// "Michigan Cty" -> "Michigan City" is one insertion over 13 runes.
+	if want := 1.0 - 1.0/13.0; !almost(u.Score, want) {
+		t.Fatalf("score = %v, want %v", u.Score, want)
+	}
+}
+
+func TestSuggestScenario2VariableRHS(t *testing.T) {
+	e := figure1(t)
+	g := NewGenerator(e)
+	// Lock out the competing scenario-3 candidates by making the constant
+	// 46360 prevented so the partner values can be observed.
+	g.Prevent(4, "ZIP", "46360")
+	u, ok := g.Suggest(4, "ZIP")
+	if !ok {
+		t.Fatal("no suggestion for t4.ZIP")
+	}
+	// Partners hold 46825 and 46835 (both sim 0.4); constants 46774 ties at
+	// 0.4 too but partner values 46825/46835 have their own ranks; the
+	// scenario-1/2 rank beats scenario-3, and lexicographic order breaks the
+	// remaining tie.
+	if u.Value != "46825" {
+		t.Fatalf("suggested %q, want 46825", u.Value)
+	}
+}
+
+func TestSuggestScenario3LHSNeedsEvidence(t *testing.T) {
+	g := NewGenerator(figure1(t))
+	// t1 (Westville, 46360) violates phi1.1. For the ZIP attribute (in the
+	// rule's LHS) there is no evidence anywhere that Westville pairs with a
+	// different zip, so no ZIP repair may be invented; the CT repair from
+	// scenario 1 is the only suggestion.
+	if u, ok := g.Suggest(1, "ZIP"); ok {
+		t.Fatalf("evidence-free ZIP suggestion %v", u)
+	}
+	if u, ok := g.Suggest(1, "CT"); !ok || u.Value != "Michigan City" {
+		t.Fatalf("CT suggestion = %v, %v", u, ok)
+	}
+}
+
+func TestSuggestScenario3CoOccurrence(t *testing.T) {
+	// With enough Westville/46391 tuples in the database, the co-occurrence
+	// index supplies the LHS repair: t's zip should be 46391.
+	schema := relation.MustSchema("Customer", []string{"CT", "STT", "ZIP"})
+	db := relation.NewDB(schema)
+	db.MustInsert(relation.Tuple{"Westville", "IN", "46360"}) // dirty: zip belongs to Michigan City
+	for i := 0; i < 4; i++ {
+		db.MustInsert(relation.Tuple{"Westville", "IN", "46391"})
+	}
+	rules := cfd.MustParse(`
+phi1: ZIP -> CT :: 46360 || Michigan City
+phi4: ZIP -> CT :: 46391 || Westville
+`)
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(e)
+	u, ok := g.Suggest(0, "ZIP")
+	if !ok {
+		t.Fatal("no ZIP suggestion despite co-occurrence evidence")
+	}
+	if u.Value != "46391" {
+		t.Fatalf("suggested %q, want 46391", u.Value)
+	}
+	if !almost(u.Score, 0.6) {
+		t.Fatalf("score = %v, want 0.6", u.Score)
+	}
+}
+
+func TestScenario3ResolutionFilter(t *testing.T) {
+	// An LHS candidate that would leave the tuple violating the same rule
+	// must be dropped: here every co-occurring street keeps the tuple in a
+	// mixed bucket (the bucket's zips disagree with the tuple's own zip).
+	schema := relation.MustSchema("R", []string{"STR", "CT", "ZIP"})
+	db := relation.NewDB(schema)
+	for i := 0; i < 4; i++ {
+		db.MustInsert(relation.Tuple{"Oak St", "Fort Wayne", "46825"})
+	}
+	for i := 0; i < 4; i++ {
+		db.MustInsert(relation.Tuple{"Lima Rd", "Fort Wayne", "46825"})
+	}
+	// The outlier shares Oak St but carries a different zip.
+	db.MustInsert(relation.Tuple{"Oak St", "Fort Wayne", "46999"})
+	rules := cfd.MustParse("phi5: STR, CT -> ZIP :: _, Fort Wayne || _")
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(e)
+	// Moving the outlier to "Lima Rd" would still conflict (Lima Rd's zips
+	// are 46825 ≠ 46999), so no street suggestion for the outlier.
+	if u, ok := g.Suggest(8, "STR"); ok {
+		t.Fatalf("non-resolving street suggestion %v", u)
+	}
+	// Its zip, however, is repairable from the violating partners.
+	if u, ok := g.Suggest(8, "ZIP"); !ok || u.Value != "46825" {
+		t.Fatalf("zip suggestion = %v, %v", u, ok)
+	}
+}
+
+func TestSuggestRespectsPreventedAndLock(t *testing.T) {
+	g := NewGenerator(figure1(t))
+	u, ok := g.Suggest(1, "CT")
+	if !ok || u.Value != "Michigan City" {
+		t.Fatalf("baseline suggestion = %v, %v", u, ok)
+	}
+	g.Prevent(1, "CT", "Michigan City")
+	if g.IsPrevented(1, "CT", "Michigan City") != true {
+		t.Fatal("IsPrevented should be true")
+	}
+	// t1 violates only phi1.1 and CT is its RHS; with the constant
+	// prevented there is nothing left to suggest.
+	if u2, ok2 := g.Suggest(1, "CT"); ok2 {
+		t.Fatalf("suggestion after prevent = %v", u2)
+	}
+	g.Lock(2, "CT")
+	if !g.Locked(2, "CT") {
+		t.Fatal("Locked should be true")
+	}
+	if _, ok := g.Suggest(2, "CT"); ok {
+		t.Fatal("locked cell should yield no suggestion")
+	}
+}
+
+func TestSuggestCleanTupleHasNoUpdates(t *testing.T) {
+	g := NewGenerator(figure1(t))
+	if ups := g.SuggestTuple(0); len(ups) != 0 {
+		t.Fatalf("clean tuple got suggestions: %v", ups)
+	}
+}
+
+func TestSuggestAllCoversDirtyTuples(t *testing.T) {
+	e := figure1(t)
+	g := NewGenerator(e)
+	ups := g.SuggestAll()
+	if len(ups) == 0 {
+		t.Fatal("no updates generated")
+	}
+	byTid := map[int]bool{}
+	for _, u := range ups {
+		byTid[u.Tid] = true
+		if !e.IsDirty(u.Tid) {
+			t.Errorf("update %v for clean tuple", u)
+		}
+		if u.Value == e.DB().Get(u.Tid, u.Attr) {
+			t.Errorf("update %v suggests the current value", u)
+		}
+		if u.Score < 0 || u.Score > 1 {
+			t.Errorf("update %v score out of range", u)
+		}
+	}
+	for _, tid := range e.Dirty() {
+		if !byTid[tid] {
+			t.Errorf("dirty tuple t%d received no updates", tid)
+		}
+	}
+}
+
+func TestApplyKeepsDomainsInSync(t *testing.T) {
+	e := figure1(t)
+	g := NewGenerator(e)
+	if got := g.DomainCount("CT", "Westville"); got != 1 {
+		t.Fatalf("initial count = %d", got)
+	}
+	g.Apply(1, "CT", "Michigan City")
+	if got := g.DomainCount("CT", "Westville"); got != 0 {
+		t.Fatalf("count after apply = %d", got)
+	}
+	if got := g.DomainCount("CT", "Michigan City"); got != 2 {
+		t.Fatalf("Michigan City count = %d", got)
+	}
+	// The engine must have been driven too.
+	if e.DB().Get(1, "CT") != "Michigan City" {
+		t.Fatal("Apply did not reach the database")
+	}
+}
+
+func TestSuggestInvariantsRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	schema := relation.MustSchema("R", []string{"A", "B", "C"})
+	vals := []string{"p", "q", "r", "s"}
+	for trial := 0; trial < 10; trial++ {
+		db := relation.NewDB(schema)
+		for i := 0; i < 40; i++ {
+			db.MustInsert(relation.Tuple{vals[r.Intn(4)], vals[r.Intn(4)], vals[r.Intn(4)]})
+		}
+		rules := []*cfd.CFD{
+			cfd.MustNew("k1", []string{"A"}, "B", map[string]string{"A": "p", "B": "q"}),
+			cfd.MustNew("k2", []string{"A"}, "C", map[string]string{"A": cfd.Wildcard, "C": cfd.Wildcard}),
+		}
+		e, err := cfd.NewEngine(db, rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGenerator(e)
+		for step := 0; step < 50; step++ {
+			tid := r.Intn(db.N())
+			attr := schema.Attrs[r.Intn(3)]
+			switch r.Intn(4) {
+			case 0:
+				g.Prevent(tid, attr, vals[r.Intn(4)])
+			case 1:
+				g.Lock(tid, attr)
+			default:
+				u, ok := g.Suggest(tid, attr)
+				if !ok {
+					continue
+				}
+				if g.Locked(tid, attr) {
+					t.Fatal("suggestion for locked cell")
+				}
+				if u.Value == db.Get(tid, attr) {
+					t.Fatalf("suggestion equals current value: %v", u)
+				}
+				if g.IsPrevented(tid, attr, u.Value) {
+					t.Fatalf("suggestion is prevented: %v", u)
+				}
+				if u.Score < 0 || u.Score > 1 {
+					t.Fatalf("score out of range: %v", u)
+				}
+				if r.Intn(2) == 0 {
+					g.Apply(u.Tid, u.Attr, u.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestFeedbackString(t *testing.T) {
+	if Confirm.String() != "confirm" || Reject.String() != "reject" || Retain.String() != "retain" {
+		t.Fatal("Feedback.String mismatch")
+	}
+	if Feedback(42).String() != "Feedback(42)" {
+		t.Fatal("unknown feedback should fall back to numeric form")
+	}
+}
+
+func TestScenario3RequiresCoOccurrenceSupport(t *testing.T) {
+	// Rule: A=ctx → B=clean-b. A tuple in context with a wrong B can escape
+	// by changing A, but only to a value with enough co-occurrence support.
+	schema := relation.MustSchema("R", []string{"A", "B"})
+	rules := []*cfd.CFD{
+		cfd.MustNew("k", []string{"A"}, "B", map[string]string{"A": "ctx", "B": "clean-b"}),
+	}
+	// Unsupported: the other tuples sharing B="shared" all carry distinct A
+	// values (count 1 each), so nothing qualifies.
+	db := relation.NewDB(schema)
+	db.MustInsert(relation.Tuple{"ctx", "shared"}) // the violator
+	for i := 0; i < 6; i++ {
+		db.MustInsert(relation.Tuple{"ok" + string(rune('a'+i)), "shared"})
+	}
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(e)
+	if u, ok := g.Suggest(0, "A"); ok {
+		t.Fatalf("unsupported singleton candidates should be filtered, got %v", u)
+	}
+	// Supported: many tuples pair B="shared" with A="okay".
+	db2 := relation.NewDB(schema)
+	db2.MustInsert(relation.Tuple{"ctx", "shared"})
+	for i := 0; i < 6; i++ {
+		db2.MustInsert(relation.Tuple{"okay", "shared"})
+	}
+	e2, err := cfd.NewEngine(db2, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGenerator(e2)
+	u, ok := g2.Suggest(0, "A")
+	if !ok || u.Value != "okay" {
+		t.Fatalf("supported candidate not suggested: %v %v", u, ok)
+	}
+}
+
+func almost(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func BenchmarkSuggestAll(b *testing.B) {
+	e := figure1(b)
+	g := NewGenerator(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SuggestAll()
+	}
+}

@@ -1,0 +1,85 @@
+package strsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-3 }
+
+func TestJaroKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"same", "same", 1},
+		// Classic record-linkage test pairs.
+		{"MARTHA", "MARHTA", 0.9444},
+		{"DIXON", "DICKSONX", 0.7667},
+		{"JELLYFISH", "SMELLYFISH", 0.8962},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !near(got, c.want) {
+			t.Errorf("Jaro(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611},
+		{"DIXON", "DICKSONX", 0.8133},
+		{"same", "same", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !near(got, c.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	symmetric := func(x, y uint32) bool {
+		rr := rand.New(rand.NewSource(int64(x)<<20 ^ int64(y)))
+		a, b := randWord(rr), randWord(rr)
+		return near(Jaro(a, b), Jaro(b, a))
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	bounded := func(x, y uint32) bool {
+		rr := rand.New(rand.NewSource(int64(x)*17 + int64(y)))
+		a, b := randWord(rr), randWord(rr)
+		j := Jaro(a, b)
+		jw := JaroWinkler(a, b)
+		return j >= 0 && j <= 1 && jw >= j-1e-12 && jw <= 1+1e-12
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("bounds (and JW ≥ J): %v", err)
+	}
+	identity := func(x uint32) bool {
+		rr := rand.New(rand.NewSource(int64(x)))
+		a := randWord(rr)
+		return Jaro(a, a) == 1 && JaroWinkler(a, a) == 1
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("St. Mary Medical Center", "St Mary Medical Centre")
+	}
+}

@@ -1,0 +1,125 @@
+// Package strsim provides the string distance and similarity functions GDR
+// uses to score candidate updates (the update evaluation function of Eq. 7 in
+// the paper) and to compute the relationship feature R(t[A], v) consumed by
+// the learning component.
+//
+// All functions operate on UTF-8 strings at rune granularity and are safe for
+// concurrent use.
+package strsim
+
+import "unicode/utf8"
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions and substitutions needed to transform
+// a into b.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra := []rune(a)
+	rb := []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the inner loop over the shorter string so the scratch row stays
+	// small for the common short-attribute-value case.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	row := make([]int, len(rb)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		prev := row[0] // row[i-1][j-1]
+		row[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cur := row[j] // row[i-1][j]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			row[j] = min3(row[j]+1, row[j-1]+1, prev+cost)
+			prev = cur
+		}
+	}
+	return row[len(rb)]
+}
+
+// Similarity implements the update evaluation function of Eq. 7:
+//
+//	sim(v, v') = 1 - dist(v, v') / max(|v|, |v'|)
+//
+// It returns a value in [0, 1]; 1 means the strings are equal, 0 means they
+// share no structure at all. Two empty strings are defined to be identical.
+func Similarity(v, vp string) float64 {
+	if v == vp {
+		return 1
+	}
+	la := utf8.RuneCountInString(v)
+	lb := utf8.RuneCountInString(vp)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(v, vp))/float64(m)
+}
+
+// QGramJaccard returns the Jaccard coefficient between the q-gram multisets
+// of a and b (treated as sets). It is an alternative domain similarity
+// function; GDR accepts any such function in place of Eq. 7.
+func QGramJaccard(a, b string, q int) float64 {
+	if q <= 0 {
+		q = 2
+	}
+	if a == b {
+		return 1
+	}
+	ga := qgrams(a, q)
+	gb := qgrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}
+
+func qgrams(s string, q int) map[string]bool {
+	rs := []rune(s)
+	out := make(map[string]bool)
+	if len(rs) < q {
+		if len(rs) > 0 {
+			out[string(rs)] = true
+		}
+		return out
+	}
+	for i := 0; i+q <= len(rs); i++ {
+		out[string(rs[i:i+q])] = true
+	}
+	return out
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

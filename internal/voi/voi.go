@@ -1,0 +1,191 @@
+// Package voi implements GDR's value-of-information ranking (Section 4.1 of
+// the paper). Groups of suggested updates are scored by the estimated data
+// quality gain of acquiring user feedback on them:
+//
+//	E[g(c)] = Σ_{φi∈Σ} wi · Σ_{rj∈c} p̃j · (vio(D,{φi}) − vio(D^rj,{φi})) / |D^rj ⊨ φi|   (Eq. 6)
+//
+// where p̃j is the learner's (or, before any feedback, the repairing
+// algorithm's) probability that rj is correct, vio is the violation count of
+// Definition 1, and |D^rj ⊨ φi| counts context tuples satisfying φi after
+// hypothetically applying rj. The hypothetical counts come from the
+// violation engine's WhatIf, so no database copy is ever made; per-update
+// terms are cached and invalidated by rule version counters.
+package voi
+
+import (
+	"gdr/internal/cfd"
+	"gdr/internal/group"
+	"gdr/internal/repair"
+)
+
+// Prob supplies p̃j for an update: the probability that the update is
+// correct. GDR uses the update's evaluation score before any feedback exists
+// and the learned model's confirm probability afterwards.
+type Prob func(repair.Update) float64
+
+// ScoreProb is the paper's initial user model: p̃j = sj, the update
+// evaluation score assigned by the repairing algorithm.
+func ScoreProb(u repair.Update) float64 { return u.Score }
+
+// Ranker scores update groups with Eq. 6.
+type Ranker struct {
+	eng     *cfd.Engine
+	weights []float64
+
+	cache map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	tid   int
+	attr  string
+	value string
+}
+
+type cacheEntry struct {
+	raw      float64
+	rules    []int
+	versions []uint64
+}
+
+// maxCacheEntries bounds the benefit cache; beyond it the cache is reset
+// (entries are tiny, but sessions can generate many distinct updates).
+const maxCacheEntries = 1 << 17
+
+// Option configures a Ranker.
+type Option func(*Ranker)
+
+// WithWeights overrides the rule weights wi (indexed like Engine.Rules).
+func WithWeights(w []float64) Option {
+	return func(r *Ranker) { r.weights = append([]float64(nil), w...) }
+}
+
+// NewRanker builds a ranker over the engine. Unless overridden, rule weights
+// follow the paper's experimental choice wi = |D(φi)|/|D|, computed on the
+// instance at construction time.
+func NewRanker(eng *cfd.Engine, opts ...Option) *Ranker {
+	r := &Ranker{eng: eng, cache: make(map[cacheKey]*cacheEntry)}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.weights == nil {
+		n := eng.DB().N()
+		r.weights = make([]float64, len(eng.Rules()))
+		for ri := range eng.Rules() {
+			if n > 0 {
+				r.weights[ri] = float64(eng.Context(ri)) / float64(n)
+			}
+		}
+	}
+	return r
+}
+
+// Weight returns wi for rule ri.
+func (r *Ranker) Weight(ri int) float64 { return r.weights[ri] }
+
+// RawBenefit computes the probability-free part of Eq. 6 for one update:
+//
+//	Σ_{φi} wi · (vio(D,{φi}) − vio(D^rj,{φi})) / |D^rj ⊨ φi|
+//
+// Only rules involving the update's attribute can contribute. A zero
+// satisfaction count after the update is guarded to 1, as the paper's
+// quotient is undefined there (no tuple would satisfy the rule either way).
+func (r *Ranker) RawBenefit(u repair.Update) float64 {
+	key := cacheKey{u.Tid, u.Attr, u.Value}
+	involved := r.eng.RulesInvolving(u.Attr)
+	if e, ok := r.cache[key]; ok && r.fresh(e) {
+		return e.raw
+	}
+	deltas := r.eng.WhatIf(u.Tid, u.Attr, u.Value)
+	raw := 0.0
+	entry := &cacheEntry{rules: involved, versions: make([]uint64, len(involved))}
+	for i, ri := range involved {
+		entry.versions[i] = r.eng.Version(ri)
+	}
+	for _, d := range deltas {
+		sat := d.Sat
+		if sat < 1 {
+			sat = 1
+		}
+		raw += r.weights[d.Rule] * float64(r.eng.Vio(d.Rule)-d.Vio) / float64(sat)
+	}
+	entry.raw = raw
+	if len(r.cache) >= maxCacheEntries {
+		r.cache = make(map[cacheKey]*cacheEntry)
+	}
+	r.cache[key] = entry
+	return raw
+}
+
+func (r *Ranker) fresh(e *cacheEntry) bool {
+	for i, ri := range e.rules {
+		if r.eng.Version(ri) != e.versions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupBenefit computes E[g(c)] of Eq. 6 for a group, using prob for p̃j.
+func (r *Ranker) GroupBenefit(g *group.Group, prob Prob) float64 {
+	total := 0.0
+	for _, u := range g.Updates {
+		total += prob(u) * r.RawBenefit(u)
+	}
+	return total
+}
+
+// Rank assigns each group its benefit and sorts groups by descending
+// benefit (deterministic tie-breaks), implementing step 4 of Procedure 1.
+func (r *Ranker) Rank(gs []*group.Group, prob Prob) {
+	for _, g := range gs {
+		g.Benefit = r.GroupBenefit(g, prob)
+	}
+	group.SortByBenefit(gs)
+}
+
+// ExpectedLossGiven computes E[L(D|c)] of Eq. 5: the expected quality loss
+// of the current database given that group c is suggested. It is exposed for
+// completeness and for testing the algebraic identity that yields Eq. 6.
+func (r *Ranker) ExpectedLossGiven(g *group.Group, prob Prob) float64 {
+	total := 0.0
+	for _, u := range g.Updates {
+		p := prob(u)
+		deltas := r.eng.WhatIf(u.Tid, u.Attr, u.Value)
+		for _, d := range deltas {
+			vio := float64(r.eng.Vio(d.Rule))
+			satYes := d.Sat
+			if satYes < 1 {
+				satYes = 1
+			}
+			satNo := r.eng.Sat(d.Rule) // D^r̄j is D itself: rejecting changes nothing
+			if satNo < 1 {
+				satNo = 1
+			}
+			total += r.weights[d.Rule] * (p*vio/float64(satYes) + (1-p)*vio/float64(satNo))
+		}
+	}
+	return total
+}
+
+// ExpectedLossAfter computes Σ_j [ p̃j·E[L(D^rj)] + (1−p̃j)·E[L(D^r̄j)] ]
+// restricted, like Eq. 6's derivation, to the rules each update involves.
+func (r *Ranker) ExpectedLossAfter(g *group.Group, prob Prob) float64 {
+	total := 0.0
+	for _, u := range g.Updates {
+		p := prob(u)
+		deltas := r.eng.WhatIf(u.Tid, u.Attr, u.Value)
+		for _, d := range deltas {
+			satYes := d.Sat
+			if satYes < 1 {
+				satYes = 1
+			}
+			satNo := r.eng.Sat(d.Rule)
+			if satNo < 1 {
+				satNo = 1
+			}
+			total += r.weights[d.Rule] * (p*float64(d.Vio)/float64(satYes) +
+				(1-p)*float64(r.eng.Vio(d.Rule))/float64(satNo))
+		}
+	}
+	return total
+}
