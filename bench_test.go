@@ -8,6 +8,7 @@ package gdr_test
 // regeneration. The CLI reproduces the paper-scale (n = 20000) tables.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -17,10 +18,16 @@ import (
 // benchN is the per-iteration instance size for the figure benches.
 const benchN = 2000
 
-func benchConfig() gdr.FigureConfig {
+// benchWorkerCounts are the pool sizes every figure bench is run at; the
+// workers=1 / workers=4 pair documents the parallel harness's speedup
+// (figures are byte-identical across counts, so only time differs).
+var benchWorkerCounts = []int{1, 4}
+
+func benchConfig(workers int) gdr.FigureConfig {
 	return gdr.FigureConfig{
 		N:               benchN,
 		Seed:            7,
+		Workers:         workers,
 		BudgetFractions: []float64{0.1, 0.3, 0.6, 1.0},
 	}
 }
@@ -37,16 +44,20 @@ func benchData(b *testing.B, id int) *gdr.Data {
 func benchFigure(b *testing.B, id int, f func(*gdr.Data, gdr.FigureConfig) (gdr.Figure, error)) {
 	b.Helper()
 	d := benchData(b, id)
-	cfg := benchConfig()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fig, err := f(d, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := fig.Render(io.Discard); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchConfig(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fig, err := f(d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fig.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

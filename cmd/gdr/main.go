@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gdr"
@@ -30,6 +31,7 @@ func main() {
 		strategy  = flag.String("strategy", "GDR", "strategy: GDR | GDR-NoLearning | GDR-S-Learning | Active-Learning | Greedy | Random | Heuristic")
 		budget    = flag.Int("budget", 0, "max user feedbacks (0 = unlimited)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for VOI scoring and candidate generation (1 = serial; results are identical either way)")
 		outPath   = flag.String("o", "", "write the repaired instance to this CSV file")
 	)
 	flag.Parse()
@@ -37,13 +39,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *rulesPath, *truthPath, *strategy, *budget, *seed, *outPath); err != nil {
+	if err := run(*dataPath, *rulesPath, *truthPath, *strategy, *budget, *seed, *workers, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "gdr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, rulesPath, truthPath, strategy string, budget int, seed int64, outPath string) error {
+func run(dataPath, rulesPath, truthPath, strategy string, budget int, seed int64, workers int, outPath string) error {
 	db, err := gdr.ReadCSVFile(dataPath)
 	if err != nil {
 		return err
@@ -63,9 +65,9 @@ func run(dataPath, rulesPath, truthPath, strategy string, budget int, seed int64
 		if err != nil {
 			return err
 		}
-		res, err := gdr.Run(gdr.Strategy(strategy), db, truth, rules, gdr.RunConfig{
-			Budget: budget, Seed: seed, RecordEvery: 25,
-		})
+		rc := gdr.RunConfig{Budget: budget, Seed: seed, RecordEvery: 25}
+		rc.Session.Workers = workers
+		res, err := gdr.Run(gdr.Strategy(strategy), db, truth, rules, rc)
 		if err != nil {
 			return err
 		}
@@ -83,12 +85,12 @@ func run(dataPath, rulesPath, truthPath, strategy string, budget int, seed int64
 		return nil
 	}
 
-	return interactive(db, rules, budget, seed, outPath)
+	return interactive(db, rules, budget, seed, workers, outPath)
 }
 
 // interactive drives a live session against a human on stdin.
-func interactive(db *gdr.DB, rules []*gdr.CFD, budget int, seed int64, outPath string) error {
-	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: seed})
+func interactive(db *gdr.DB, rules []*gdr.CFD, budget int, seed int64, workers int, outPath string) error {
+	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}

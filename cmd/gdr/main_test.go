@@ -40,7 +40,7 @@ func TestSimulatedRunFromFiles(t *testing.T) {
 		filepath.Join(dir, "dirty.csv"),
 		filepath.Join(dir, "rules.txt"),
 		filepath.Join(dir, "truth.csv"),
-		"GDR", 40, 1, "")
+		"GDR", 40, 1, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,17 +48,17 @@ func TestSimulatedRunFromFiles(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := writeWorkload(t)
-	if err := run("nope.csv", filepath.Join(dir, "rules.txt"), "", "GDR", 0, 1, ""); err == nil {
+	if err := run("nope.csv", filepath.Join(dir, "rules.txt"), "", "GDR", 0, 1, 1, ""); err == nil {
 		t.Fatal("want error for missing data file")
 	}
-	if err := run(filepath.Join(dir, "dirty.csv"), "nope.txt", "", "GDR", 0, 1, ""); err == nil {
+	if err := run(filepath.Join(dir, "dirty.csv"), "nope.txt", "", "GDR", 0, 1, 1, ""); err == nil {
 		t.Fatal("want error for missing rules file")
 	}
 	if err := run(
 		filepath.Join(dir, "dirty.csv"),
 		filepath.Join(dir, "rules.txt"),
 		filepath.Join(dir, "truth.csv"),
-		"NoSuchStrategy", 10, 1, ""); err == nil {
+		"NoSuchStrategy", 10, 1, 1, ""); err == nil {
 		t.Fatal("want error for unknown strategy")
 	}
 }

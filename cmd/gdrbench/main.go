@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gdr"
 )
@@ -25,17 +26,18 @@ func main() {
 		n       = flag.Int("n", 20000, "records per dataset")
 		seed    = flag.Int64("seed", 7, "random seed")
 		rate    = flag.Float64("dirty", 0.3, "fraction of perturbed tuples")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for figure cells and session internals (1 = serial; output is identical either way)")
 		verbose = flag.Bool("v", false, "print progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*figure, *ds, *n, *seed, *rate, *verbose); err != nil {
+	if err := run(*figure, *ds, *n, *seed, *rate, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "gdrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure, ds string, n int, seed int64, rate float64, verbose bool) error {
-	cfg := gdr.FigureConfig{N: n, Seed: seed, DirtyRate: rate}
+func run(figure, ds string, n int, seed int64, rate float64, workers int, verbose bool) error {
+	cfg := gdr.FigureConfig{N: n, Seed: seed, DirtyRate: rate, Workers: workers}
 	var datasets []int
 	switch ds {
 	case "1":

@@ -22,10 +22,10 @@ func TestDatasetByID(t *testing.T) {
 }
 
 func TestRunArgValidation(t *testing.T) {
-	if err := run("9", "1", 100, 1, 0.3, false); err == nil {
+	if err := run("9", "1", 100, 1, 0.3, 1, false); err == nil {
 		t.Fatal("want error for unknown figure")
 	}
-	if err := run("3", "zzz", 100, 1, 0.3, false); err == nil {
+	if err := run("3", "zzz", 100, 1, 0.3, 1, false); err == nil {
 		t.Fatal("want error for unknown dataset")
 	}
 }
@@ -34,7 +34,7 @@ func TestRunTinyFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full (small) figure")
 	}
-	if err := run("5", "2", 600, 1, 0.3, false); err != nil {
+	if err := run("5", "2", 600, 1, 0.3, 2, false); err != nil {
 		t.Fatal(err)
 	}
 }

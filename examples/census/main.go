@@ -9,33 +9,42 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gdr"
 )
 
 func main() {
-	fmt.Println("generating Dataset 2 (census records, n=4000, 30% dirty)...")
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "generating Dataset 2 (census records, n=4000, 30% dirty)...")
 	data := gdr.CensusData(gdr.DataConfig{N: 4000, Seed: 21})
 
-	fmt.Printf("\ndiscovered %d constant CFDs from the dirty instance (5%% support); first 12:\n", len(data.Rules))
+	fmt.Fprintf(w, "\ndiscovered %d constant CFDs from the dirty instance (5%% support); first 12:\n", len(data.Rules))
 	for i, r := range data.Rules {
 		if i >= 12 {
 			break
 		}
-		fmt.Printf("  %s\n", r)
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 
 	res, err := gdr.Run(gdr.StrategyGDR, data.Dirty, data.Truth, data.Rules, gdr.RunConfig{
 		Budget: 400, Seed: 5, RecordEvery: 50,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nGDR with %d feedbacks: %.1f%% quality improvement, precision %.3f, recall %.3f\n",
+	fmt.Fprintf(w, "\nGDR with %d feedbacks: %.1f%% quality improvement, precision %.3f, recall %.3f\n",
 		res.Verified, res.FinalImprovement, res.Precision, res.Recall)
-	fmt.Printf("learner decided %d further updates without user involvement\n", res.LearnerDecisions)
-	fmt.Println("\nbecause this dataset's errors are random (no learnable correlations),")
-	fmt.Println("the learner helps less than on the hospital data — the paper's")
-	fmt.Println("Dataset 2 observation.")
+	fmt.Fprintf(w, "learner decided %d further updates without user involvement\n", res.LearnerDecisions)
+	fmt.Fprintln(w, "\nbecause this dataset's errors are random (no learnable correlations),")
+	fmt.Fprintln(w, "the learner helps less than on the hospital data — the paper's")
+	fmt.Fprintln(w, "Dataset 2 observation.")
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the Dataset 2 example: rules must be discovered from
+// the dirty instance and a GDR run must complete.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs discovery plus a full GDR run on n=4000")
+	}
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "discovered ") {
+		t.Fatalf("no discovery line:\n%s", out)
+	}
+	if !strings.Contains(out, "quality improvement") {
+		t.Fatalf("no run summary:\n%s", out)
+	}
+}

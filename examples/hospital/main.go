@@ -10,24 +10,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gdr"
 )
 
 func main() {
-	fmt.Println("generating Dataset 1 (hospital visits, n=4000, 30% dirty)...")
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "generating Dataset 1 (hospital visits, n=4000, 30% dirty)...")
 	data := gdr.HospitalData(gdr.DataConfig{N: 4000, Seed: 11})
 
 	probe, err := gdr.Run(gdr.StrategyHeuristic, data.Dirty, data.Truth, data.Rules, gdr.RunConfig{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	e := probe.InitialDirty
 	budget := e / 5 // 20% of the initial dirty tuples, the paper's sweet spot
-	fmt.Printf("initial dirty tuples E = %d; feedback budget = %d (20%% of E)\n\n", e, budget)
+	fmt.Fprintf(w, "initial dirty tuples E = %d; feedback budget = %d (20%% of E)\n\n", e, budget)
 
-	fmt.Printf("%-18s %10s %10s %10s %12s %10s %8s\n",
+	fmt.Fprintf(w, "%-18s %10s %10s %10s %12s %10s %8s\n",
 		"strategy", "feedback", "learner", "applied", "improvement", "precision", "recall")
 	for _, st := range []gdr.Strategy{gdr.StrategyHeuristic, gdr.StrategyGDRNoLearning, gdr.StrategyGDR} {
 		rc := gdr.RunConfig{Budget: budget, Seed: 3, RecordEvery: 100}
@@ -36,14 +44,15 @@ func main() {
 		}
 		res, err := gdr.Run(st, data.Dirty, data.Truth, data.Rules, rc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-18s %10d %10d %10d %11.1f%% %10.3f %8.3f\n",
+		fmt.Fprintf(w, "%-18s %10d %10d %10d %11.1f%% %10.3f %8.3f\n",
 			st, res.Verified, res.LearnerDecisions, res.Applied,
 			res.FinalImprovement, res.Precision, res.Recall)
 	}
 
-	fmt.Println("\nGDR leverages the correlated errors (e.g. source S2 corrupts City,")
-	fmt.Println("S3 swaps boundary zips): after a few labels per group, the learned")
-	fmt.Println("per-attribute forests decide the remaining updates automatically.")
+	fmt.Fprintln(w, "\nGDR leverages the correlated errors (e.g. source S2 corrupts City,")
+	fmt.Fprintln(w, "S3 swaps boundary zips): after a few labels per group, the learned")
+	fmt.Fprintln(w, "per-attribute forests decide the remaining updates automatically.")
+	return nil
 }

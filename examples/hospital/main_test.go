@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the Dataset 1 comparison: all three strategy rows
+// must be produced.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full strategy runs on n=4000")
+	}
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Heuristic", "GDR-NoLearning", "initial dirty tuples E = "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

@@ -9,12 +9,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gdr"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	schema := gdr.MustSchema("Customer", []string{"Name", "CT", "STT", "ZIP"})
 	db := gdr.NewDB(schema)
 	// Seed the store with a few clean records.
@@ -32,7 +40,7 @@ phi4: ZIP -> CT, STT :: 46391 || Westville, IN
 `)
 	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	entries := []gdr.Tuple{
@@ -44,16 +52,16 @@ phi4: ZIP -> CT, STT :: 46391 || Westville, IN
 	for _, entry := range entries {
 		tid, err := sess.Insert(entry)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("entered %v\n", entry)
+		fmt.Fprintf(w, "entered %v\n", entry)
 		if !sess.Engine().IsDirty(tid) {
-			fmt.Println("  ✓ consistent with all rules")
+			fmt.Fprintln(w, "  ✓ consistent with all rules")
 			continue
 		}
 		for _, attr := range db.Schema.Attrs {
 			if u, ok := sess.Pending(gdr.CellKey{Tid: tid, Attr: attr}); ok {
-				fmt.Printf("  ✗ suggestion: %s %q -> %q (score %.2f)\n",
+				fmt.Fprintf(w, "  ✗ suggestion: %s %q -> %q (score %.2f)\n",
 					attr, db.Get(tid, attr), u.Value, u.Score)
 			}
 		}
@@ -61,10 +69,11 @@ phi4: ZIP -> CT, STT :: 46391 || Westville, IN
 		for _, attr := range db.Schema.Attrs {
 			if u, ok := sess.Pending(gdr.CellKey{Tid: tid, Attr: attr}); ok {
 				sess.UserFeedback(u, gdr.Confirm)
-				fmt.Printf("  → applied %s := %q\n", attr, u.Value)
+				fmt.Fprintf(w, "  → applied %s := %q\n", attr, u.Value)
 				break
 			}
 		}
 	}
-	fmt.Printf("\nfinal state: %d tuples, %d still dirty\n", db.N(), sess.Engine().DirtyCount())
+	fmt.Fprintf(w, "\nfinal state: %d tuples, %d still dirty\n", db.N(), sess.Engine().DirtyCount())
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the online-monitoring example: clean entries pass,
+// dirty ones get on-the-spot suggestions.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "✓ consistent with all rules") {
+		t.Fatalf("clean entry not recognized:\n%s", out)
+	}
+	if !strings.Contains(out, "✗ suggestion:") || !strings.Contains(out, "→ applied") {
+		t.Fatalf("no suggestion produced for a dirty entry:\n%s", out)
+	}
+	if !strings.Contains(out, "final state: 7 tuples") {
+		t.Fatalf("unexpected final state:\n%s", out)
+	}
+}

@@ -9,12 +9,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gdr"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	schema := gdr.MustSchema("Customer", []string{"Name", "STR", "CT", "STT", "ZIP"})
 	db := gdr.NewDB(schema)
 	rows := []gdr.Tuple{
@@ -42,10 +50,10 @@ phi5: STR, CT -> ZIP :: _, Fort Wayne || _
 
 	sess, err := gdr.NewSession(db, rules, gdr.SessionConfig{Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	oracle := gdr.NewOracle(truth)
-	fmt.Printf("dirty tuples: %d, suggested updates: %d\n\n", sess.InitialDirtyCount(), sess.PendingCount())
+	fmt.Fprintf(w, "dirty tuples: %d, suggested updates: %d\n\n", sess.InitialDirtyCount(), sess.PendingCount())
 
 	for sess.PendingCount() > 0 {
 		groups := sess.Groups(gdr.OrderVOI, nil)
@@ -53,20 +61,21 @@ phi5: STR, CT -> ZIP :: _, Fort Wayne || _
 			break
 		}
 		g := groups[0]
-		fmt.Printf("inspecting group %s (benefit %.3f, %d updates)\n", g.Key, g.Benefit, g.Size())
+		fmt.Fprintf(w, "inspecting group %s (benefit %.3f, %d updates)\n", g.Key, g.Benefit, g.Size())
 		for _, u := range g.Updates {
 			if cur, ok := sess.Pending(u.Cell()); !ok || cur != u {
 				continue
 			}
 			fb := oracle.Feedback(db, u)
-			fmt.Printf("  t%d.%s %q -> %q : %s\n", u.Tid, u.Attr, db.Get(u.Tid, u.Attr), u.Value, fb)
+			fmt.Fprintf(w, "  t%d.%s %q -> %q : %s\n", u.Tid, u.Attr, db.Get(u.Tid, u.Attr), u.Value, fb)
 			sess.UserFeedback(u, fb)
 		}
 	}
 
-	fmt.Printf("\nremaining dirty tuples: %d, feedbacks used: %d\n", sess.Engine().DirtyCount(), oracle.Asked)
-	fmt.Println("\nrepaired instance:")
+	fmt.Fprintf(w, "\nremaining dirty tuples: %d, feedbacks used: %d\n", sess.Engine().DirtyCount(), oracle.Asked)
+	fmt.Fprintln(w, "\nrepaired instance:")
 	for tid := 0; tid < db.N(); tid++ {
-		fmt.Printf("  %v\n", db.Tuple(tid))
+		fmt.Fprintf(w, "  %v\n", db.Tuple(tid))
 	}
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: the Figure 1 instance must be
+// fully repaired and the session converge.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "remaining dirty tuples: 0") {
+		t.Fatalf("instance not fully repaired:\n%s", out)
+	}
+	if !strings.Contains(out, "repaired instance:") {
+		t.Fatalf("missing final table:\n%s", out)
+	}
+}

@@ -7,12 +7,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gdr"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Two relations: visits reference hospitals by name.
 	visits := gdr.NewDB(gdr.MustSchema("Visits", []string{"Patient", "HospitalName", "Street", "Zip"}))
 	hospitals := gdr.NewDB(gdr.MustSchema("Hospitals", []string{"Name", "City"}))
@@ -32,17 +40,17 @@ func main() {
 	// CIND: every visit must name an existing hospital.
 	ref, err := gdr.NewCIND("ref", []string{"HospitalName"}, []string{"Name"}, nil, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cch, err := gdr.NewCINDChecker(visits, hospitals, []*gdr.CIND{ref})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("CIND violations (dangling references):")
+	fmt.Fprintln(w, "CIND violations (dangling references):")
 	for _, v := range cch.Violations() {
-		fmt.Printf("  t%d references %q — not in Hospitals\n", v.Tid, visits.Get(v.Tid, "HospitalName"))
+		fmt.Fprintf(w, "  t%d references %q — not in Hospitals\n", v.Tid, visits.Get(v.Tid, "HospitalName"))
 		for _, s := range cch.Suggest(v, 1) {
-			fmt.Printf("    suggest %s := %q (score %.2f)\n", s.Attr, s.Value, s.Score)
+			fmt.Fprintf(w, "    suggest %s := %q (score %.2f)\n", s.Attr, s.Value, s.Score)
 			visits.Set(s.Tid, s.Attr, s.Value) // accept the fix
 		}
 	}
@@ -50,25 +58,26 @@ func main() {
 	// MD: visits with nearly identical streets must carry the same zip.
 	mdRule, err := gdr.NewMD("street-zip", "Street", 0.85, "Zip")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mch, err := gdr.NewMDChecker(visits, []*gdr.MD{mdRule})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nMD violations (similar streets, diverging zips):")
+	fmt.Fprintln(w, "\nMD violations (similar streets, diverging zips):")
 	for _, v := range mch.AllViolations() {
-		fmt.Printf("  t%d %q / t%d %q (sim %.2f) but zips %s vs %s\n",
+		fmt.Fprintf(w, "  t%d %q / t%d %q (sim %.2f) but zips %s vs %s\n",
 			v.T1, visits.Get(v.T1, "Street"), v.T2, visits.Get(v.T2, "Street"), v.Similarity,
 			visits.Get(v.T1, "Zip"), visits.Get(v.T2, "Zip"))
 		sugs := mch.Suggest(v)
 		best := sugs[0]
-		fmt.Printf("    identify: t%d.%s := %q (support %d)\n", best.Tid, best.Attr, best.Value, best.Support)
+		fmt.Fprintf(w, "    identify: t%d.%s := %q (support %d)\n", best.Tid, best.Attr, best.Value, best.Support)
 		visits.Set(best.Tid, best.Attr, best.Value)
 	}
 
-	fmt.Println("\nrepaired visits:")
+	fmt.Fprintln(w, "\nrepaired visits:")
 	for tid := 0; tid < visits.N(); tid++ {
-		fmt.Printf("  %v\n", visits.Tuple(tid))
+		fmt.Fprintf(w, "  %v\n", visits.Tuple(tid))
 	}
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the CIND/MD example: the dangling reference and the
+// diverging zip must both be detected and repaired.
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "not in Hospitals") {
+		t.Fatalf("dangling reference not detected:\n%s", out)
+	}
+	if !strings.Contains(out, "identify: ") {
+		t.Fatalf("MD violation not repaired:\n%s", out)
+	}
+	if !strings.Contains(out, `"St. Mary Medical Center"`) {
+		t.Fatalf("reference not fixed to the canonical name:\n%s", out)
+	}
+}

@@ -75,6 +75,27 @@ func TestFacadeDiscoveryAndCSV(t *testing.T) {
 	}
 }
 
+// TestFacadeFigureWorkersDeterminism exercises the public parallel knob:
+// the same seed must render byte-identical figures whether the harness runs
+// serially or on an 8-worker pool.
+func TestFacadeFigureWorkersDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		d := gdr.HospitalData(gdr.DataConfig{N: 400, Seed: 13})
+		fig, err := gdr.Figure3(d, gdr.FigureConfig{N: 400, Seed: 13, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := fig.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Fatalf("figure differs between Workers=1 and Workers=8:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
 func TestFacadeOracle(t *testing.T) {
 	d := gdr.HospitalData(gdr.DataConfig{N: 200, Seed: 4})
 	o := gdr.NewOracle(d.Truth)

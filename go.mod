@@ -1,0 +1,3 @@
+module gdr
+
+go 1.24

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// The facade must reject impossible inputs with errors, not panics, and
+// treat legitimately empty inputs (no tuples, no rules) as valid sessions.
+
+func TestNewSessionNilDB(t *testing.T) {
+	if _, err := NewSession(nil, nil, Config{}); err == nil {
+		t.Fatal("want error for nil database")
+	}
+}
+
+func TestNewSessionNilRule(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	db.MustInsert(relation.Tuple{"x", "y"})
+	rules := []*cfd.CFD{nil}
+	if _, err := NewSession(db, rules, Config{}); err == nil {
+		t.Fatal("want error for nil rule entry")
+	}
+}
+
+func TestNewSessionEmptyDB(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	rules := cfd.MustParse("r: A -> B :: x || y")
+	s, err := NewSession(db, rules, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.InitialDirtyCount() != 0 || s.PendingCount() != 0 {
+		t.Fatalf("empty DB session: dirty=%d pending=%d", s.InitialDirtyCount(), s.PendingCount())
+	}
+	for _, order := range []Order{OrderVOI, OrderGreedy, OrderRandom} {
+		if gs := s.Groups(order, nil); len(gs) != 0 {
+			t.Fatalf("order %v: %d groups on an empty instance", order, len(gs))
+		}
+	}
+}
+
+func TestNewSessionZeroRules(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	db.MustInsert(relation.Tuple{"x", "y"})
+	s, err := NewSession(db, nil, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingCount() != 0 {
+		t.Fatalf("zero-rule session suggested %d updates", s.PendingCount())
+	}
+	if gs := s.Groups(OrderVOI, nil); len(gs) != 0 {
+		t.Fatalf("zero-rule session produced %d groups", len(gs))
+	}
+}
+
+// TestGroupsRandomNilRNG: a nil rng is explicit, supported behavior — the
+// shuffle falls back to a session-owned source seeded from Config.Seed, so
+// it is deterministic per configuration rather than silently skipped.
+func TestGroupsRandomNilRNG(t *testing.T) {
+	build := func(seed int64) *Session {
+		db := relation.NewDB(relation.MustSchema("R", []string{"CT", "ZIP"}))
+		for i := 0; i < 4; i++ {
+			db.MustInsert(relation.Tuple{"WrongA", "46360"})
+			db.MustInsert(relation.Tuple{"WrongB", "46825"})
+			db.MustInsert(relation.Tuple{"WrongC", "46391"})
+		}
+		rules := cfd.MustParse(`
+a: ZIP -> CT :: 46360 || Michigan City
+b: ZIP -> CT :: 46825 || Fort Wayne
+c: ZIP -> CT :: 46391 || Westville
+`)
+		s, err := NewSession(db, rules, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	keys := func(s *Session) []string {
+		var out []string
+		for _, g := range s.Groups(OrderRandom, nil) {
+			out = append(out, g.Key.String())
+		}
+		return out
+	}
+	if !reflect.DeepEqual(keys(build(5)), keys(build(5))) {
+		t.Fatal("nil-rng shuffle not deterministic for equal seeds")
+	}
+	// Successive calls advance the fallback source: the shuffle is live, not
+	// frozen. With 3 groups any two permutations can collide by chance, so
+	// draw several times and require at least two distinct orders.
+	s := build(5)
+	first := keys(s)
+	varied := false
+	for i := 0; i < 8 && !varied; i++ {
+		varied = !reflect.DeepEqual(first, keys(s))
+	}
+	if !varied {
+		t.Fatalf("fallback rng did not advance: always %v", first)
+	}
+}
+
+func TestRunNilInstances(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	db.MustInsert(relation.Tuple{"x", "y"})
+	if _, err := Run(StrategyGDR, nil, db, nil, RunConfig{}); err == nil {
+		t.Fatal("want error for nil dirty instance")
+	}
+	if _, err := Run(StrategyGDR, db, nil, nil, RunConfig{}); err == nil {
+		t.Fatal("want error for nil ground truth")
+	}
+}
+
+// TestRunZeroRules: a run with no rules has nothing to repair and must
+// terminate immediately with a well-formed result.
+func TestRunZeroRules(t *testing.T) {
+	db := relation.NewDB(relation.MustSchema("R", []string{"A", "B"}))
+	db.MustInsert(relation.Tuple{"x", "y"})
+	res, err := Run(StrategyGDR, db, db.Clone(), nil, RunConfig{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified != 0 || res.Applied != 0 || res.InitialDirty != 0 {
+		t.Fatalf("zero-rule run did work: %+v", res)
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -51,6 +52,11 @@ type Config struct {
 	MinAccuracy float64
 	// Seed drives every random choice in the session.
 	Seed int64
+	// Workers bounds the goroutines used for the session's CPU-heavy
+	// read-only batches: VOI group scoring and repair-candidate generation.
+	// 0 and 1 select the serial path. Results are byte-identical at any
+	// setting — same seed, same figures, regardless of worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinAccuracy <= 0 || c.MinAccuracy > 1 {
 		c.MinAccuracy = 0.4
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -117,6 +126,10 @@ type Session struct {
 	predCache map[predKey]predVal
 	tupleVer  []uint32
 
+	// shuffleRNG is the deterministic fallback source for
+	// Groups(OrderRandom, nil), created on first use from Config.Seed.
+	shuffleRNG *rand.Rand
+
 	initialDirty int
 
 	// Applied counts cell changes written to the database (user confirms,
@@ -128,14 +141,24 @@ type Session struct {
 }
 
 // NewSession builds a session over db (which it mutates as repairs are
-// applied) and generates the initial PossibleUpdates list.
+// applied) and generates the initial PossibleUpdates list. A nil database
+// or a nil rule entry is reported as an error, not a panic; an empty
+// instance or an empty rule set yields a valid session with no suggestions.
 func NewSession(db *relation.DB, rules []*cfd.CFD, cfg Config) (*Session, error) {
+	if db == nil {
+		return nil, fmt.Errorf("core: nil database")
+	}
+	for i, r := range rules {
+		if r == nil {
+			return nil, fmt.Errorf("core: nil rule at index %d", i)
+		}
+	}
 	cfg = cfg.withDefaults()
 	eng, err := cfd.NewEngine(db, rules)
 	if err != nil {
 		return nil, err
 	}
-	gen := repair.NewGenerator(eng)
+	gen := repair.NewGenerator(eng, repair.WithWorkers(cfg.Workers))
 	s := &Session{
 		cfg:          cfg,
 		db:           db,
@@ -208,20 +231,52 @@ func (s *Session) GroupUpdates(k group.Key) []repair.Update {
 
 // Groups partitions the pending updates and ranks the groups: by VOI
 // benefit (step 4 of Procedure 1), by size, or randomly. rng is only used
-// for OrderRandom.
+// for OrderRandom; passing rng == nil there is explicit, supported behavior
+// — the session falls back to its own generator seeded from Config.Seed, so
+// the shuffle is deterministic per session rather than silently skipped.
+//
+// With Config.Workers > 1 the VOI benefit of each group is computed on a
+// worker pool. The learner probabilities p̃j are precomputed serially first
+// (the committee caches are not concurrency-safe), after which scoring is
+// read-only; the resulting ranking is identical at any worker count.
 func (s *Session) Groups(order Order, rng *rand.Rand) []*group.Group {
 	gs := group.Partition(s.PendingUpdates())
 	switch order {
 	case OrderVOI:
-		s.ranker.Rank(gs, s.Prob)
+		if s.cfg.Workers > 1 {
+			probs := s.probTable(gs)
+			s.ranker.RankParallel(gs, func(u repair.Update) float64 { return probs[u] }, s.cfg.Workers)
+		} else {
+			s.ranker.Rank(gs, s.Prob)
+		}
 	case OrderGreedy:
 		group.SortBySize(gs)
 	case OrderRandom:
-		if rng != nil {
-			rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
+		if rng == nil {
+			if s.shuffleRNG == nil {
+				s.shuffleRNG = rand.New(rand.NewSource(s.cfg.Seed))
+			}
+			rng = s.shuffleRNG
 		}
+		rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
 	}
 	return gs
+}
+
+// probTable precomputes the user-model probability p̃j for every pending
+// update in gs. Session.Prob consults (and memoizes into) the committee
+// prediction caches, which are single-goroutine; snapshotting the values
+// up front leaves the parallel ranking phase purely read-only.
+func (s *Session) probTable(gs []*group.Group) map[repair.Update]float64 {
+	m := make(map[repair.Update]float64, len(s.possible))
+	for _, g := range gs {
+		for _, u := range g.Updates {
+			if _, ok := m[u]; !ok {
+				m[u] = s.Prob(u)
+			}
+		}
+	}
+	return m
 }
 
 // model returns (creating if needed) the learner for an attribute.

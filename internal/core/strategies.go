@@ -97,6 +97,12 @@ type runner struct {
 // Run executes one strategy on a copy of the dirty instance, simulating the
 // user with a ground-truth oracle, and returns the quality trajectory.
 func Run(st Strategy, dirty, truth *relation.DB, rules []*cfd.CFD, rc RunConfig) (*Result, error) {
+	if dirty == nil {
+		return nil, fmt.Errorf("core: nil dirty instance")
+	}
+	if truth == nil {
+		return nil, fmt.Errorf("core: nil ground-truth instance")
+	}
 	rc = rc.withDefaults()
 	db := dirty.Clone()
 	sess, err := NewSession(db, rules, rc.Session)

@@ -11,9 +11,11 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"gdr/internal/core"
 	"gdr/internal/dataset"
+	"gdr/internal/par"
 )
 
 // Point is one (x, y) sample of a curve.
@@ -49,6 +51,17 @@ type Config struct {
 	// fractions of the initial dirty-tuple count E.
 	// Default {0.05, 0.1, 0.2, ..., 1.0}.
 	BudgetFractions []float64
+	// Workers sizes the harness's worker pool: each figure's independent
+	// (dataset × budget × strategy) cells run as parallel simulated-user
+	// runs. Unless Session.Workers is set explicitly, the budget is split
+	// between the two levels — cells take priority and each session gets
+	// the leftover share for its internal VOI scoring and candidate
+	// generation, so the total runnable goroutines stay near Workers
+	// instead of Workers². 0 and 1 select the serial path. Figures are
+	// byte-identical at any setting: every cell owns a clone of the dirty
+	// instance and a per-cell seeded RNG, and results are assembled in cell
+	// order, never completion order.
+	Workers int
 	// Session tunes the underlying GDR sessions.
 	Session core.Config
 }
@@ -63,7 +76,23 @@ func (c Config) withDefaults() Config {
 	if len(c.BudgetFractions) == 0 {
 		c.BudgetFractions = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
+	c.Workers = par.Workers(c.Workers)
 	return c
+}
+
+// sessionConfig resolves the per-session worker share when concurrent
+// cells divide the harness pool: an explicit Session.Workers always wins;
+// otherwise each of the concurrent cells gets an equal slice of the knob
+// (at least 1, i.e. serial sessions once cells alone saturate the pool).
+func sessionConfig(cfg Config, concurrentCells int) core.Config {
+	sc := cfg.Session
+	if sc.Workers == 0 {
+		if concurrentCells < 1 {
+			concurrentCells = 1
+		}
+		sc.Workers = par.Workers(cfg.Workers / concurrentCells)
+	}
+	return sc
 }
 
 // Dataset materializes the paper's Dataset 1 (hospital) or 2 (census).
@@ -80,11 +109,54 @@ func Dataset(id int, cfg Config) (*dataset.Data, error) {
 	}
 }
 
+// cell is one independent unit of figure work: a complete simulated-user
+// run of one strategy at one feedback budget. Cells only read the shared
+// dataset (each run repairs its own clone) and each owns a freshly seeded
+// RNG, so a figure's cells can execute in any order and in parallel.
+type cell struct {
+	st          core.Strategy
+	budget      int // 0 = run to convergence
+	recordEvery int
+}
+
+// runCells executes one core.Run per cell on the harness's worker pool and
+// returns the results indexed like cells — completion order never leaks
+// into the output, which keeps figures byte-identical at any worker count.
+// Once any cell fails, not-yet-started cells are skipped: the figure is
+// doomed anyway, and at paper scale each cell is a multi-second run.
+func runCells(d *dataset.Data, cfg Config, cells []cell) ([]*core.Result, error) {
+	out := make([]*core.Result, len(cells))
+	sess := sessionConfig(cfg, min(len(cells), cfg.Workers))
+	var failed atomic.Bool
+	err := par.ForEach(cfg.Workers, len(cells), func(i int) error {
+		if failed.Load() {
+			return nil
+		}
+		res, err := core.Run(cells[i].st, d.Dirty, d.Truth, d.Rules, core.RunConfig{
+			Session:     sess,
+			Budget:      cells[i].budget,
+			RecordEvery: cells[i].recordEvery,
+			Seed:        cfg.Seed + 1,
+		})
+		if err != nil {
+			failed.Store(true)
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Figure3 reproduces Figure 3: the quality trajectory of the learning-free
 // ranking strategies (GDR-NoLearning, Greedy, Random) as user feedback
 // accumulates. Feedback is reported, as in the paper, as a percentage of
 // each approach's own total verified updates; every strategy runs to
-// convergence.
+// convergence. The three strategy runs are independent cells on the
+// harness's worker pool.
 func Figure3(d *dataset.Data, cfg Config) (Figure, error) {
 	cfg = cfg.withDefaults()
 	fig := Figure{
@@ -93,16 +165,17 @@ func Figure3(d *dataset.Data, cfg Config) (Figure, error) {
 		XLabel: "feedback (% of updates verified by the approach)",
 		YLabel: "% quality improvement",
 	}
-	for _, st := range []core.Strategy{core.StrategyGDRNoLearning, core.StrategyGreedy, core.StrategyRandom} {
-		res, err := core.Run(st, d.Dirty, d.Truth, d.Rules, core.RunConfig{
-			Session:     cfg.Session,
-			RecordEvery: recordStep(cfg.N),
-			Seed:        cfg.Seed + 1,
-		})
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, normalizeTrajectory(string(st), res))
+	strategies := []core.Strategy{core.StrategyGDRNoLearning, core.StrategyGreedy, core.StrategyRandom}
+	cells := make([]cell, len(strategies))
+	for i, st := range strategies {
+		cells[i] = cell{st: st, recordEvery: recordStep(cfg.N)}
+	}
+	results, err := runCells(d, cfg, cells)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, res := range results {
+		fig.Series = append(fig.Series, normalizeTrajectory(string(strategies[i]), res))
 	}
 	return fig, nil
 }
@@ -127,29 +200,29 @@ func Figure4(d *dataset.Data, cfg Config) (Figure, error) {
 		core.StrategyGDR, core.StrategyGDRSLearning,
 		core.StrategyActiveLearning, core.StrategyGDRNoLearning,
 	}
+	// One cell per (strategy, budget) pair plus the single heuristic run;
+	// only the final improvement of each run matters.
+	var cells []cell
 	for _, st := range strategies {
-		s := Series{Name: string(st)}
 		for _, frac := range cfg.BudgetFractions {
 			budget := int(math.Ceil(frac * float64(e)))
-			res, err := core.Run(st, d.Dirty, d.Truth, d.Rules, core.RunConfig{
-				Session:     cfg.Session,
-				Budget:      budget,
-				RecordEvery: 1 << 30, // only the final point matters
-				Seed:        cfg.Seed + 1,
-			})
-			if err != nil {
-				return Figure{}, err
-			}
+			cells = append(cells, cell{st: st, budget: budget, recordEvery: 1 << 30})
+		}
+	}
+	cells = append(cells, cell{st: core.StrategyHeuristic, recordEvery: 1 << 30})
+	results, err := runCells(d, cfg, cells)
+	if err != nil {
+		return Figure{}, err
+	}
+	for si, st := range strategies {
+		s := Series{Name: string(st)}
+		for fi, frac := range cfg.BudgetFractions {
+			res := results[si*len(cfg.BudgetFractions)+fi]
 			s.Points = append(s.Points, Point{X: 100 * frac, Y: res.FinalImprovement})
 		}
 		fig.Series = append(fig.Series, s)
 	}
-	heur, err := core.Run(core.StrategyHeuristic, d.Dirty, d.Truth, d.Rules, core.RunConfig{
-		Session: cfg.Session, RecordEvery: 1 << 30, Seed: cfg.Seed + 1,
-	})
-	if err != nil {
-		return Figure{}, err
-	}
+	heur := results[len(results)-1]
 	hs := Series{Name: string(core.StrategyHeuristic)}
 	for _, frac := range cfg.BudgetFractions {
 		hs.Points = append(hs.Points, Point{X: 100 * frac, Y: heur.FinalImprovement})
@@ -172,30 +245,29 @@ func Figure5(d *dataset.Data, cfg Config) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	cells := make([]cell, len(cfg.BudgetFractions))
+	for i, frac := range cfg.BudgetFractions {
+		cells[i] = cell{st: core.StrategyGDR, budget: int(math.Ceil(frac * float64(e))), recordEvery: 1 << 30}
+	}
+	results, err := runCells(d, cfg, cells)
+	if err != nil {
+		return Figure{}, err
+	}
 	prec := Series{Name: "Precision"}
 	rec := Series{Name: "Recall"}
-	for _, frac := range cfg.BudgetFractions {
-		budget := int(math.Ceil(frac * float64(e)))
-		res, err := core.Run(core.StrategyGDR, d.Dirty, d.Truth, d.Rules, core.RunConfig{
-			Session:     cfg.Session,
-			Budget:      budget,
-			RecordEvery: 1 << 30,
-			Seed:        cfg.Seed + 1,
-		})
-		if err != nil {
-			return Figure{}, err
-		}
-		prec.Points = append(prec.Points, Point{X: 100 * frac, Y: res.Precision})
-		rec.Points = append(rec.Points, Point{X: 100 * frac, Y: res.Recall})
+	for i, frac := range cfg.BudgetFractions {
+		prec.Points = append(prec.Points, Point{X: 100 * frac, Y: results[i].Precision})
+		rec.Points = append(rec.Points, Point{X: 100 * frac, Y: results[i].Recall})
 	}
 	fig.Series = append(fig.Series, prec, rec)
 	return fig, nil
 }
 
 // initialDirty counts E on a throwaway session (cheap relative to runs).
+// It runs alone, so it gets the whole worker budget.
 func initialDirty(d *dataset.Data, cfg Config) (int, error) {
 	res, err := core.Run(core.StrategyGDRNoLearning, d.Dirty, d.Truth, d.Rules, core.RunConfig{
-		Session: cfg.Session, Budget: 1, RecordEvery: 1 << 30,
+		Session: sessionConfig(cfg, 1), Budget: 1, RecordEvery: 1 << 30,
 	})
 	if err != nil {
 		return 0, err

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderFigure regenerates one figure at the given worker count and returns
+// its rendered text table.
+func renderFigure(t *testing.T, id int, workers int) string {
+	t.Helper()
+	cfg := Config{N: 500, Seed: 11, Workers: workers, BudgetFractions: []float64{0.2, 0.6, 1.0}}
+	d, err := Dataset(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig Figure
+	switch id {
+	case 3:
+		fig, err = Figure3(d, cfg)
+	case 4:
+		fig, err = Figure4(d, cfg)
+	case 5:
+		fig, err = Figure5(d, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestFiguresDeterministicAcrossWorkerCounts is the harness's core
+// guarantee: the same seed produces byte-identical figures whether the
+// cells run serially or on an 8-worker pool (with the sessions' internal
+// VOI scoring and candidate generation parallelized too).
+func TestFiguresDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, id := range []int{3, 4, 5} {
+		serial := renderFigure(t, id, 1)
+		parallel := renderFigure(t, id, 8)
+		if serial != parallel {
+			t.Errorf("figure %d differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", id, serial, parallel)
+		}
+	}
+}
+
+// TestWorkerBudgetSplit checks the knob plumbing: the harness pool is
+// divided between concurrent cells and their sessions (never multiplied),
+// and an explicit Session.Workers always wins.
+func TestWorkerBudgetSplit(t *testing.T) {
+	cases := []struct {
+		workers, explicit, cells, want int
+	}{
+		{workers: 8, cells: 1, want: 8},              // lone run gets the whole budget
+		{workers: 8, cells: 4, want: 2},              // split across concurrent cells
+		{workers: 8, cells: 45, want: 1},             // cells saturate: serial sessions
+		{workers: 1, cells: 3, want: 1},              // serial harness, serial sessions
+		{workers: 8, cells: 4, explicit: 5, want: 5}, // explicit override
+	}
+	for _, c := range cases {
+		cfg := Config{Workers: c.workers}
+		cfg.Session.Workers = c.explicit
+		cfg = cfg.withDefaults()
+		if got := sessionConfig(cfg, min(c.cells, cfg.Workers)).Workers; got != c.want {
+			t.Errorf("workers=%d cells=%d explicit=%d: session workers = %d, want %d",
+				c.workers, c.cells, c.explicit, got, c.want)
+		}
+	}
+	if cfg := (Config{}).withDefaults(); cfg.Workers != 1 {
+		t.Fatalf("zero value not serial: %d", cfg.Workers)
+	}
+}

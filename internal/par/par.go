@@ -1,0 +1,69 @@
+// Package par is the tiny fan-out primitive behind every parallel batch in
+// the library: the experiment harness's figure cells, VOI group scoring and
+// batch repair-candidate generation. Work items are indexed, results land in
+// caller-owned slots, and errors are reported by lowest index, so a ForEach
+// over independent items is deterministic at any worker count.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: anything below 1 means serial.
+func Workers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the calls out over at
+// most workers goroutines. All items run even when some fail; the returned
+// error is the failure with the lowest index, so the outcome does not depend
+// on goroutine scheduling. workers <= 1 (or n <= 1) runs serially on the
+// calling goroutine with no synchronization at all.
+//
+// fn must be safe for concurrent invocation when workers > 1; writes to
+// distinct index-addressed slots need no further locking (ForEach
+// establishes the necessary happens-before edges on return).
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 7: 7} {
+		if got := Workers(in); got != want {
+			t.Errorf("Workers(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 257
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Indexes 3 and 9 fail; the reported error must always be index 3's,
+	// regardless of worker count or scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 12, func(i int) error {
+			if i == 3 || i == 9 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: err = %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache[[2]string, float64](1 << 10)
+	if _, ok := c.Get([2]string{"a", "b"}); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put([2]string{"a", "b"}, 0.5)
+	if v, ok := c.Get([2]string{"a", "b"}); !ok || v != 0.5 {
+		t.Fatalf("get = (%v, %v), want (0.5, true)", v, ok)
+	}
+	// Overwrite is allowed.
+	c.Put([2]string{"a", "b"}, 0.75)
+	if v, _ := c.Get([2]string{"a", "b"}); v != 0.75 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+}
+
+func TestCacheBoundAndConcurrency(t *testing.T) {
+	c := NewCache[int, int](64) // tiny: one entry per stripe
+	err := ForEach(8, 10_000, func(i int) error {
+		c.Put(i, i)
+		if v, ok := c.Get(i); ok && v != i {
+			t.Errorf("key %d holds %d", i, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	if total > stripes { // stripeCap is 1: at most one live entry per stripe
+		t.Fatalf("cache grew past its bound: %d entries", total)
+	}
+}
+
+func TestForEachRunsEverythingDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	_ = ForEach(3, 20, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d of 20 items", got)
+	}
+}

@@ -69,15 +69,28 @@ func itoa(i int) string {
 }
 
 // ensureIndex returns (building if needed) the co-occurrence index for the
-// given target and key attributes.
+// given target and key attributes. Indexes stay lazily built — sessions pay
+// only for the signatures scenario 3 actually demands — and lookups from
+// concurrent Suggest calls share a read lock, so the steady-state hot path
+// never contends; only a first-use build (or a serial-phase mutation)
+// takes the write lock. An index is only published once fully built, and
+// established indexes are never mutated during (read-only) batches.
 func (g *Generator) ensureIndex(target int, others []int) *cooccur {
 	sorted := append([]int(nil), others...)
 	sort.Ints(sorted)
 	sig := sigOf(target, sorted)
-	if idx, ok := g.indexes[sig]; ok {
+	g.indexMu.RLock()
+	idx, ok := g.indexes[sig]
+	g.indexMu.RUnlock()
+	if ok {
 		return idx
 	}
-	idx := &cooccur{target: target, others: sorted, m: make(map[string]map[string]int)}
+	g.indexMu.Lock()
+	defer g.indexMu.Unlock()
+	if idx, ok := g.indexes[sig]; ok {
+		return idx // another goroutine built it between the locks
+	}
+	idx = &cooccur{target: target, others: sorted, m: make(map[string]map[string]int)}
 	for tid := 0; tid < g.db.N(); tid++ {
 		t := g.db.Tuple(tid)
 		idx.add(idx.keyOf(func(ai int) string { return t[ai] }), t[target])
@@ -90,6 +103,8 @@ func (g *Generator) ensureIndex(target int, others []int) *cooccur {
 // (tid, ai) changed from old to new; the rest of the tuple is unchanged.
 func (g *Generator) updateIndexes(tid, ai int, oldV, newV string) {
 	t := g.db.Tuple(tid) // already holds the new value at ai
+	g.indexMu.Lock()
+	defer g.indexMu.Unlock()
 	for _, idx := range g.indexes {
 		inOthers := false
 		for _, o := range idx.others {

@@ -1,0 +1,84 @@
+package repair
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// dirtyFixture builds an instance where many tuples violate a mix of
+// constant and variable rules, so batch generation exercises all three
+// suggestion scenarios (including the co-occurrence indexes).
+func dirtyFixture(t *testing.T) *cfd.Engine {
+	t.Helper()
+	schema := relation.MustSchema("R", []string{"CT", "STT", "ZIP"})
+	db := relation.NewDB(schema)
+	for i := 0; i < 40; i++ {
+		city, zip := "Michigan City", "46360"
+		if i%2 == 1 {
+			city, zip = "Fort Wayne", "46825"
+		}
+		switch i % 5 {
+		case 2:
+			city = city + "X" // typo: violates the constant rule
+		case 3:
+			zip = fmt.Sprintf("%05d", 10000+i) // odd zip: variable-rule minority
+		}
+		db.MustInsert(relation.Tuple{city, "IN", zip})
+	}
+	eng, err := cfd.NewEngine(db, cfd.MustParse(`
+c1: ZIP -> CT :: 46360 || Michigan City
+c2: ZIP -> CT :: 46825 || Fort Wayne
+v1: CT -> ZIP :: _ || _
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSuggestBatchMatchesSerial(t *testing.T) {
+	engS := dirtyFixture(t)
+	engP := dirtyFixture(t)
+	serial := NewGenerator(engS).SuggestAll()
+	parallel := NewGenerator(engP, WithWorkers(8)).SuggestAll()
+	if len(serial) == 0 {
+		t.Fatal("fixture produced no suggestions")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel batch differs from serial:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}
+
+// TestSuggestBatchConcurrentCaches re-runs a parallel batch repeatedly so
+// the sharded similarity memo and the lazily built co-occurrence indexes
+// are hit from many goroutines (meaningful under -race).
+func TestSuggestBatchConcurrentCaches(t *testing.T) {
+	eng := dirtyFixture(t)
+	g := NewGenerator(eng, WithWorkers(8))
+	first := g.SuggestAll()
+	for i := 0; i < 5; i++ {
+		if again := g.SuggestAll(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("batch %d differs from first run", i)
+		}
+	}
+}
+
+func TestSuggestBatchAfterApplyStaysConsistent(t *testing.T) {
+	engS := dirtyFixture(t)
+	engP := dirtyFixture(t)
+	gs := NewGenerator(engS)
+	gp := NewGenerator(engP, WithWorkers(4))
+	// Interleave a serial mutation between read-only batches, as a session
+	// does: batches must reflect the new instance identically.
+	for _, g := range []*Generator{gs, gp} {
+		g.SuggestAll()
+		g.Apply(2, "CT", "Michigan City")
+	}
+	if !reflect.DeepEqual(gs.SuggestAll(), gp.SuggestAll()) {
+		t.Fatal("post-Apply batches diverged between serial and parallel generators")
+	}
+}

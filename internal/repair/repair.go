@@ -7,8 +7,10 @@ package repair
 
 import (
 	"fmt"
+	"sync"
 
 	"gdr/internal/cfd"
+	"gdr/internal/par"
 	"gdr/internal/relation"
 	"gdr/internal/strsim"
 )
@@ -69,11 +71,17 @@ type Similarity func(current, suggested string) float64
 
 // Generator produces candidate updates for dirty cells. All cell mutations
 // during a session must go through Generator.Apply so its domain statistics
-// stay current.
+// stay current. Mutations are single-goroutine, but suggestion generation is
+// read-only against the instance and may be batched across workers (see
+// SuggestAll); the two internal caches it touches — the similarity memo and
+// the lazily built co-occurrence indexes — are lock-striped and
+// mutex-guarded respectively, so concurrent Suggest calls are safe as long
+// as no Apply/Insert runs at the same time.
 type Generator struct {
-	eng *cfd.Engine
-	db  *relation.DB
-	sim Similarity
+	eng     *cfd.Engine
+	db      *relation.DB
+	sim     Similarity
+	workers int
 
 	prevented map[CellKey]map[string]bool
 	locked    map[CellKey]bool
@@ -81,27 +89,29 @@ type Generator struct {
 	domains []map[string]int // per attribute position: value -> count
 
 	// simMemo caches similarity scores; candidate values recur constantly
-	// across Suggest calls (rule constants, frequent domain values).
-	simMemo map[[2]string]float64
+	// across Suggest calls (rule constants, frequent domain values). It is
+	// lock-striped so concurrent batch generation does not serialize on one
+	// lock.
+	simMemo *par.Cache[[2]string, float64]
 
 	// indexes holds the lazily built co-occurrence indexes backing
-	// scenario 3, keyed by attribute signature.
+	// scenario 3, keyed by attribute signature; indexMu guards the map and
+	// makes first-use builds safe under concurrent Suggest calls (readers
+	// share the lock, so steady-state lookups don't contend).
+	indexMu sync.RWMutex
 	indexes map[string]*cooccur
 }
 
-// maxSimMemo bounds the similarity cache; it is reset when full.
+// maxSimMemo bounds the similarity cache.
 const maxSimMemo = 1 << 20
 
 func (g *Generator) simCached(a, b string) float64 {
 	k := [2]string{a, b}
-	if s, ok := g.simMemo[k]; ok {
+	if s, ok := g.simMemo.Get(k); ok {
 		return s
 	}
 	s := g.sim(a, b)
-	if len(g.simMemo) >= maxSimMemo {
-		g.simMemo = make(map[[2]string]float64)
-	}
-	g.simMemo[k] = s
+	g.simMemo.Put(k, s)
 	return s
 }
 
@@ -111,15 +121,21 @@ type Option func(*Generator)
 // WithSimilarity replaces the Eq. 7 evaluation function.
 func WithSimilarity(s Similarity) Option { return func(g *Generator) { g.sim = s } }
 
+// WithWorkers sets the fan-out of batch suggestion generation (SuggestAll
+// and SuggestBatch). Values below 2 select the serial path. Results are
+// identical at any setting.
+func WithWorkers(n int) Option { return func(g *Generator) { g.workers = par.Workers(n) } }
+
 // NewGenerator builds a generator over the engine's database.
 func NewGenerator(eng *cfd.Engine, opts ...Option) *Generator {
 	g := &Generator{
 		eng:       eng,
 		db:        eng.DB(),
 		sim:       strsim.Similarity,
+		workers:   1,
 		prevented: make(map[CellKey]map[string]bool),
 		locked:    make(map[CellKey]bool),
-		simMemo:   make(map[[2]string]float64),
+		simMemo:   par.NewCache[[2]string, float64](maxSimMemo),
 		indexes:   make(map[string]*cooccur),
 	}
 	for _, o := range opts {
@@ -171,9 +187,11 @@ func (g *Generator) Insert(t relation.Tuple) (tid int, affected []int, err error
 	for ai, v := range row {
 		g.domains[ai][v]++
 	}
+	g.indexMu.Lock()
 	for _, idx := range g.indexes {
 		idx.add(idx.keyOf(func(ai int) string { return row[ai] }), row[idx.target])
 	}
+	g.indexMu.Unlock()
 	return tid, affected, nil
 }
 
@@ -330,11 +348,33 @@ func (g *Generator) SuggestTuple(tid int) []Update {
 	return out
 }
 
-// SuggestAll generates the initial PossibleUpdates list over all dirty tuples.
+// SuggestAll generates the initial PossibleUpdates list over all dirty
+// tuples, fanning the per-tuple work out over the generator's configured
+// workers (WithWorkers); the result is identical at any worker count.
 func (g *Generator) SuggestAll() []Update {
+	return g.SuggestBatch(g.eng.Dirty())
+}
+
+// SuggestBatch runs SuggestTuple for every given tuple concurrently and
+// returns the concatenated suggestions in input order — byte-identical to
+// calling SuggestTuple serially. Suggestion generation only reads the
+// instance, so the batch must not overlap with Apply/Insert calls.
+func (g *Generator) SuggestBatch(tids []int) []Update {
+	if g.workers <= 1 || len(tids) < 2 {
+		var out []Update
+		for _, tid := range tids {
+			out = append(out, g.SuggestTuple(tid)...)
+		}
+		return out
+	}
+	per := make([][]Update, len(tids))
+	par.ForEach(g.workers, len(tids), func(i int) error {
+		per[i] = g.SuggestTuple(tids[i])
+		return nil
+	})
 	var out []Update
-	for _, tid := range g.eng.Dirty() {
-		out = append(out, g.SuggestTuple(tid)...)
+	for _, ups := range per {
+		out = append(out, ups...)
 	}
 	return out
 }

@@ -15,6 +15,7 @@ package voi
 import (
 	"gdr/internal/cfd"
 	"gdr/internal/group"
+	"gdr/internal/par"
 	"gdr/internal/repair"
 )
 
@@ -27,12 +28,15 @@ type Prob func(repair.Update) float64
 // evaluation score assigned by the repairing algorithm.
 func ScoreProb(u repair.Update) float64 { return u.Score }
 
-// Ranker scores update groups with Eq. 6.
+// Ranker scores update groups with Eq. 6. Its benefit cache is lock-striped
+// (par.Cache), so RawBenefit and GroupBenefit may be called from multiple
+// goroutines as long as the engine is not mutated concurrently (scoring is
+// read-only).
 type Ranker struct {
 	eng     *cfd.Engine
 	weights []float64
 
-	cache map[cacheKey]*cacheEntry
+	cache *par.Cache[cacheKey, *cacheEntry]
 }
 
 type cacheKey struct {
@@ -47,8 +51,8 @@ type cacheEntry struct {
 	versions []uint64
 }
 
-// maxCacheEntries bounds the benefit cache; beyond it the cache is reset
-// (entries are tiny, but sessions can generate many distinct updates).
+// maxCacheEntries bounds the benefit cache (entries are tiny, but sessions
+// can generate many distinct updates).
 const maxCacheEntries = 1 << 17
 
 // Option configures a Ranker.
@@ -63,7 +67,7 @@ func WithWeights(w []float64) Option {
 // follow the paper's experimental choice wi = |D(φi)|/|D|, computed on the
 // instance at construction time.
 func NewRanker(eng *cfd.Engine, opts ...Option) *Ranker {
-	r := &Ranker{eng: eng, cache: make(map[cacheKey]*cacheEntry)}
+	r := &Ranker{eng: eng, cache: par.NewCache[cacheKey, *cacheEntry](maxCacheEntries)}
 	for _, o := range opts {
 		o(r)
 	}
@@ -91,10 +95,10 @@ func (r *Ranker) Weight(ri int) float64 { return r.weights[ri] }
 // quotient is undefined there (no tuple would satisfy the rule either way).
 func (r *Ranker) RawBenefit(u repair.Update) float64 {
 	key := cacheKey{u.Tid, u.Attr, u.Value}
-	involved := r.eng.RulesInvolving(u.Attr)
-	if e, ok := r.cache[key]; ok && r.fresh(e) {
+	if e, ok := r.cache.Get(key); ok && r.fresh(e) {
 		return e.raw
 	}
+	involved := r.eng.RulesInvolving(u.Attr)
 	deltas := r.eng.WhatIf(u.Tid, u.Attr, u.Value)
 	raw := 0.0
 	entry := &cacheEntry{rules: involved, versions: make([]uint64, len(involved))}
@@ -109,10 +113,7 @@ func (r *Ranker) RawBenefit(u repair.Update) float64 {
 		raw += r.weights[d.Rule] * float64(r.eng.Vio(d.Rule)-d.Vio) / float64(sat)
 	}
 	entry.raw = raw
-	if len(r.cache) >= maxCacheEntries {
-		r.cache = make(map[cacheKey]*cacheEntry)
-	}
-	r.cache[key] = entry
+	r.cache.Put(key, entry)
 	return raw
 }
 
@@ -137,9 +138,21 @@ func (r *Ranker) GroupBenefit(g *group.Group, prob Prob) float64 {
 // Rank assigns each group its benefit and sorts groups by descending
 // benefit (deterministic tie-breaks), implementing step 4 of Procedure 1.
 func (r *Ranker) Rank(gs []*group.Group, prob Prob) {
-	for _, g := range gs {
-		g.Benefit = r.GroupBenefit(g, prob)
-	}
+	r.RankParallel(gs, prob, 1)
+}
+
+// RankParallel is Rank with the per-group benefit computations fanned out
+// over at most workers goroutines. Scoring is read-only against the engine
+// and the benefit cache is sharded, so the only requirement is that prob be
+// safe for concurrent calls (a precomputed lookup, or a pure function like
+// ScoreProb). Each group's sum is still accumulated in update order, so the
+// resulting benefits — and therefore the final ranking — are bit-identical
+// to the serial path at any worker count.
+func (r *Ranker) RankParallel(gs []*group.Group, prob Prob, workers int) {
+	par.ForEach(par.Workers(workers), len(gs), func(i int) error {
+		gs[i].Benefit = r.GroupBenefit(gs[i], prob)
+		return nil
+	})
 	group.SortByBenefit(gs)
 }
 
