@@ -1,0 +1,97 @@
+package cfd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+)
+
+// benchEngine builds a mid-sized synthetic instance with both variable and
+// constant rules, mirroring the shape of the paper's workloads: a few
+// attributes, skewed value distributions, and rules whose contexts cover most
+// of the instance.
+func benchEngine(b *testing.B, n int) *cfd.Engine {
+	b.Helper()
+	schema := relation.MustSchema("Bench", []string{"Street", "City", "State", "Zip"})
+	db := relation.NewDB(schema)
+	rng := rand.New(rand.NewSource(42))
+	cities := []string{"Michigan City", "Westville", "Fort Wayne", "Gary", "Portage"}
+	zips := []string{"46360", "46391", "46825", "46402", "46368"}
+	for i := 0; i < n; i++ {
+		ci := rng.Intn(len(cities))
+		zi := ci
+		if rng.Intn(10) == 0 { // dirty: zip disagrees with city
+			zi = rng.Intn(len(zips))
+		}
+		db.MustInsert(relation.Tuple{
+			fmt.Sprintf("%d Oak St", rng.Intn(200)),
+			cities[ci],
+			"IN",
+			zips[zi],
+		})
+	}
+	rules := cfd.MustParse(`
+phi1: Zip -> City :: _ || _
+phi2: City -> Zip :: _ || _
+phi3: Zip -> City :: 46360 || Michigan City
+phi4: Zip -> State :: 46391 || IN
+`)
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkWhatIf measures the Eq. 6 hypothetical evaluation — the hot call
+// of VOI benefit scoring — across a spread of tuples and candidate values.
+func BenchmarkWhatIf(b *testing.B) {
+	e := benchEngine(b, 5000)
+	db := e.DB()
+	n := db.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := i % n
+		deltas := e.WhatIf(tid, "City", "Michigan City")
+		if len(deltas) == 0 {
+			b.Fatal("no deltas")
+		}
+	}
+}
+
+// BenchmarkWhatIfRHS isolates the variable-rule RHS edit path (same bucket,
+// different value), the common case when scoring scenario-2 candidates.
+func BenchmarkWhatIfRHS(b *testing.B) {
+	e := benchEngine(b, 5000)
+	db := e.DB()
+	n := db.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := i % n
+		deltas := e.WhatIf(tid, "Zip", "46360")
+		if len(deltas) == 0 {
+			b.Fatal("no deltas")
+		}
+	}
+}
+
+// BenchmarkApply measures incremental index maintenance under cell edits
+// (each iteration toggles a cell between two values).
+func BenchmarkApply(b *testing.B) {
+	e := benchEngine(b, 5000)
+	db := e.DB()
+	n := db.N()
+	vals := [2]string{"Michigan City", "Westville"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// (i + i/n) alternates per tuple across passes, so every call is a
+		// real value change, not the old == value fast path.
+		e.Apply(i%n, "City", vals[(i+i/n)%2])
+	}
+}

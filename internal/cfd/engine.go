@@ -3,9 +3,21 @@ package cfd
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"gdr/internal/relation"
+)
+
+// Pattern sentinels. Real VIDs are dense indexes into an attribute
+// dictionary, so values this large can never collide with one.
+const (
+	// wildVID marks a wildcard position in a pre-resolved pattern.
+	wildVID = ^relation.VID(0)
+	// FreshVID stands for a hypothetical value absent from the attribute's
+	// dictionary: it matches no pattern constant and equals no stored value.
+	// WhatIfVID and WouldViolateVID accept it so callers can score updates
+	// whose value has never been seen without interning (interning would
+	// mutate the dictionary, which is not allowed during read-only scoring).
+	FreshVID = ^relation.VID(0) - 1
 )
 
 // Engine maintains, incrementally under cell updates, the violation state of
@@ -19,6 +31,10 @@ import (
 //   - per-rule version counters so downstream components (the VOI ranker)
 //     can cache per-update benefit computations.
 //
+// All state is dictionary-encoded: pattern constants are resolved to VIDs at
+// construction, tuples are matched by comparing uint32s, and variable-rule
+// buckets are keyed by the fixed-width byte encoding of the tuple's LHS ids.
+//
 // All database mutations during a repair session must go through
 // Engine.Apply so the indexes stay consistent.
 type Engine struct {
@@ -26,15 +42,17 @@ type Engine struct {
 	rules  []*CFD
 	states []*ruleState
 	byAttr [][]int // attribute position -> indexes into states
+	byID   map[string]int
 	dirty  map[int]struct{}
 }
 
 type ruleState struct {
 	rule    *CFD
+	isConst bool // rule.Constant(), cached: the tableau is a map probe
 	lhsIdx  []int
-	lhsPat  []string
+	lhsPat  []relation.VID // wildVID for wildcard positions
 	rhsIdx  int
-	rhsPat  string // only meaningful for constant rules
+	rhsPat  relation.VID // only meaningful for constant rules
 	version uint64
 
 	// ctx is |D(φ)|: the number of tuples matching tp[X].
@@ -55,7 +73,7 @@ type ruleState struct {
 type bucket struct {
 	total int
 	sumsq int // Σ_v count(v)^2, so bucket vio = total^2 − sumsq
-	byVal map[string]int
+	byVal map[relation.VID]int
 	tids  map[int]struct{}
 }
 
@@ -68,30 +86,34 @@ func (b *bucket) violTuples() int {
 	return 0
 }
 
-// NewEngine validates the rules against the database schema and builds the
+// NewEngine validates the rules against the database schema, interns every
+// pattern constant into the instance's dictionaries, and builds the
 // violation indexes with a full scan.
 func NewEngine(db *relation.DB, rules []*CFD) (*Engine, error) {
-	ids := make(map[string]bool, len(rules))
-	e := &Engine{db: db, rules: rules, dirty: make(map[int]struct{})}
+	e := &Engine{db: db, rules: rules, dirty: make(map[int]struct{}), byID: make(map[string]int, len(rules))}
 	e.byAttr = make([][]int, db.Schema.Arity())
 	for si, r := range rules {
 		if err := r.Validate(db.Schema); err != nil {
 			return nil, err
 		}
-		if ids[r.ID] {
+		if _, dup := e.byID[r.ID]; dup {
 			return nil, fmt.Errorf("cfd: duplicate rule id %q", r.ID)
 		}
-		ids[r.ID] = true
-		st := &ruleState{rule: r, rhsIdx: db.Schema.MustIndex(r.RHS)}
+		e.byID[r.ID] = si
+		st := &ruleState{rule: r, isConst: r.Constant(), rhsIdx: db.Schema.MustIndex(r.RHS)}
 		for _, a := range r.LHS {
 			ai := db.Schema.MustIndex(a)
 			st.lhsIdx = append(st.lhsIdx, ai)
-			st.lhsPat = append(st.lhsPat, r.TP[a])
+			if p := r.TP[a]; p == Wildcard {
+				st.lhsPat = append(st.lhsPat, wildVID)
+			} else {
+				st.lhsPat = append(st.lhsPat, db.Intern(ai, p))
+			}
 			e.byAttr[ai] = append(e.byAttr[ai], si)
 		}
 		e.byAttr[st.rhsIdx] = append(e.byAttr[st.rhsIdx], si)
 		if r.Constant() {
-			st.rhsPat = r.TP[r.RHS]
+			st.rhsPat = db.Intern(st.rhsIdx, r.TP[r.RHS])
 			st.constViol = make(map[int]struct{})
 		} else {
 			st.buckets = make(map[string]*bucket)
@@ -110,12 +132,28 @@ func (e *Engine) Rules() []*CFD { return e.rules }
 
 // RuleIndex returns the engine index of the rule with the given id, or -1.
 func (e *Engine) RuleIndex(id string) int {
-	for i, r := range e.rules {
-		if r.ID == id {
-			return i
-		}
+	if si, ok := e.byID[id]; ok {
+		return si
 	}
 	return -1
+}
+
+// ConstantRHSVID returns the interned id of a constant rule's RHS pattern
+// value; the update generator uses it for scenario-1 candidates. It must not
+// be called for variable rules.
+func (e *Engine) ConstantRHSVID(ri int) relation.VID { return e.states[ri].rhsPat }
+
+// LHSPatternVID returns the interned id of rule ri's pattern constant for
+// attribute position ai, and whether that position carries a constant (false
+// for wildcards and attributes outside the rule's LHS).
+func (e *Engine) LHSPatternVID(ri, ai int) (relation.VID, bool) {
+	st := e.states[ri]
+	for i, li := range st.lhsIdx {
+		if li == ai && st.lhsPat[i] != wildVID {
+			return st.lhsPat[i], true
+		}
+	}
+	return 0, false
 }
 
 // Rebuild recomputes all indexes from scratch. It is used at construction
@@ -125,7 +163,7 @@ func (e *Engine) Rebuild() {
 	for _, st := range e.states {
 		st.version++
 		st.ctx = 0
-		if st.rule.Constant() {
+		if st.isConst {
 			st.constViol = make(map[int]struct{})
 		} else {
 			st.buckets = make(map[string]*bucket)
@@ -145,46 +183,55 @@ func (e *Engine) Rebuild() {
 	}
 }
 
-// matchLHS tests t[X] ≼ tp[X] using the cached attribute positions.
-func (st *ruleState) matchLHS(t relation.Tuple) bool {
+// matchLHS tests t[X] ≼ tp[X] by comparing interned ids.
+func (st *ruleState) matchLHS(row []relation.VID) bool {
 	for i, ai := range st.lhsIdx {
-		if p := st.lhsPat[i]; p != Wildcard && t[ai] != p {
+		if p := st.lhsPat[i]; p != wildVID && row[ai] != p {
 			return false
 		}
 	}
 	return true
 }
 
-// key builds the bucket key for a variable rule from t's LHS values.
-func (st *ruleState) key(t relation.Tuple) string {
-	parts := make([]string, len(st.lhsIdx))
-	for i, ai := range st.lhsIdx {
-		parts[i] = t[ai]
+// key appends the bucket key for a variable rule — the fixed-width byte
+// encoding of the row's LHS ids — to buf. Callers pass a stack-backed scratch
+// buffer and probe buckets with string(key), which the compiler keeps
+// allocation-free for map lookups.
+func (st *ruleState) key(buf []byte, row []relation.VID) []byte {
+	for _, ai := range st.lhsIdx {
+		buf = relation.AppendVID(buf, row[ai])
 	}
-	return strings.Join(parts, "\x1f")
+	return buf
+}
+
+// bucketOf returns the variable-rule bucket the row belongs to, or nil.
+func (st *ruleState) bucketOf(row []relation.VID) *bucket {
+	var kb [relation.KeyBufSize]byte
+	return st.buckets[string(st.key(kb[:0], row))]
 }
 
 func (e *Engine) addTuple(st *ruleState, tid int) {
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return
 	}
 	st.ctx++
-	if st.rule.Constant() {
-		if t[st.rhsIdx] != st.rhsPat {
+	if st.isConst {
+		if row[st.rhsIdx] != st.rhsPat {
 			st.constViol[tid] = struct{}{}
 		}
 		return
 	}
-	k := st.key(t)
-	b := st.buckets[k]
+	var kb [relation.KeyBufSize]byte
+	k := st.key(kb[:0], row)
+	b := st.buckets[string(k)]
 	if b == nil {
-		b = &bucket{byVal: make(map[string]int), tids: make(map[int]struct{})}
-		st.buckets[k] = b
+		b = &bucket{byVal: make(map[relation.VID]int), tids: make(map[int]struct{})}
+		st.buckets[string(k)] = b
 	}
 	st.vioTotal -= b.vio()
 	st.violTuples -= b.violTuples()
-	v := t[st.rhsIdx]
+	v := row[st.rhsIdx]
 	c := b.byVal[v]
 	b.sumsq += 2*c + 1
 	b.byVal[v] = c + 1
@@ -195,23 +242,24 @@ func (e *Engine) addTuple(st *ruleState, tid int) {
 }
 
 func (e *Engine) removeTuple(st *ruleState, tid int) {
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return
 	}
 	st.ctx--
-	if st.rule.Constant() {
+	if st.isConst {
 		delete(st.constViol, tid)
 		return
 	}
-	k := st.key(t)
-	b := st.buckets[k]
+	var kb [relation.KeyBufSize]byte
+	k := st.key(kb[:0], row)
+	b := st.buckets[string(k)]
 	if b == nil {
 		return
 	}
 	st.vioTotal -= b.vio()
 	st.violTuples -= b.violTuples()
-	v := t[st.rhsIdx]
+	v := row[st.rhsIdx]
 	c := b.byVal[v]
 	b.sumsq += -2*c + 1
 	if c == 1 {
@@ -222,7 +270,7 @@ func (e *Engine) removeTuple(st *ruleState, tid int) {
 	b.total--
 	delete(b.tids, tid)
 	if b.total == 0 {
-		delete(st.buckets, k)
+		delete(st.buckets, string(k))
 	} else {
 		st.vioTotal += b.vio()
 		st.violTuples += b.violTuples()
@@ -240,8 +288,13 @@ func (e *Engine) removeTuple(st *ruleState, tid int) {
 // such transitions, keeping the common case O(rules involving attr).
 func (e *Engine) Apply(tid int, attr, value string) []int {
 	ai := e.db.Schema.MustIndex(attr)
-	old := e.db.GetAt(tid, ai)
-	if old == value {
+	return e.ApplyVID(tid, ai, e.db.Intern(ai, value))
+}
+
+// ApplyVID is Apply for an already-interned value id.
+func (e *Engine) ApplyVID(tid, ai int, v relation.VID) []int {
+	old := e.db.VIDAt(tid, ai)
+	if old == v {
 		return []int{tid}
 	}
 	recheck := map[int]struct{}{tid: {}}
@@ -258,26 +311,27 @@ func (e *Engine) Apply(tid int, attr, value string) []int {
 			watches = append(watches, watch{st, key, false})
 		}
 	}
+	var kb [relation.KeyBufSize]byte
 	for _, si := range e.byAttr[ai] {
 		st := e.states[si]
 		st.version++
-		if st.rule.Constant() {
+		if st.isConst {
 			continue
 		}
-		if st.matchLHS(e.db.Tuple(tid)) {
-			note(st, st.key(e.db.Tuple(tid)))
+		if row := e.db.Row(tid); st.matchLHS(row) {
+			note(st, string(st.key(kb[:0], row)))
 		}
 	}
 	for _, si := range e.byAttr[ai] {
 		e.removeTuple(e.states[si], tid)
 	}
-	e.db.SetAt(tid, ai, value)
+	e.db.SetVIDAt(tid, ai, v)
 	// Record the target buckets' mixedness before re-inserting the tuple so
 	// a uniform→mixed transition caused by the insertion is visible below.
 	for _, si := range e.byAttr[ai] {
 		st := e.states[si]
-		if !st.rule.Constant() && st.matchLHS(e.db.Tuple(tid)) {
-			note(st, st.key(e.db.Tuple(tid)))
+		if row := e.db.Row(tid); !st.isConst && st.matchLHS(row) {
+			note(st, string(st.key(kb[:0], row)))
 		}
 	}
 	for _, si := range e.byAttr[ai] {
@@ -326,19 +380,20 @@ func (e *Engine) Insert(t relation.Tuple) (tid int, affected []int, err error) {
 		return 0, nil, err
 	}
 	recheck := map[int]struct{}{tid: {}}
-	row := e.db.Tuple(tid)
+	row := e.db.Row(tid)
 	type watch struct {
 		st    *ruleState
 		key   string
 		mixed bool
 	}
 	var watches []watch
+	var kb [relation.KeyBufSize]byte
 	for _, st := range e.states {
 		st.version++
-		if st.rule.Constant() || !st.matchLHS(row) {
+		if st.isConst || !st.matchLHS(row) {
 			continue
 		}
-		key := st.key(row)
+		key := string(st.key(kb[:0], row))
 		mixed := false
 		if b := st.buckets[key]; b != nil {
 			mixed = len(b.byVal) >= 2
@@ -384,15 +439,15 @@ func (e *Engine) violatesAny(tid int) bool {
 }
 
 func (e *Engine) violates(st *ruleState, tid int) bool {
-	if st.rule.Constant() {
+	if st.isConst {
 		_, ok := st.constViol[tid]
 		return ok
 	}
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return false
 	}
-	b := st.buckets[st.key(t)]
+	b := st.bucketOf(row)
 	return b != nil && len(b.byVal) >= 2
 }
 
@@ -415,27 +470,27 @@ func (e *Engine) VioRuleList(tid int) []int {
 // rule; for a variable rule, the number of tuples violating φ together with t.
 func (e *Engine) TupleVio(ri, tid int) int {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		if _, ok := st.constViol[tid]; ok {
 			return 1
 		}
 		return 0
 	}
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return 0
 	}
-	b := st.buckets[st.key(t)]
+	b := st.bucketOf(row)
 	if b == nil {
 		return 0
 	}
-	return b.total - b.byVal[t[st.rhsIdx]]
+	return b.total - b.byVal[row[st.rhsIdx]]
 }
 
 // Vio returns vio(D,{φ}) for rule ri.
 func (e *Engine) Vio(ri int) int {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		return len(st.constViol)
 	}
 	return st.vioTotal
@@ -456,7 +511,7 @@ func (e *Engine) VioTotal() int {
 // tuples yields a denominator |D^r ⊨ φ| of 1, not N−3.
 func (e *Engine) Sat(ri int) int {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		return st.ctx - len(st.constViol)
 	}
 	return st.ctx - st.violTuples
@@ -478,6 +533,10 @@ func (e *Engine) RulesInvolving(attr string) []int {
 	}
 	return e.byAttr[ai]
 }
+
+// RulesInvolvingAt returns the engine indexes of rules mentioning the
+// attribute at position ai.
+func (e *Engine) RulesInvolvingAt(ai int) []int { return e.byAttr[ai] }
 
 // IsDirty reports whether tuple tid currently violates any rule.
 func (e *Engine) IsDirty(tid int) bool {
@@ -504,21 +563,21 @@ func (e *Engine) Dirty() []int {
 // generator uses it for scenario 2 (take the value of a partner t′).
 func (e *Engine) ViolatingPartners(ri, tid int) []int {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		return nil
 	}
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return nil
 	}
-	b := st.buckets[st.key(t)]
+	b := st.bucketOf(row)
 	if b == nil || len(b.byVal) < 2 {
 		return nil
 	}
-	mine := t[st.rhsIdx]
+	mine := row[st.rhsIdx]
 	var out []int
 	for m := range b.tids {
-		if e.db.GetAt(m, st.rhsIdx) != mine {
+		if e.db.VIDAt(m, st.rhsIdx) != mine {
 			out = append(out, m)
 		}
 	}
@@ -526,18 +585,48 @@ func (e *Engine) ViolatingPartners(ri, tid int) []int {
 	return out
 }
 
+// AppendPartnerRHSVIDs appends, for a variable rule ri, the distinct RHS
+// value ids held by tid's violating partners (same bucket, different RHS
+// value) to dst and returns it. It is the value-level counterpart of
+// ViolatingPartners for scenario 2 of the update generator, which needs the
+// candidate values, not the partner tuples: reading the bucket's value
+// histogram is O(distinct values) instead of O(bucket size · log) for
+// materializing and sorting the partner tuple list. Append order follows map
+// iteration and is unspecified; callers must not depend on it.
+func (e *Engine) AppendPartnerRHSVIDs(dst []relation.VID, ri, tid int) []relation.VID {
+	st := e.states[ri]
+	if st.isConst {
+		return dst
+	}
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
+		return dst
+	}
+	b := st.bucketOf(row)
+	if b == nil || len(b.byVal) < 2 {
+		return dst
+	}
+	mine := row[st.rhsIdx]
+	for v := range b.byVal {
+		if v != mine {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
 // BucketMembers returns the ids of all context tuples agreeing with tid on
 // the rule's LHS (including tid itself), for variable rule ri.
 func (e *Engine) BucketMembers(ri, tid int) []int {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		return nil
 	}
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return nil
 	}
-	b := st.buckets[st.key(t)]
+	b := st.bucketOf(row)
 	if b == nil {
 		return nil
 	}
@@ -557,18 +646,27 @@ func (e *Engine) BucketMembers(ri, tid int) []int {
 // return false (single-tuple violations are genuinely suspect).
 func (e *Engine) InBucketMajority(ri, tid int) bool {
 	st := e.states[ri]
-	if st.rule.Constant() {
+	if st.isConst {
 		return false
 	}
-	t := e.db.Tuple(tid)
-	if !st.matchLHS(t) {
+	row := e.db.Row(tid)
+	if !st.matchLHS(row) {
 		return false
 	}
-	b := st.buckets[st.key(t)]
+	b := st.bucketOf(row)
 	if b == nil {
 		return false
 	}
-	return 2*b.byVal[t[st.rhsIdx]] > b.total
+	return 2*b.byVal[row[st.rhsIdx]] > b.total
+}
+
+// lookupVID resolves a hypothetical value to an id without interning;
+// unknown values become FreshVID (they match nothing and equal nothing).
+func (e *Engine) lookupVID(ai int, value string) relation.VID {
+	if v, ok := e.db.LookupVID(ai, value); ok {
+		return v
+	}
+	return FreshVID
 }
 
 // WouldViolate reports whether tuple tid would still violate rule ri after
@@ -577,41 +675,49 @@ func (e *Engine) InBucketMajority(ri, tid int) bool {
 // derived from (Appendix A.2: an LHS change resolves φ by making
 // t[X] ⋠ tp[X], or by moving t to agreeing company for variable rules).
 func (e *Engine) WouldViolate(ri, tid int, attr, value string) bool {
-	st := e.states[ri]
 	ai := e.db.Schema.MustIndex(attr)
-	t := e.db.Tuple(tid)
-	get := func(k int) string {
+	return e.WouldViolateVID(ri, tid, ai, e.lookupVID(ai, value))
+}
+
+// WouldViolateVID is WouldViolate for an id-resolved value (FreshVID for
+// values absent from the dictionary). It performs no allocation and no
+// string comparison.
+func (e *Engine) WouldViolateVID(ri, tid, ai int, v relation.VID) bool {
+	st := e.states[ri]
+	row := e.db.Row(tid)
+	get := func(k int) relation.VID {
 		if k == ai {
-			return value
+			return v
 		}
-		return t[k]
+		return row[k]
 	}
 	for i, li := range st.lhsIdx {
-		if p := st.lhsPat[i]; p != Wildcard && get(li) != p {
+		if p := st.lhsPat[i]; p != wildVID && get(li) != p {
 			return false // out of context: vacuously satisfied
 		}
 	}
 	rhs := get(st.rhsIdx)
-	if st.rule.Constant() {
+	if st.isConst {
 		return rhs != st.rhsPat
 	}
-	parts := make([]string, len(st.lhsIdx))
-	for i, li := range st.lhsIdx {
-		parts[i] = get(li)
+	var kb [relation.KeyBufSize]byte
+	key := kb[:0]
+	for _, li := range st.lhsIdx {
+		key = relation.AppendVID(key, get(li))
 	}
-	key := strings.Join(parts, "\x1f")
-	b := st.buckets[key]
+	b := st.buckets[string(key)]
 	if b == nil {
 		return false
 	}
 	// Exclude tid's own current contribution when it already sits in that
 	// bucket (possible when only the RHS or a non-key attribute changed).
-	sameBucket := st.matchLHS(t) && st.key(t) == key
-	for v, c := range b.byVal {
-		if v == rhs {
+	var ob [relation.KeyBufSize]byte
+	sameBucket := st.matchLHS(row) && string(st.key(ob[:0], row)) == string(key)
+	for val, c := range b.byVal {
+		if val == rhs {
 			continue
 		}
-		if sameBucket && v == t[st.rhsIdx] && c == 1 {
+		if sameBucket && val == row[st.rhsIdx] && c == 1 {
 			continue
 		}
 		if c > 0 {
@@ -637,42 +743,48 @@ type RuleDelta struct {
 // vio(D,{φi}) − vio(D^rj,{φi}) and the denominator |D^rj ⊨ φi|.
 func (e *Engine) WhatIf(tid int, attr, value string) []RuleDelta {
 	ai := e.db.Schema.MustIndex(attr)
-	t := e.db.Tuple(tid)
-	old := t[ai]
+	return e.WhatIfVID(tid, ai, e.lookupVID(ai, value))
+}
+
+// WhatIfVID is WhatIf for an id-resolved value (FreshVID for values absent
+// from the dictionary). It is safe for concurrent use with other read-only
+// engine calls; all scratch state lives on the stack.
+func (e *Engine) WhatIfVID(tid, ai int, v relation.VID) []RuleDelta {
+	old := e.db.VIDAt(tid, ai)
 	out := make([]RuleDelta, 0, len(e.byAttr[ai]))
 	for _, si := range e.byAttr[ai] {
 		st := e.states[si]
-		if old == value {
+		if old == v {
 			out = append(out, RuleDelta{Rule: si, Vio: e.Vio(si), Sat: e.Sat(si)})
 			continue
 		}
-		if st.rule.Constant() {
-			out = append(out, e.whatIfConstant(si, st, tid, ai, value))
+		if st.isConst {
+			out = append(out, e.whatIfConstant(si, st, tid, ai, v))
 		} else {
-			out = append(out, e.whatIfVariable(si, st, tid, ai, value))
+			out = append(out, e.whatIfVariable(si, st, tid, ai, v))
 		}
 	}
 	return out
 }
 
-func (e *Engine) whatIfConstant(si int, st *ruleState, tid, ai int, value string) RuleDelta {
-	t := e.db.Tuple(tid)
+func (e *Engine) whatIfConstant(si int, st *ruleState, tid, ai int, v relation.VID) RuleDelta {
+	row := e.db.Row(tid)
 	_, violBefore := st.constViol[tid]
-	matchBefore := st.matchLHS(t)
+	matchBefore := st.matchLHS(row)
 	matchAfter := true
 	for i, li := range st.lhsIdx {
-		v := t[li]
+		val := row[li]
 		if li == ai {
-			v = value
+			val = v
 		}
-		if p := st.lhsPat[i]; p != Wildcard && v != p {
+		if p := st.lhsPat[i]; p != wildVID && val != p {
 			matchAfter = false
 			break
 		}
 	}
-	rhsAfter := t[st.rhsIdx]
+	rhsAfter := row[st.rhsIdx]
 	if st.rhsIdx == ai {
-		rhsAfter = value
+		rhsAfter = v
 	}
 	violAfter := matchAfter && rhsAfter != st.rhsPat
 	vioAfterTotal := len(st.constViol) + b2i(violAfter) - b2i(violBefore)
@@ -680,27 +792,28 @@ func (e *Engine) whatIfConstant(si int, st *ruleState, tid, ai int, value string
 	return RuleDelta{Rule: si, Vio: vioAfterTotal, Sat: ctxAfter - vioAfterTotal}
 }
 
-func (e *Engine) whatIfVariable(si int, st *ruleState, tid, ai int, value string) RuleDelta {
-	t := e.db.Tuple(tid)
+func (e *Engine) whatIfVariable(si int, st *ruleState, tid, ai int, v relation.VID) RuleDelta {
+	row := e.db.Row(tid)
 	vio := st.vioTotal
 	violT := st.violTuples
 
 	// Phase 1: hypothetically remove tid from its current bucket.
-	oldInCtx := st.matchLHS(t)
-	var oldKey string
+	oldInCtx := st.matchLHS(row)
+	var okb [relation.KeyBufSize]byte
+	var oldKey []byte
 	// Stats of the old bucket after removal, needed if the new bucket is the
 	// same one.
 	var oldAfter struct {
 		present      bool
 		total, sumsq int
 		distinct     int
-		cntByVal     map[string]int
+		cntByVal     map[relation.VID]int
 	}
 	if oldInCtx {
-		oldKey = st.key(t)
-		b := st.buckets[oldKey]
-		v := t[st.rhsIdx]
-		c := b.byVal[v]
+		oldKey = st.key(okb[:0], row)
+		b := st.buckets[string(oldKey)]
+		val := row[st.rhsIdx]
+		c := b.byVal[val]
 		vio -= b.vio()
 		violT -= b.violTuples()
 		total := b.total - 1
@@ -721,26 +834,26 @@ func (e *Engine) whatIfVariable(si int, st *ruleState, tid, ai int, value string
 	}
 
 	// Phase 2: hypothetically add tid with its new values.
-	newVals := make([]string, len(st.lhsIdx))
+	var nkb [relation.KeyBufSize]byte
+	newKey := nkb[:0]
 	inCtxAfter := true
 	for i, li := range st.lhsIdx {
-		v := t[li]
+		val := row[li]
 		if li == ai {
-			v = value
+			val = v
 		}
-		newVals[i] = v
-		if p := st.lhsPat[i]; p != Wildcard && v != p {
+		newKey = relation.AppendVID(newKey, val)
+		if p := st.lhsPat[i]; p != wildVID && val != p {
 			inCtxAfter = false
 		}
 	}
 	if inCtxAfter {
-		newKey := strings.Join(newVals, "\x1f")
-		rhsAfter := t[st.rhsIdx]
+		rhsAfter := row[st.rhsIdx]
 		if st.rhsIdx == ai {
-			rhsAfter = value
+			rhsAfter = v
 		}
 		var total, sumsq, distinct, c int
-		if oldInCtx && newKey == oldKey {
+		if oldInCtx && string(newKey) == string(oldKey) {
 			// Only possible when the edited attribute is the RHS (an LHS
 			// edit always changes the key), so rhsAfter differs from the
 			// value removed in phase 1 and its count is unaffected.
@@ -752,7 +865,7 @@ func (e *Engine) whatIfVariable(si int, st *ruleState, tid, ai int, value string
 					violT -= total
 				}
 			}
-		} else if b := st.buckets[newKey]; b != nil {
+		} else if b := st.buckets[string(newKey)]; b != nil {
 			total, sumsq, distinct = b.total, b.sumsq, len(b.byVal)
 			c = b.byVal[rhsAfter]
 			vio -= b.vio()

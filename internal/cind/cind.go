@@ -166,15 +166,14 @@ func (c *Checker) Rebuild() {
 			if !c.rightMatches(st, tid) {
 				continue
 			}
-			st.keys[c.keyOf(st, c.right.Tuple(tid), st.rhsIdx)]++
+			st.keys[keyOf(c.right, tid, st.rhsIdx)]++
 		}
 	}
 }
 
 func (c *Checker) rightMatches(st *ruleState, tid int) bool {
-	t := c.right.Tuple(tid)
 	for _, cond := range st.rhsCond {
-		if t[cond[0]] != st.rhsVals[cond[1]] {
+		if c.right.GetAt(tid, cond[0]) != st.rhsVals[cond[1]] {
 			return false
 		}
 	}
@@ -182,19 +181,20 @@ func (c *Checker) rightMatches(st *ruleState, tid int) bool {
 }
 
 func (c *Checker) leftMatches(st *ruleState, tid int) bool {
-	t := c.left.Tuple(tid)
 	for _, cond := range st.lhsCond {
-		if t[cond[0]] != st.condVals[cond[1]] {
+		if c.left.GetAt(tid, cond[0]) != st.condVals[cond[1]] {
 			return false
 		}
 	}
 	return true
 }
 
-func (c *Checker) keyOf(st *ruleState, t relation.Tuple, idx []int) string {
+// keyOf joins the tuple's values at idx into an index key, reading cells in
+// place rather than materializing the whole tuple.
+func keyOf(db *relation.DB, tid int, idx []int) string {
 	parts := make([]string, len(idx))
 	for i, ai := range idx {
-		parts[i] = t[ai]
+		parts[i] = db.GetAt(tid, ai)
 	}
 	return strings.Join(parts, "\x1f")
 }
@@ -205,7 +205,7 @@ func (c *Checker) Violates(ri, tid int) bool {
 	if !c.leftMatches(st, tid) {
 		return false
 	}
-	return st.keys[c.keyOf(st, c.left.Tuple(tid), st.lhsIdx)] == 0
+	return st.keys[keyOf(c.left, tid, st.lhsIdx)] == 0
 }
 
 // Violations returns all dangling references across all rules, in
@@ -238,9 +238,8 @@ func (c *Checker) Suggest(v Violation, maxTargets int) []Suggestion {
 		maxTargets = 3
 	}
 	cur := make([]string, len(st.lhsIdx))
-	t := c.left.Tuple(v.Tid)
 	for i, ai := range st.lhsIdx {
-		cur[i] = t[ai]
+		cur[i] = c.left.GetAt(v.Tid, ai)
 	}
 	type scored struct {
 		key   string
@@ -287,7 +286,7 @@ func (c *Checker) Suggest(v Violation, maxTargets int) []Suggestion {
 func (c *Checker) RightInserted(tid int) {
 	for _, st := range c.state {
 		if c.rightMatches(st, tid) {
-			st.keys[c.keyOf(st, c.right.Tuple(tid), st.rhsIdx)]++
+			st.keys[keyOf(c.right, tid, st.rhsIdx)]++
 		}
 	}
 }
@@ -299,14 +298,13 @@ func (c *Checker) RightUpdated(tid int, attr, old string) {
 	if !ok {
 		return
 	}
-	t := c.right.Tuple(tid)
 	for _, st := range c.state {
 		// Reconstruct the tuple's previous contribution.
 		was := func(k int) string {
 			if k == ai {
 				return old
 			}
-			return t[k]
+			return c.right.GetAt(tid, k)
 		}
 		matchedBefore := true
 		for _, cond := range st.rhsCond {
@@ -328,7 +326,7 @@ func (c *Checker) RightUpdated(tid int, attr, old string) {
 			}
 		}
 		if c.rightMatches(st, tid) {
-			st.keys[c.keyOf(st, t, st.rhsIdx)]++
+			st.keys[keyOf(c.right, tid, st.rhsIdx)]++
 		}
 	}
 }

@@ -53,9 +53,10 @@ type Config struct {
 	// Seed drives every random choice in the session.
 	Seed int64
 	// Workers bounds the goroutines used for the session's CPU-heavy
-	// read-only batches: VOI group scoring and repair-candidate generation.
-	// 0 and 1 select the serial path. Results are byte-identical at any
-	// setting — same seed, same figures, regardless of worker count.
+	// batches: VOI group scoring, repair-candidate generation and committee
+	// training (unless Forest.Workers overrides it). 0 and 1 select the
+	// serial paths. Results are byte-identical at any setting — same seed,
+	// same figures, regardless of worker count.
 	Workers int
 }
 
@@ -285,6 +286,9 @@ func (s *Session) model(attr string) *learn.Model {
 	if !ok {
 		cfg := s.cfg.Forest
 		cfg.Seed = s.cfg.Seed*1315423911 + int64(len(s.models)+1)
+		if cfg.Workers == 0 {
+			cfg.Workers = s.cfg.Workers
+		}
 		m = learn.NewModel(cfg, s.cfg.MinTrain)
 		s.models[attr] = m
 	}

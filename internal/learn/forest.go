@@ -3,6 +3,8 @@ package learn
 import (
 	"math"
 	"math/rand"
+
+	"gdr/internal/par"
 )
 
 // Config controls forest training. The zero value is usable: it is filled
@@ -27,6 +29,12 @@ type Config struct {
 	Unbalanced bool
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds the goroutines used to grow the committee's trees.
+	// The k trees are independent — each draws its bootstrap sample and
+	// split subsamples from its own Seed-derived RNG — so the trained
+	// forest is identical at any worker count. Values below 2 train
+	// serially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +102,6 @@ func Train(examples []Example, cfg Config) *Forest {
 		mtry = int(math.Ceil(math.Sqrt(float64(nCats + 1))))
 	}
 	tc := treeConfig{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, mtry: mtry, nCats: nCats}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	nSample := int(math.Ceil(cfg.SampleFrac * float64(len(examples))))
 	if nSample < 1 {
 		nSample = 1
@@ -109,8 +116,18 @@ func Train(examples []Example, cfg Config) *Forest {
 			classes = append(classes, idxs)
 		}
 	}
-	f := &Forest{nCats: nCats}
-	for k := 0; k < cfg.K; k++ {
+	// Derive one seed per tree up front from the configured seed: each tree's
+	// bootstrap and split draws come from its own RNG, so the committee is
+	// reproducible for a given Seed regardless of Workers or the order the
+	// trees finish growing in.
+	seedRNG := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.K)
+	for k := range seeds {
+		seeds[k] = seedRNG.Int63()
+	}
+	f := &Forest{nCats: nCats, trees: make([]*node, cfg.K)}
+	par.ForEach(par.Workers(cfg.Workers), cfg.K, func(k int) error {
+		rng := rand.New(rand.NewSource(seeds[k]))
 		idx := make([]int, nSample)
 		if cfg.Unbalanced || len(classes) < 2 {
 			for i := range idx {
@@ -122,8 +139,9 @@ func Train(examples []Example, cfg Config) *Forest {
 				idx[i] = class[rng.Intn(len(class))]
 			}
 		}
-		f.trees = append(f.trees, buildTree(examples, idx, tc, rng, 0))
-	}
+		f.trees[k] = buildTree(examples, idx, tc, rng, 0)
+		return nil
+	})
 	return f
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package par
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count assertions skip under it: race instrumentation adds
+// bookkeeping allocations that say nothing about the production hot path.
+const RaceEnabled = true

@@ -55,8 +55,8 @@ func (db *DB) WriteCSV(w io.Writer) error {
 	if err := cw.Write(db.Schema.Attrs); err != nil {
 		return err
 	}
-	for _, t := range db.tuples {
-		if err := cw.Write(t); err != nil {
+	for tid := 0; tid < db.N(); tid++ {
+		if err := cw.Write(db.Tuple(tid)); err != nil {
 			return err
 		}
 	}

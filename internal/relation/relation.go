@@ -3,6 +3,13 @@
 // value domains and tuple weights (Definition 1 of the paper allows scaling a
 // tuple's violations by a business-importance weight).
 //
+// Storage is dictionary-encoded: each attribute owns a Dict interning its
+// distinct values, and tuples are stored as rows of fixed-width value ids
+// (VID). The violation engine, update generator and VOI ranker operate on
+// VIDs directly — string hashing and comparison in their hot paths become
+// word operations — while the string-facing API (Get/Set/Tuple/Domain) stays
+// unchanged for loaders, CLIs and examples.
+//
 // The paper stored records in MySQL and kept all repair state application
 // side; here the whole instance lives in memory so the violation engine in
 // package cfd can maintain incremental indexes over it.
@@ -70,36 +77,117 @@ func (t Tuple) Clone() Tuple {
 	return append(Tuple(nil), t...)
 }
 
+// VID is an interned value id: the dense index of a value in its attribute's
+// dictionary. Ids are assigned in first-appearance order and never reused or
+// remapped, so a VID obtained once stays valid for the instance's lifetime.
+type VID uint32
+
+// AppendVID appends v's fixed-width (4-byte little-endian) encoding to buf
+// and returns it. It is the one encoding used for every composite VID key in
+// the library — violation-engine bucket keys, co-occurrence index keys — so
+// the layout lives in a single place.
+func AppendVID(buf []byte, v VID) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// KeyBufSize is the recommended size for stack scratch buffers composite VID
+// keys are built in: 4 bytes per attribute, so keys over up to 16 attributes
+// stay allocation-free (longer keys spill to the heap, still correct).
+const KeyBufSize = 64
+
+// Dict interns the distinct values of one attribute. Values are only ever
+// appended; interning the same string twice returns the same id.
+type Dict struct {
+	vals []string
+	ids  map[string]VID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]VID)}
+}
+
+// ID interns v, assigning the next dense id on first appearance.
+func (d *Dict) ID(v string) VID {
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	id := VID(len(d.vals))
+	d.vals = append(d.vals, v)
+	d.ids[v] = id
+	return id
+}
+
+// Lookup returns v's id without interning it.
+func (d *Dict) Lookup(v string) (VID, bool) {
+	id, ok := d.ids[v]
+	return id, ok
+}
+
+// Val returns the string a VID stands for.
+func (d *Dict) Val(id VID) string { return d.vals[id] }
+
+// Len returns the number of interned values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+func (d *Dict) clone() *Dict {
+	out := &Dict{vals: append([]string(nil), d.vals...), ids: make(map[string]VID, len(d.ids))}
+	for v, id := range d.ids {
+		out.ids[v] = id
+	}
+	return out
+}
+
 // DB is a mutable database instance of a single relation. Tuples are
-// addressed by dense integer ids (their insertion order).
+// addressed by dense integer ids (their insertion order) and stored as
+// dictionary-encoded VID rows. Per-attribute value counts are maintained
+// incrementally on every Insert/Set, so domain statistics never require a
+// full rescan.
 //
 // DB is not safe for concurrent mutation; GDR sessions own their instance.
 type DB struct {
 	Schema *Schema
 
-	tuples  []Tuple
+	rows    [][]VID
 	weights []float64
 
-	domains    []map[string]int // per attribute: value -> count
-	domainsUp  bool
-	domainList [][]string // cached sorted distinct values
+	dicts  []*Dict
+	counts [][]int // per attribute, indexed by VID: tuples currently holding the value
+
+	domainList [][]string // cached sorted distinct values (count > 0)
+	domainUp   []bool     // per-attribute validity of domainList
 }
 
 // NewDB returns an empty instance over the schema.
 func NewDB(s *Schema) *DB {
-	return &DB{Schema: s}
+	n := s.Arity()
+	db := &DB{
+		Schema:     s,
+		dicts:      make([]*Dict, n),
+		counts:     make([][]int, n),
+		domainList: make([][]string, n),
+		domainUp:   make([]bool, n),
+	}
+	for ai := 0; ai < n; ai++ {
+		db.dicts[ai] = NewDict()
+	}
+	return db
 }
 
-// Insert appends a tuple and returns its id. The tuple is copied; it must
-// have exactly Schema.Arity() values.
+// Insert appends a tuple and returns its id. The tuple values are interned;
+// it must have exactly Schema.Arity() values.
 func (db *DB) Insert(t Tuple) (int, error) {
 	if len(t) != db.Schema.Arity() {
 		return 0, fmt.Errorf("relation: tuple arity %d does not match schema %q arity %d", len(t), db.Schema.Relation, db.Schema.Arity())
 	}
-	db.tuples = append(db.tuples, t.Clone())
+	row := make([]VID, len(t))
+	for ai, v := range t {
+		row[ai] = db.Intern(ai, v)
+		db.bumpCount(ai, row[ai], 1)
+	}
+	db.rows = append(db.rows, row)
 	db.weights = append(db.weights, 1)
-	db.domainsUp = false
-	return len(db.tuples) - 1, nil
+	return len(db.rows) - 1, nil
 }
 
 // MustInsert is Insert for known-good tuples; it panics on arity mismatch.
@@ -112,32 +200,111 @@ func (db *DB) MustInsert(t Tuple) int {
 }
 
 // N returns the number of tuples.
-func (db *DB) N() int { return len(db.tuples) }
+func (db *DB) N() int { return len(db.rows) }
 
-// Tuple returns the tuple with the given id. The returned slice is the live
-// storage; callers must not mutate it directly (use Set).
-func (db *DB) Tuple(tid int) Tuple { return db.tuples[tid] }
+// Row returns tuple tid's dictionary-encoded row. The returned slice is the
+// live storage; callers must not mutate it directly (use Set/SetVIDAt).
+func (db *DB) Row(tid int) []VID { return db.rows[tid] }
+
+// Tuple materializes tuple tid as strings. The returned slice is a fresh
+// copy owned by the caller.
+func (db *DB) Tuple(tid int) Tuple {
+	row := db.rows[tid]
+	out := make(Tuple, len(row))
+	for ai, v := range row {
+		out[ai] = db.dicts[ai].vals[v]
+	}
+	return out
+}
 
 // Get returns the value of attr in tuple tid.
 func (db *DB) Get(tid int, attr string) string {
-	return db.tuples[tid][db.Schema.MustIndex(attr)]
+	ai := db.Schema.MustIndex(attr)
+	return db.dicts[ai].vals[db.rows[tid][ai]]
 }
 
 // GetAt returns the value at attribute position ai in tuple tid.
-func (db *DB) GetAt(tid, ai int) string { return db.tuples[tid][ai] }
+func (db *DB) GetAt(tid, ai int) string { return db.dicts[ai].vals[db.rows[tid][ai]] }
 
-// Set updates one cell. It invalidates the domain cache; violation indexes
-// are maintained by the cfd.Engine wrapper, which is the only component that
-// should mutate a database under repair.
+// VIDAt returns the interned id at attribute position ai in tuple tid.
+func (db *DB) VIDAt(tid, ai int) VID { return db.rows[tid][ai] }
+
+// Dict returns the dictionary of attribute position ai. Callers may intern
+// into it (via DB.Intern) but must not assume ids beyond Len() exist.
+func (db *DB) Dict(ai int) *Dict { return db.dicts[ai] }
+
+// Intern returns the id of val under attribute position ai, adding it to the
+// dictionary if new. Interning alone does not make the value part of the
+// domain: Domain/ValueCount only report values some tuple currently holds.
+func (db *DB) Intern(ai int, val string) VID {
+	d := db.dicts[ai]
+	if id, ok := d.ids[val]; ok {
+		return id
+	}
+	id := d.ID(val)
+	db.counts[ai] = append(db.counts[ai], 0)
+	return id
+}
+
+// LookupVID returns the id of val under attribute position ai without
+// interning it.
+func (db *DB) LookupVID(ai int, val string) (VID, bool) {
+	return db.dicts[ai].Lookup(val)
+}
+
+// syncCounts grows the count slice of attribute ai to cover every id in its
+// dictionary — ids can outpace counts when a caller interned through the
+// Dict directly instead of DB.Intern.
+func (db *DB) syncCounts(ai int) {
+	if n := db.dicts[ai].Len(); len(db.counts[ai]) < n {
+		db.counts[ai] = append(db.counts[ai], make([]int, n-len(db.counts[ai]))...)
+	}
+}
+
+// bumpCount adjusts the count of one value and invalidates the sorted domain
+// cache only when the distinct-value set actually changed (a count crossing
+// zero), keeping Set/SetAt free of O(N·arity) domain rebuilds.
+func (db *DB) bumpCount(ai int, v VID, delta int) {
+	if int(v) >= len(db.counts[ai]) {
+		db.syncCounts(ai)
+	}
+	counts := db.counts[ai]
+	was := counts[v]
+	counts[v] = was + delta
+	if (was == 0) != (counts[v] == 0) {
+		db.domainUp[ai] = false
+	}
+}
+
+// Set updates one cell. Violation indexes are maintained by the cfd.Engine
+// wrapper, which is the only component that should mutate a database under
+// repair; domain counts are maintained here, incrementally.
 func (db *DB) Set(tid int, attr, value string) {
-	db.tuples[tid][db.Schema.MustIndex(attr)] = value
-	db.domainsUp = false
+	ai := db.Schema.MustIndex(attr)
+	db.SetVIDAt(tid, ai, db.Intern(ai, value))
 }
 
 // SetAt updates one cell by attribute position.
 func (db *DB) SetAt(tid, ai int, value string) {
-	db.tuples[tid][ai] = value
-	db.domainsUp = false
+	db.SetVIDAt(tid, ai, db.Intern(ai, value))
+}
+
+// SetVIDAt updates one cell to an already-interned value id. It panics on an
+// id outside the attribute's dictionary — notably the engine's sentinel ids
+// (FreshVID), which are only meaningful to hypothetical, read-only calls and
+// would poison the stored row.
+func (db *DB) SetVIDAt(tid, ai int, v VID) {
+	if int(v) >= db.dicts[ai].Len() {
+		panic(fmt.Sprintf("relation: VID %d not in dictionary of %q (len %d); intern values before storing them",
+			v, db.Schema.Attrs[ai], db.dicts[ai].Len()))
+	}
+	old := db.rows[tid][ai]
+	if old == v {
+		return
+	}
+	db.rows[tid][ai] = v
+	db.bumpCount(ai, old, -1)
+	db.bumpCount(ai, v, 1)
 }
 
 // Weight returns the business-importance weight of a tuple (default 1).
@@ -146,69 +313,76 @@ func (db *DB) Weight(tid int) float64 { return db.weights[tid] }
 // SetWeight sets the business-importance weight of a tuple.
 func (db *DB) SetWeight(tid int, w float64) { db.weights[tid] = w }
 
-// Clone deep-copies the instance (tuples and weights; caches are rebuilt
-// lazily).
+// Clone deep-copies the instance: rows, weights, dictionaries and counts.
+// VIDs remain valid across the copy (dictionaries are cloned id-for-id), so
+// encoded state derived from one instance can be compared against its clone.
 func (db *DB) Clone() *DB {
 	out := NewDB(db.Schema)
-	out.tuples = make([]Tuple, len(db.tuples))
-	for i, t := range db.tuples {
-		out.tuples[i] = t.Clone()
+	out.rows = make([][]VID, len(db.rows))
+	for i, r := range db.rows {
+		out.rows[i] = append([]VID(nil), r...)
 	}
 	out.weights = append([]float64(nil), db.weights...)
+	for ai := range db.dicts {
+		out.dicts[ai] = db.dicts[ai].clone()
+		out.counts[ai] = append([]int(nil), db.counts[ai]...)
+	}
 	return out
-}
-
-func (db *DB) refreshDomains() {
-	if db.domainsUp {
-		return
-	}
-	n := db.Schema.Arity()
-	db.domains = make([]map[string]int, n)
-	db.domainList = make([][]string, n)
-	for ai := 0; ai < n; ai++ {
-		db.domains[ai] = make(map[string]int)
-	}
-	for _, t := range db.tuples {
-		for ai, v := range t {
-			db.domains[ai][v]++
-		}
-	}
-	for ai := 0; ai < n; ai++ {
-		vals := make([]string, 0, len(db.domains[ai]))
-		for v := range db.domains[ai] {
-			vals = append(vals, v)
-		}
-		sort.Strings(vals)
-		db.domainList[ai] = vals
-	}
-	db.domainsUp = true
 }
 
 // Domain returns the sorted distinct values currently stored under attr.
 // The returned slice must not be mutated.
 func (db *DB) Domain(attr string) []string {
-	db.refreshDomains()
-	return db.domainList[db.Schema.MustIndex(attr)]
+	ai := db.Schema.MustIndex(attr)
+	if !db.domainUp[ai] {
+		d := db.dicts[ai]
+		counts := db.counts[ai]
+		vals := make([]string, 0, len(counts))
+		for v, c := range counts {
+			if c > 0 {
+				vals = append(vals, d.vals[v])
+			}
+		}
+		sort.Strings(vals)
+		db.domainList[ai] = vals
+		db.domainUp[ai] = true
+	}
+	return db.domainList[ai]
 }
 
 // ValueCount returns how many tuples currently hold value under attr.
 func (db *DB) ValueCount(attr, value string) int {
-	db.refreshDomains()
-	return db.domains[db.Schema.MustIndex(attr)][value]
+	ai := db.Schema.MustIndex(attr)
+	id, ok := db.dicts[ai].Lookup(value)
+	if !ok {
+		return 0
+	}
+	return db.CountVID(ai, id)
+}
+
+// CountVID returns how many tuples currently hold the value with id v under
+// attribute position ai.
+func (db *DB) CountVID(ai int, v VID) int {
+	if int(v) >= len(db.counts[ai]) {
+		return 0
+	}
+	return db.counts[ai][v]
 }
 
 // DiffCells returns the list of cells (tid, attribute index) on which db and
 // other disagree. Both instances must share a schema and size; it is used to
-// measure repair precision/recall against a ground-truth instance.
+// measure repair precision/recall against a ground-truth instance. The two
+// instances may have independent dictionaries, so cells are compared by
+// value, not by id.
 func (db *DB) DiffCells(other *DB) ([][2]int, error) {
 	if db.Schema.Arity() != other.Schema.Arity() || db.N() != other.N() {
 		return nil, fmt.Errorf("relation: instances not comparable (%dx%d vs %dx%d)",
 			db.N(), db.Schema.Arity(), other.N(), other.Schema.Arity())
 	}
 	var out [][2]int
-	for tid := range db.tuples {
-		for ai := range db.tuples[tid] {
-			if db.tuples[tid][ai] != other.tuples[tid][ai] {
+	for tid := range db.rows {
+		for ai := range db.rows[tid] {
+			if db.dicts[ai].vals[db.rows[tid][ai]] != other.dicts[ai].vals[other.rows[tid][ai]] {
 				out = append(out, [2]int{tid, ai})
 			}
 		}

@@ -1,0 +1,77 @@
+package repair_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// benchGen builds a generator over a mid-sized dirty instance (10% of tuples
+// hold a zip/city mismatch) with variable and constant rules.
+func benchGen(b *testing.B, n int) *repair.Generator {
+	b.Helper()
+	schema := relation.MustSchema("Bench", []string{"Street", "City", "State", "Zip"})
+	db := relation.NewDB(schema)
+	rng := rand.New(rand.NewSource(42))
+	cities := []string{"Michigan City", "Westville", "Fort Wayne", "Gary", "Portage"}
+	zips := []string{"46360", "46391", "46825", "46402", "46368"}
+	for i := 0; i < n; i++ {
+		ci := rng.Intn(len(cities))
+		zi := ci
+		if rng.Intn(10) == 0 {
+			zi = rng.Intn(len(zips))
+		}
+		db.MustInsert(relation.Tuple{
+			fmt.Sprintf("%d Oak St", rng.Intn(200)),
+			cities[ci],
+			"IN",
+			zips[zi],
+		})
+	}
+	rules := cfd.MustParse(`
+phi1: Zip -> City :: _ || _
+phi2: City -> Zip :: _ || _
+phi3: Zip -> City :: 46360 || Michigan City
+`)
+	e, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return repair.NewGenerator(e)
+}
+
+// BenchmarkSuggestBatch measures Appendix A candidate generation over the
+// whole dirty set — the initial PossibleUpdates pass of Procedure 1.
+func BenchmarkSuggestBatch(b *testing.B) {
+	g := benchGen(b, 5000)
+	dirty := g.Engine().Dirty()
+	if len(dirty) == 0 {
+		b.Fatal("no dirty tuples")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ups := g.SuggestBatch(dirty); len(ups) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+// BenchmarkSuggestTuple measures single-tuple suggestion generation, the
+// consistency manager's revisit path after each applied repair.
+func BenchmarkSuggestTuple(b *testing.B) {
+	g := benchGen(b, 5000)
+	dirty := g.Engine().Dirty()
+	if len(dirty) == 0 {
+		b.Fatal("no dirty tuples")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SuggestTuple(dirty[i%len(dirty)])
+	}
+}

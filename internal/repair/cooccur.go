@@ -3,6 +3,8 @@ package repair
 import (
 	"sort"
 	"strings"
+
+	"gdr/internal/relation"
 )
 
 // cooccur is a co-occurrence index supporting scenario 3 of Algorithm 1:
@@ -14,30 +16,32 @@ import (
 // Indexes are keyed by their attribute signature and shared across rules
 // (all per-zip constant rules Zip → City share one {City}→Zip index, etc.),
 // built lazily on first use and maintained incrementally on every Apply.
+// Keys and values are dictionary-encoded: a key is the fixed-width byte
+// encoding of the key attributes' VIDs, and buckets count VIDs, so probing
+// an index hashes a handful of bytes instead of joined strings.
 type cooccur struct {
 	target int   // attribute position whose values are collected
 	others []int // key attribute positions, sorted
-	m      map[string]map[string]int
+	m      map[string]map[relation.VID]int
 }
 
-func (c *cooccur) keyOf(vals func(ai int) string) string {
-	parts := make([]string, len(c.others))
-	for i, ai := range c.others {
-		parts[i] = vals(ai)
+func (c *cooccur) keyOf(buf []byte, vals func(ai int) relation.VID) []byte {
+	for _, ai := range c.others {
+		buf = relation.AppendVID(buf, vals(ai))
 	}
-	return strings.Join(parts, "\x1f")
+	return buf
 }
 
-func (c *cooccur) add(key, val string) {
+func (c *cooccur) add(key string, val relation.VID) {
 	bucket := c.m[key]
 	if bucket == nil {
-		bucket = make(map[string]int)
+		bucket = make(map[relation.VID]int)
 		c.m[key] = bucket
 	}
 	bucket[val]++
 }
 
-func (c *cooccur) remove(key, val string) {
+func (c *cooccur) remove(key string, val relation.VID) {
 	bucket := c.m[key]
 	if bucket == nil {
 		return
@@ -90,19 +94,20 @@ func (g *Generator) ensureIndex(target int, others []int) *cooccur {
 	if idx, ok := g.indexes[sig]; ok {
 		return idx // another goroutine built it between the locks
 	}
-	idx = &cooccur{target: target, others: sorted, m: make(map[string]map[string]int)}
+	idx = &cooccur{target: target, others: sorted, m: make(map[string]map[relation.VID]int)}
 	for tid := 0; tid < g.db.N(); tid++ {
-		t := g.db.Tuple(tid)
-		idx.add(idx.keyOf(func(ai int) string { return t[ai] }), t[target])
+		row := g.db.Row(tid)
+		var kb [relation.KeyBufSize]byte
+		idx.add(string(idx.keyOf(kb[:0], func(ai int) relation.VID { return row[ai] })), row[idx.target])
 	}
 	g.indexes[sig] = idx
 	return idx
 }
 
 // updateIndexes maintains every built co-occurrence index after the cell
-// (tid, ai) changed from old to new; the rest of the tuple is unchanged.
-func (g *Generator) updateIndexes(tid, ai int, oldV, newV string) {
-	t := g.db.Tuple(tid) // already holds the new value at ai
+// (tid, ai) changed from oldV to newV; the rest of the tuple is unchanged.
+func (g *Generator) updateIndexes(tid, ai int, oldV, newV relation.VID) {
+	row := g.db.Row(tid) // already holds the new value at ai
 	g.indexMu.Lock()
 	defer g.indexMu.Unlock()
 	for _, idx := range g.indexes {
@@ -113,21 +118,22 @@ func (g *Generator) updateIndexes(tid, ai int, oldV, newV string) {
 				break
 			}
 		}
+		var kb, kb2 [relation.KeyBufSize]byte
 		switch {
 		case idx.target == ai:
-			key := idx.keyOf(func(k int) string { return t[k] })
+			key := string(idx.keyOf(kb[:0], func(k int) relation.VID { return row[k] }))
 			idx.remove(key, oldV)
 			idx.add(key, newV)
 		case inOthers:
-			oldKey := idx.keyOf(func(k int) string {
+			oldKey := string(idx.keyOf(kb[:0], func(k int) relation.VID {
 				if k == ai {
 					return oldV
 				}
-				return t[k]
-			})
-			newKey := idx.keyOf(func(k int) string { return t[k] })
-			idx.remove(oldKey, t[idx.target])
-			idx.add(newKey, t[idx.target])
+				return row[k]
+			}))
+			newKey := string(idx.keyOf(kb2[:0], func(k int) relation.VID { return row[k] }))
+			idx.remove(oldKey, row[idx.target])
+			idx.add(newKey, row[idx.target])
 		}
 	}
 }
@@ -139,18 +145,19 @@ func (g *Generator) updateIndexes(tid, ai int, oldV, newV string) {
 // love); genuine values co-occur broadly.
 const minCoCount = 3
 
-// coCandidates returns the candidate values for attribute target among the
-// tuples agreeing with tuple tid on the others attributes, with their
-// frequencies, in deterministic order (most frequent first).
-func (g *Generator) coCandidates(tid, target int, others []int) []string {
+// coCandidates returns the candidate value ids for attribute target among
+// the tuples agreeing with tuple tid on the others attributes, in
+// deterministic order (most frequent first, then lexicographic value).
+func (g *Generator) coCandidates(tid, target int, others []int) []relation.VID {
 	idx := g.ensureIndex(target, others)
-	t := g.db.Tuple(tid)
-	bucket := idx.m[idx.keyOf(func(ai int) string { return t[ai] })]
+	row := g.db.Row(tid)
+	var kb [relation.KeyBufSize]byte
+	bucket := idx.m[string(idx.keyOf(kb[:0], func(ai int) relation.VID { return row[ai] }))]
 	if len(bucket) == 0 {
 		return nil
 	}
 	type vc struct {
-		v string
+		v relation.VID
 		c int
 	}
 	all := make([]vc, 0, len(bucket))
@@ -160,13 +167,14 @@ func (g *Generator) coCandidates(tid, target int, others []int) []string {
 		}
 		all = append(all, vc{v, c})
 	}
+	d := g.db.Dict(target)
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].c != all[j].c {
 			return all[i].c > all[j].c
 		}
-		return all[i].v < all[j].v
+		return d.Val(all[i].v) < d.Val(all[j].v)
 	})
-	out := make([]string, len(all))
+	out := make([]relation.VID, len(all))
 	for i, x := range all {
 		out[i] = x.v
 	}

@@ -1,0 +1,173 @@
+package repair_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// TestEncodedEngineEquivalence drives ~500 random Apply/Insert/Suggest steps
+// through the incrementally maintained VID engine and generator, and after
+// every mutation cross-checks the full observable state against a ground
+// truth rebuilt from scratch over a clone of the instance: dirty sets,
+// per-rule vio/sat/context counts, and the complete suggestion batch must be
+// identical. This is the safety net for the dictionary-encoded storage
+// layer: any divergence between incremental VID maintenance and a fresh
+// string-loaded Rebuild is a bug.
+func TestEncodedEngineEquivalence(t *testing.T) {
+	schema := relation.MustSchema("Eq", []string{"A", "B", "C", "D"})
+	rules := cfd.MustParse(`
+phi1: A -> B :: _ || _
+phi2: B, C -> D :: _, _ || _
+phi3: A -> C :: a1 || c0
+phi4: C -> D :: c1 || d2
+`)
+	vals := func(attr string, k int) string { return attr + string(rune('0'+k)) }
+	rng := rand.New(rand.NewSource(99))
+	randTuple := func() relation.Tuple {
+		return relation.Tuple{
+			vals("a", rng.Intn(4)),
+			vals("b", rng.Intn(4)),
+			vals("c", rng.Intn(4)),
+			vals("d", rng.Intn(4)),
+		}
+	}
+
+	db := relation.NewDB(schema)
+	for i := 0; i < 60; i++ {
+		db.MustInsert(randTuple())
+	}
+	eng, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := repair.NewGenerator(eng)
+
+	// History of prevented/locked bookkeeping, replayed onto every fresh
+	// reference generator so suggestion state matches.
+	type prevention struct {
+		tid   int
+		attr  string
+		value string
+	}
+	type lock struct {
+		tid  int
+		attr string
+	}
+	var preventions []prevention
+	var locks []lock
+
+	check := func(step int) {
+		t.Helper()
+		ref := db.Clone()
+		refEng, err := cfd.NewEngine(ref, rules)
+		if err != nil {
+			t.Fatalf("step %d: rebuilding reference engine: %v", step, err)
+		}
+		if got, want := eng.DirtyCount(), refEng.DirtyCount(); got != want {
+			t.Fatalf("step %d: dirty count %d, rebuild says %d", step, got, want)
+		}
+		if got, want := eng.Dirty(), refEng.Dirty(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: dirty set %v, rebuild says %v", step, got, want)
+		}
+		for ri := range rules {
+			if got, want := eng.Vio(ri), refEng.Vio(ri); got != want {
+				t.Fatalf("step %d: rule %d vio %d, rebuild says %d", step, ri, got, want)
+			}
+			if got, want := eng.Sat(ri), refEng.Sat(ri); got != want {
+				t.Fatalf("step %d: rule %d sat %d, rebuild says %d", step, ri, got, want)
+			}
+			if got, want := eng.Context(ri), refEng.Context(ri); got != want {
+				t.Fatalf("step %d: rule %d context %d, rebuild says %d", step, ri, got, want)
+			}
+		}
+		refGen := repair.NewGenerator(refEng)
+		for _, p := range preventions {
+			refGen.Prevent(p.tid, p.attr, p.value)
+		}
+		for _, l := range locks {
+			refGen.Lock(l.tid, l.attr)
+		}
+		got := gen.SuggestBatch(eng.Dirty())
+		want := refGen.SuggestBatch(refEng.Dirty())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: suggestions diverged\nincremental: %v\nrebuilt:     %v", step, got, want)
+		}
+	}
+
+	check(-1)
+	attrs := schema.Attrs
+	for step := 0; step < 500; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // random cell edit through the generator
+			tid := rng.Intn(db.N())
+			attr := attrs[rng.Intn(len(attrs))]
+			val := vals(string([]rune(attr)[0]+('a'-'A')), rng.Intn(4))
+			gen.Apply(tid, attr, val)
+			check(step)
+		case op < 6: // online insert
+			if _, _, err := gen.Insert(randTuple()); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			check(step)
+		case op < 7: // user rejects a pending suggestion
+			tid := rng.Intn(db.N())
+			attr := attrs[rng.Intn(len(attrs))]
+			if u, ok := gen.Suggest(tid, attr); ok {
+				gen.Prevent(u.Tid, u.Attr, u.Value)
+				preventions = append(preventions, prevention{u.Tid, u.Attr, u.Value})
+				check(step)
+			}
+		case op < 8: // user retains a cell
+			tid := rng.Intn(db.N())
+			attr := attrs[rng.Intn(len(attrs))]
+			gen.Lock(tid, attr)
+			locks = append(locks, lock{tid, attr})
+			check(step)
+		default: // read-only suggestion probes between mutations
+			tid := rng.Intn(db.N())
+			gen.SuggestTuple(tid)
+		}
+	}
+	check(500)
+}
+
+// TestWhatIfVIDFreshValue checks the FreshVID path: scoring a hypothetical
+// value the dictionary has never seen must match applying that value to a
+// clone and rebuilding from scratch.
+func TestWhatIfVIDFreshValue(t *testing.T) {
+	schema := relation.MustSchema("Fresh", []string{"City", "Zip"})
+	rules := cfd.MustParse(`phi: Zip -> City :: _ || _`)
+	db := relation.NewDB(schema)
+	db.MustInsert(relation.Tuple{"Westville", "46360"})
+	db.MustInsert(relation.Tuple{"Michigan City", "46360"})
+	db.MustInsert(relation.Tuple{"Michigan City", "46360"})
+	eng, err := cfd.NewEngine(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < db.N(); tid++ {
+		for _, attr := range schema.Attrs {
+			value := "never-seen-before"
+			deltas := eng.WhatIf(tid, attr, value)
+			clone := db.Clone()
+			clone.Set(tid, attr, value)
+			refEng, err := cfd.NewEngine(clone, rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range deltas {
+				if got, want := d.Vio, refEng.Vio(d.Rule); got != want {
+					t.Fatalf("t%d.%s: WhatIf vio %d, rebuild says %d", tid, attr, got, want)
+				}
+				if got, want := d.Sat, refEng.Sat(d.Rule); got != want {
+					t.Fatalf("t%d.%s: WhatIf sat %d, rebuild says %d", tid, attr, got, want)
+				}
+			}
+		}
+	}
+}

@@ -65,34 +65,48 @@ type CellKey struct {
 	Attr string
 }
 
+// cellPos identifies one cell by tuple id and attribute position — the
+// integer-keyed form used by the generator's internal maps.
+type cellPos struct {
+	tid int
+	ai  int
+}
+
 // Similarity scores how close a suggested value is to the current one;
 // Eq. 7's normalized edit-distance similarity is the default.
 type Similarity func(current, suggested string) float64
 
+// simKey keys the similarity memo: attribute position plus the interned ids
+// of the current and suggested values. Hashing three integers replaces
+// hashing two strings on every candidate evaluation.
+type simKey struct {
+	ai   int32
+	a, b relation.VID
+}
+
 // Generator produces candidate updates for dirty cells. All cell mutations
-// during a session must go through Generator.Apply so its domain statistics
-// stay current. Mutations are single-goroutine, but suggestion generation is
-// read-only against the instance and may be batched across workers (see
-// SuggestAll); the two internal caches it touches — the similarity memo and
-// the lazily built co-occurrence indexes — are lock-striped and
-// mutex-guarded respectively, so concurrent Suggest calls are safe as long
-// as no Apply/Insert runs at the same time.
+// during a session must go through Generator.Apply so the co-occurrence
+// indexes stay current (domain statistics live in the relation layer and
+// maintain themselves). Mutations are single-goroutine, but suggestion
+// generation is read-only against the instance and may be batched across
+// workers (see SuggestAll); the two internal caches it touches — the
+// similarity memo and the lazily built co-occurrence indexes — are
+// lock-striped and mutex-guarded respectively, so concurrent Suggest calls
+// are safe as long as no Apply/Insert runs at the same time.
 type Generator struct {
 	eng     *cfd.Engine
 	db      *relation.DB
 	sim     Similarity
 	workers int
 
-	prevented map[CellKey]map[string]bool
-	locked    map[CellKey]bool
-
-	domains []map[string]int // per attribute position: value -> count
+	prevented map[cellPos]map[relation.VID]bool
+	locked    map[cellPos]bool
 
 	// simMemo caches similarity scores; candidate values recur constantly
 	// across Suggest calls (rule constants, frequent domain values). It is
 	// lock-striped so concurrent batch generation does not serialize on one
-	// lock.
-	simMemo *par.Cache[[2]string, float64]
+	// lock, and integer-keyed so probing it never hashes a string.
+	simMemo *par.Cache[simKey, float64]
 
 	// indexes holds the lazily built co-occurrence indexes backing
 	// scenario 3, keyed by attribute signature; indexMu guards the map and
@@ -105,12 +119,13 @@ type Generator struct {
 // maxSimMemo bounds the similarity cache.
 const maxSimMemo = 1 << 20
 
-func (g *Generator) simCached(a, b string) float64 {
-	k := [2]string{a, b}
+func (g *Generator) simCached(ai int, a, b relation.VID) float64 {
+	k := simKey{ai: int32(ai), a: a, b: b}
 	if s, ok := g.simMemo.Get(k); ok {
 		return s
 	}
-	s := g.sim(a, b)
+	d := g.db.Dict(ai)
+	s := g.sim(d.Val(a), d.Val(b))
 	g.simMemo.Put(k, s)
 	return s
 }
@@ -133,22 +148,13 @@ func NewGenerator(eng *cfd.Engine, opts ...Option) *Generator {
 		db:        eng.DB(),
 		sim:       strsim.Similarity,
 		workers:   1,
-		prevented: make(map[CellKey]map[string]bool),
-		locked:    make(map[CellKey]bool),
-		simMemo:   par.NewCache[[2]string, float64](maxSimMemo),
+		prevented: make(map[cellPos]map[relation.VID]bool),
+		locked:    make(map[cellPos]bool),
+		simMemo:   par.NewCache[simKey, float64](maxSimMemo),
 		indexes:   make(map[string]*cooccur),
 	}
 	for _, o := range opts {
 		o(g)
-	}
-	g.domains = make([]map[string]int, g.db.Schema.Arity())
-	for ai := range g.domains {
-		g.domains[ai] = make(map[string]int)
-	}
-	for tid := 0; tid < g.db.N(); tid++ {
-		for ai := 0; ai < g.db.Schema.Arity(); ai++ {
-			g.domains[ai][g.db.GetAt(tid, ai)]++
-		}
 	}
 	return g
 }
@@ -157,90 +163,96 @@ func NewGenerator(eng *cfd.Engine, opts ...Option) *Generator {
 func (g *Generator) Engine() *cfd.Engine { return g.eng }
 
 // Apply routes a confirmed cell update through the violation engine and
-// keeps the generator's domain statistics in sync. It returns the tuples
+// keeps the generator's co-occurrence indexes in sync. It returns the tuples
 // whose dirty status may have changed.
 func (g *Generator) Apply(tid int, attr, value string) []int {
 	ai := g.db.Schema.MustIndex(attr)
-	old := g.db.GetAt(tid, ai)
+	old := g.db.VIDAt(tid, ai)
 	affected := g.eng.Apply(tid, attr, value)
-	if old != value {
-		if c := g.domains[ai][old]; c <= 1 {
-			delete(g.domains[ai], old)
-		} else {
-			g.domains[ai][old] = c - 1
-		}
-		g.domains[ai][value]++
-		g.updateIndexes(tid, ai, old, value)
+	if now := g.db.VIDAt(tid, ai); now != old {
+		g.updateIndexes(tid, ai, old, now)
 	}
 	return affected
 }
 
 // Insert routes a newly entered tuple through the violation engine and
-// keeps the generator's statistics and co-occurrence indexes in sync. It
-// returns the new tuple id and the affected tuples.
+// keeps the co-occurrence indexes in sync. It returns the new tuple id and
+// the affected tuples.
 func (g *Generator) Insert(t relation.Tuple) (tid int, affected []int, err error) {
 	tid, affected, err = g.eng.Insert(t)
 	if err != nil {
 		return 0, nil, err
 	}
-	row := g.db.Tuple(tid)
-	for ai, v := range row {
-		g.domains[ai][v]++
-	}
+	row := g.db.Row(tid)
 	g.indexMu.Lock()
 	for _, idx := range g.indexes {
-		idx.add(idx.keyOf(func(ai int) string { return row[ai] }), row[idx.target])
+		var kb [relation.KeyBufSize]byte
+		idx.add(string(idx.keyOf(kb[:0], func(ai int) relation.VID { return row[ai] })), row[idx.target])
 	}
 	g.indexMu.Unlock()
 	return tid, affected, nil
 }
 
-// DomainCount returns how many tuples currently hold value under attr,
-// according to the generator's incrementally maintained statistics.
+// DomainCount returns how many tuples currently hold value under attr; the
+// relation layer maintains the statistic incrementally.
 func (g *Generator) DomainCount(attr, value string) int {
-	return g.domains[g.db.Schema.MustIndex(attr)][value]
+	return g.db.ValueCount(attr, value)
 }
 
 // Prevent records that value was confirmed wrong for the cell
 // (⟨t,B⟩.preventedList of Appendix A).
 func (g *Generator) Prevent(tid int, attr, value string) {
-	k := CellKey{tid, attr}
+	ai := g.db.Schema.MustIndex(attr)
+	k := cellPos{tid, ai}
 	m := g.prevented[k]
 	if m == nil {
-		m = make(map[string]bool)
+		m = make(map[relation.VID]bool)
 		g.prevented[k] = m
 	}
-	m[value] = true
+	m[g.db.Intern(ai, value)] = true
 }
 
 // IsPrevented reports whether value was confirmed wrong for the cell.
 func (g *Generator) IsPrevented(tid int, attr, value string) bool {
-	return g.prevented[CellKey{tid, attr}][value]
+	ai := g.db.Schema.MustIndex(attr)
+	v, ok := g.db.LookupVID(ai, value)
+	if !ok {
+		return false
+	}
+	return g.prevented[cellPos{tid, ai}][v]
 }
 
 // Lock marks the cell as confirmed correct (⟨t,B⟩.Changeable = false): no
 // further updates will be suggested for it.
-func (g *Generator) Lock(tid int, attr string) { g.locked[CellKey{tid, attr}] = true }
+func (g *Generator) Lock(tid int, attr string) {
+	g.locked[cellPos{tid, g.db.Schema.MustIndex(attr)}] = true
+}
 
 // Locked reports whether the cell is locked.
-func (g *Generator) Locked(tid int, attr string) bool { return g.locked[CellKey{tid, attr}] }
+func (g *Generator) Locked(tid int, attr string) bool {
+	return g.locked[cellPos{tid, g.db.Schema.MustIndex(attr)}]
+}
 
-// candidate is an internal scored suggestion.
+// candidate is an internal scored suggestion, value dictionary-encoded.
 type candidate struct {
-	value string
+	value relation.VID
 	score float64
 	// rank breaks score ties deterministically: lower is better.
 	rank int
 }
 
-func better(a, b candidate) bool {
+// better orders candidates: higher score, then lower rank, then — only on a
+// full tie — the lexicographically smaller value string, so the chosen
+// suggestion is independent of candidate enumeration order and identical to
+// the string-era generator's.
+func better(d *relation.Dict, a, b candidate) bool {
 	if a.score != b.score {
 		return a.score > b.score
 	}
 	if a.rank != b.rank {
 		return a.rank < b.rank
 	}
-	return a.value < b.value
+	return d.Val(a.value) < d.Val(b.value)
 }
 
 // Suggest implements UpdateAttributeTuple(t, B) (Algorithm 1): it finds the
@@ -253,17 +265,20 @@ func (g *Generator) Suggest(tid int, attr string) (u Update, ok bool) {
 }
 
 func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool) {
-	if g.Locked(tid, attr) {
+	ai := g.db.Schema.MustIndex(attr)
+	if g.locked[cellPos{tid, ai}] {
 		return Update{}, false
 	}
-	cur := g.db.Get(tid, attr)
+	cur := g.db.VIDAt(tid, ai)
+	dict := g.db.Dict(ai)
+	prevented := g.prevented[cellPos{tid, ai}]
 	best := candidate{score: -1}
-	consider := func(v string, rank int) {
-		if v == cur || g.IsPrevented(tid, attr, v) {
+	consider := func(v relation.VID, rank int) {
+		if v == cur || prevented[v] {
 			return
 		}
-		c := candidate{value: v, score: g.simCached(cur, v), rank: rank}
-		if best.score < 0 || better(c, best) {
+		c := candidate{value: v, score: g.simCached(ai, cur, v), rank: rank}
+		if best.score < 0 || better(dict, c, best) {
 			best = c
 		}
 	}
@@ -274,7 +289,7 @@ func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool)
 		switch {
 		case rule.RHS == attr && rule.Constant():
 			// Scenario 1: enforce the constant RHS pattern value.
-			consider(rule.TP[rule.RHS], 0)
+			consider(g.eng.ConstantRHSVID(ri), 0)
 		case rule.RHS == attr:
 			// Scenario 2: take the RHS value of a violating partner t′ —
 			// but only when the tuple is a plausible culprit. Tuples whose
@@ -285,8 +300,9 @@ func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool)
 			if g.eng.InBucketMajority(ri, tid) {
 				continue
 			}
-			for _, p := range g.eng.ViolatingPartners(ri, tid) {
-				consider(g.db.Get(p, attr), 1)
+			var pvb [16]relation.VID
+			for _, v := range g.eng.AppendPartnerRHSVIDs(pvb[:0], ri, tid) {
+				consider(v, 1)
 			}
 		default:
 			// Candidate LHS repairs are only derived when the tuple is a
@@ -305,11 +321,10 @@ func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool)
 		// (co-occurrence). A candidate is only eligible if it resolves the
 		// violation it was derived from (Appendix A.2: the change must make
 		// t[X] ⋠ tp[X], or move t into agreeing company).
-		ai := g.db.Schema.MustIndex(attr)
 		for _, ri := range lhsOf {
 			rule := g.eng.Rules()[ri]
-			if p := rule.TP[attr]; p != cfd.Wildcard && !g.eng.WouldViolate(ri, tid, attr, p) {
-				consider(p, 2)
+			if pv, hasPat := g.eng.LHSPatternVID(ri, ai); hasPat && !g.eng.WouldViolateVID(ri, tid, ai, pv) {
+				consider(pv, 2)
 			}
 			others := make([]int, 0, len(rule.LHS))
 			for _, a := range rule.Attrs() {
@@ -318,7 +333,7 @@ func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool)
 				}
 			}
 			for _, v := range g.coCandidates(tid, ai, others) {
-				if !g.eng.WouldViolate(ri, tid, attr, v) {
+				if !g.eng.WouldViolateVID(ri, tid, ai, v) {
 					consider(v, 3)
 				}
 			}
@@ -327,7 +342,7 @@ func (g *Generator) suggest(tid int, attr string, vio []int) (u Update, ok bool)
 	if best.score < 0 {
 		return Update{}, false
 	}
-	return Update{Tid: tid, Attr: attr, Value: best.value, Score: best.score}, true
+	return Update{Tid: tid, Attr: attr, Value: dict.Val(best.value), Score: best.score}, true
 }
 
 // SuggestTuple runs Suggest for every attribute of a tuple and returns the

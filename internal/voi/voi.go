@@ -16,6 +16,7 @@ import (
 	"gdr/internal/cfd"
 	"gdr/internal/group"
 	"gdr/internal/par"
+	"gdr/internal/relation"
 	"gdr/internal/repair"
 )
 
@@ -34,15 +35,19 @@ func ScoreProb(u repair.Update) float64 { return u.Score }
 // read-only).
 type Ranker struct {
 	eng     *cfd.Engine
+	db      *relation.DB
 	weights []float64
 
 	cache *par.Cache[cacheKey, *cacheEntry]
 }
 
+// cacheKey addresses one hypothetical update by integers only — tuple id,
+// attribute position and the suggested value's interned id — so cache
+// probes hash three words instead of two strings.
 type cacheKey struct {
-	tid   int
-	attr  string
-	value string
+	tid int
+	ai  int32
+	vid relation.VID
 }
 
 type cacheEntry struct {
@@ -67,7 +72,7 @@ func WithWeights(w []float64) Option {
 // follow the paper's experimental choice wi = |D(φi)|/|D|, computed on the
 // instance at construction time.
 func NewRanker(eng *cfd.Engine, opts ...Option) *Ranker {
-	r := &Ranker{eng: eng, cache: par.NewCache[cacheKey, *cacheEntry](maxCacheEntries)}
+	r := &Ranker{eng: eng, db: eng.DB(), cache: par.NewCache[cacheKey, *cacheEntry](maxCacheEntries)}
 	for _, o := range opts {
 		o(r)
 	}
@@ -94,17 +99,35 @@ func (r *Ranker) Weight(ri int) float64 { return r.weights[ri] }
 // satisfaction count after the update is guarded to 1, as the paper's
 // quotient is undefined there (no tuple would satisfy the rule either way).
 func (r *Ranker) RawBenefit(u repair.Update) float64 {
-	key := cacheKey{u.Tid, u.Attr, u.Value}
+	ai := r.db.Schema.MustIndex(u.Attr)
+	vid, known := r.db.LookupVID(ai, u.Value)
+	if !known {
+		// The suggested value has never been seen by this instance (possible
+		// only for caller-synthesized updates — the generator only proposes
+		// interned values). Score it without caching: interning here would
+		// mutate the dictionary under concurrent read-only scoring, and
+		// FreshVID cannot serve as a cache key (distinct unseen values would
+		// collide).
+		return r.rawFromDeltas(r.eng.WhatIfVID(u.Tid, ai, cfd.FreshVID))
+	}
+	key := cacheKey{tid: u.Tid, ai: int32(ai), vid: vid}
 	if e, ok := r.cache.Get(key); ok && r.fresh(e) {
 		return e.raw
 	}
-	involved := r.eng.RulesInvolving(u.Attr)
-	deltas := r.eng.WhatIf(u.Tid, u.Attr, u.Value)
-	raw := 0.0
+	involved := r.eng.RulesInvolvingAt(ai)
+	deltas := r.eng.WhatIfVID(u.Tid, ai, vid)
 	entry := &cacheEntry{rules: involved, versions: make([]uint64, len(involved))}
 	for i, ri := range involved {
 		entry.versions[i] = r.eng.Version(ri)
 	}
+	entry.raw = r.rawFromDeltas(deltas)
+	r.cache.Put(key, entry)
+	return entry.raw
+}
+
+// rawFromDeltas folds WhatIf deltas into the Eq. 6 probability-free sum.
+func (r *Ranker) rawFromDeltas(deltas []cfd.RuleDelta) float64 {
+	raw := 0.0
 	for _, d := range deltas {
 		sat := d.Sat
 		if sat < 1 {
@@ -112,8 +135,6 @@ func (r *Ranker) RawBenefit(u repair.Update) float64 {
 		}
 		raw += r.weights[d.Rule] * float64(r.eng.Vio(d.Rule)-d.Vio) / float64(sat)
 	}
-	entry.raw = raw
-	r.cache.Put(key, entry)
 	return raw
 }
 
