@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"gdr"
+	"gdr/internal/par"
 )
 
 func main() {
@@ -26,18 +28,24 @@ func main() {
 		n       = flag.Int("n", 20000, "records per dataset")
 		seed    = flag.Int64("seed", 7, "random seed")
 		rate    = flag.Float64("dirty", 0.3, "fraction of perturbed tuples")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for figure cells and session internals (1 = serial; output is identical either way)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines, split across (dataset, figure) jobs, figure cells and session internals (1 = serial; output is identical either way)")
 		verbose = flag.Bool("v", false, "print progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*figure, *ds, *n, *seed, *rate, *workers, *verbose); err != nil {
+	if err := run(*figure, *ds, *n, *seed, *rate, *workers, *verbose, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gdrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure, ds string, n int, seed int64, rate float64, workers int, verbose bool) error {
-	cfg := gdr.FigureConfig{N: n, Seed: seed, DirtyRate: rate, Workers: workers}
+// run fans the whole request out three levels deep on one worker budget:
+// every (dataset, figure) pair is an independent job on the pool; inside a
+// job, the figure's cells divide the job's share; inside a cell, the
+// session takes what is left. Results are rendered in request order —
+// dataset-major, figure-minor — whatever order jobs finish in, so the
+// output is byte-identical at any worker count.
+func run(figure, ds string, n int, seed int64, rate float64, workers int, verbose bool, w io.Writer) error {
+	workers = par.Workers(workers)
 	var datasets []int
 	switch ds {
 	case "1":
@@ -59,33 +67,68 @@ func run(figure, ds string, n int, seed int64, rate float64, workers int, verbos
 		return fmt.Errorf("unknown figure %q", figure)
 	}
 
-	for _, id := range datasets {
+	// Materialize each dataset once, shared by its figures (runs only read
+	// it: every cell repairs a clone). Generation itself is serial per
+	// dataset, so the two datasets are simply generated concurrently.
+	baseCfg := gdr.FigureConfig{N: n, Seed: seed, DirtyRate: rate}
+	data := make([]*gdr.Data, len(datasets))
+	if err := par.ForEach(workers, len(datasets), func(i int) error {
 		if verbose {
-			fmt.Fprintf(os.Stderr, "generating dataset %d (n=%d)...\n", id, n)
+			fmt.Fprintf(os.Stderr, "generating dataset %d (n=%d)...\n", datasets[i], n)
 		}
-		data, err := datasetByID(id, cfg)
+		d, err := datasetByID(datasets[i], baseCfg)
 		if err != nil {
 			return err
 		}
-		for _, f := range figures {
-			if verbose {
-				fmt.Fprintf(os.Stderr, "running figure %s on dataset %d...\n", f, id)
-			}
-			var fig gdr.Figure
-			switch f {
-			case "3":
-				fig, err = gdr.Figure3(data, cfg)
-			case "4":
-				fig, err = gdr.Figure4(data, cfg)
-			case "5":
-				fig, err = gdr.Figure5(data, cfg)
-			}
-			if err != nil {
-				return err
-			}
-			if err := fig.Render(os.Stdout); err != nil {
-				return err
-			}
+		data[i] = d
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// One job per (dataset, figure) pair; each job gets an equal slice of
+	// the budget for its cells and sessions. The split rounds up: with 6
+	// jobs on 8 workers, flooring to 1 inner worker would strand 2 cores
+	// for the whole run, while the mild oversubscription from rounding up
+	// just time-shares.
+	type job struct{ di, fi int }
+	var jobs []job
+	for di := range datasets {
+		for fi := range figures {
+			jobs = append(jobs, job{di, fi})
+		}
+	}
+	concurrent := min(len(jobs), workers)
+	jobCfg := baseCfg
+	jobCfg.Workers = par.Workers((workers + concurrent - 1) / concurrent)
+	figs := make([]gdr.Figure, len(jobs))
+	if err := par.ForEach(workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		if verbose {
+			fmt.Fprintf(os.Stderr, "running figure %s on dataset %d...\n", figures[j.fi], datasets[j.di])
+		}
+		var fig gdr.Figure
+		var err error
+		switch figures[j.fi] {
+		case "3":
+			fig, err = gdr.Figure3(data[j.di], jobCfg)
+		case "4":
+			fig, err = gdr.Figure4(data[j.di], jobCfg)
+		case "5":
+			fig, err = gdr.Figure5(data[j.di], jobCfg)
+		}
+		if err != nil {
+			return err
+		}
+		figs[i] = fig
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for _, fig := range figs {
+		if err := fig.Render(w); err != nil {
+			return err
 		}
 	}
 	return nil

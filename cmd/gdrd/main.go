@@ -1,0 +1,93 @@
+// Command gdrd serves guided-repair sessions over HTTP — the multi-tenant
+// daemon around the paper's interactive Figure 2 loop. Tenants upload a
+// dirty CSV instance plus CFD rules, then drive the repair loop remotely:
+// ranked groups, per-group updates, batched confirm/reject/retain feedback,
+// status and CSV export. See the README's "Serving repairs" section.
+//
+//	gdrd -addr :8080 -max-sessions 64 -ttl 30m
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests and
+// session commands finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gdr/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", 64, "cap on live sessions (-1 = uncapped)")
+		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU slots shared by all session actors")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		quiet       = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *maxSessions, *ttl, *workers, *drain, *quiet, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gdrd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains. ready (optional) receives
+// the bound address once listening — tests bind :0 and need the real port.
+func run(ctx context.Context, addr string, maxSessions int, ttl time.Duration, workers int, drain time.Duration, quiet bool, ready chan<- string) error {
+	logf := log.Printf
+	if quiet {
+		logf = nil
+	}
+	srv := server.New(server.Config{
+		MaxSessions: maxSessions,
+		TTL:         ttl,
+		Workers:     workers,
+		Logf:        logf,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d)",
+		ln.Addr(), maxSessions, ttl, workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("gdrd: draining (timeout %s)...", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Close() // stop actors only after in-flight requests completed
+	log.Printf("gdrd: drained, bye")
+	return nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gdr"
+)
+
+// bootDaemon starts run on a random port and returns its base URL plus a
+// shutdown func that triggers the graceful drain and waits for exit.
+func bootDaemon(t *testing.T) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", 8, time.Minute, 2, 5*time.Second, true, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "http://" + addr, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("daemon did not drain in time")
+		}
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon, walks one full feedback round over
+// the wire (create → groups → updates → feedback → status → delete), and
+// shuts down gracefully — the same path the CI smoke job exercises on the
+// built binary.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, shutdown := bootDaemon(t)
+
+	d := gdr.HospitalData(gdr.DataConfig{N: 150, Seed: 4})
+	var csvBuf bytes.Buffer
+	if err := d.Dirty.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	var rules strings.Builder
+	for _, r := range d.Rules {
+		rules.WriteString(r.String() + "\n")
+	}
+
+	post := func(url string, body any, out any) int {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			_ = json.NewDecoder(resp.Body).Decode(out)
+		}
+		return resp.StatusCode
+	}
+	get := func(url string, out any) int {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			_ = json.NewDecoder(resp.Body).Decode(out)
+		}
+		return resp.StatusCode
+	}
+
+	if code := get(base+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	var created struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+		Stats struct {
+			Pending int `json:"pending"`
+		} `json:"stats"`
+	}
+	code := post(base+"/v1/sessions", map[string]any{
+		"csv": csvBuf.String(), "rules": rules.String(), "seed": 4,
+	}, &created)
+	if code != 201 || created.Session.ID == "" || created.Stats.Pending == 0 {
+		t.Fatalf("create: %d %+v", code, created)
+	}
+	sessURL := base + "/v1/sessions/" + created.Session.ID
+
+	var groups struct {
+		Groups []struct {
+			Key string `json:"key"`
+		} `json:"groups"`
+	}
+	if code := get(sessURL+"/groups?order=voi&limit=1", &groups); code != 200 || len(groups.Groups) == 0 {
+		t.Fatalf("groups: %d %+v", code, groups)
+	}
+	var ups struct {
+		Updates []struct {
+			Tid   int    `json:"tid"`
+			Attr  string `json:"attr"`
+			Value string `json:"value"`
+		} `json:"updates"`
+	}
+	if code := get(sessURL+"/groups/"+groups.Groups[0].Key+"/updates", &ups); code != 200 || len(ups.Updates) == 0 {
+		t.Fatalf("updates: %d %+v", code, ups)
+	}
+	items := make([]map[string]any, 0, len(ups.Updates))
+	for _, u := range ups.Updates {
+		verb := "reject"
+		if d.Truth.Get(u.Tid, u.Attr) == u.Value {
+			verb = "confirm"
+		}
+		items = append(items, map[string]any{"tid": u.Tid, "attr": u.Attr, "value": u.Value, "feedback": verb})
+	}
+	var fb struct {
+		Stats struct {
+			Applied int `json:"applied"`
+		} `json:"stats"`
+	}
+	if code := post(sessURL+"/feedback", map[string]any{"items": items}, &fb); code != 200 {
+		t.Fatalf("feedback: %d", code)
+	}
+	if code := get(sessURL+"/status", nil); code != 200 {
+		t.Fatalf("status: %d", code)
+	}
+	req, _ := http.NewRequest("DELETE", sessURL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+}

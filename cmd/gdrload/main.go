@@ -1,0 +1,426 @@
+// Command gdrload replays oracle-simulated users against a gdrd server and
+// reports end-to-end feedback-round throughput and latency percentiles —
+// the multi-session benchmark behind BENCH_3.json.
+//
+// It generates one synthetic workload per session (distinct seeds), uploads
+// the dirty instances, then spins N concurrent users across the M sessions;
+// each user runs the Procedure-1 loop — ranked groups, one group's updates,
+// a batched feedback round answered from the generator's ground truth —
+// until the session is clean or its round budget runs out. The report is a
+// single JSON document on stdout.
+//
+//	gdrload -addr http://localhost:8080 -sessions 4 -users 8 -n 400
+//	gdrload -selfhost -sessions 4 -users 8     # in-process server, loopback HTTP
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gdr"
+	"gdr/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running gdrd (e.g. http://localhost:8080)")
+		selfhost = flag.Bool("selfhost", false, "boot an in-process server on a loopback port instead of -addr")
+		sessions = flag.Int("sessions", 4, "concurrent repair sessions (tenants)")
+		users    = flag.Int("users", 8, "concurrent simulated users, round-robin across sessions")
+		rounds   = flag.Int("rounds", 50, "max feedback rounds per user")
+		n        = flag.Int("n", 400, "records per uploaded instance")
+		ds       = flag.Int("dataset", 1, "workload generator: 1 = hospital, 2 = census")
+		seed     = flag.Int64("seed", 7, "base seed; session i uploads seed+i")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "server worker budget (selfhost only)")
+		sweep    = flag.Bool("sweep", false, "ask for a learner sweep with every feedback round")
+	)
+	flag.Parse()
+	if *addr == "" && !*selfhost {
+		fmt.Fprintln(os.Stderr, "gdrload: need -addr or -selfhost")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *selfhost, *sessions, *users, *rounds, *n, *ds, *seed, *workers, *sweep, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gdrload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the benchmark output document.
+type Report struct {
+	Config      ReportConfig       `json:"config"`
+	Setup       SetupStats         `json:"setup"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Rounds      int                `json:"feedback_rounds"`
+	Items       int                `json:"feedback_items"`
+	Applied     int                `json:"feedback_applied"`
+	Stale       int                `json:"feedback_stale"`
+	Learner     int                `json:"learner_decisions"`
+	Throughput  ThroughputStats    `json:"throughput"`
+	Latency     map[string]LatSumm `json:"latency_seconds"`
+	Sessions    []SessionOutcome   `json:"sessions"`
+}
+
+// ReportConfig echoes the knobs that shaped the run.
+type ReportConfig struct {
+	Target   string `json:"target"`
+	Sessions int    `json:"sessions"`
+	Users    int    `json:"users"`
+	Rounds   int    `json:"max_rounds_per_user"`
+	N        int    `json:"records_per_session"`
+	Dataset  int    `json:"dataset"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers"`
+	Sweep    bool   `json:"sweep"`
+}
+
+// SetupStats covers the upload phase (not counted in the drive wall time).
+type SetupStats struct {
+	Seconds        float64 `json:"seconds"`
+	SessionsOpened int     `json:"sessions_opened"`
+}
+
+// ThroughputStats are the headline rates.
+type ThroughputStats struct {
+	ItemsPerSec  float64 `json:"feedback_items_per_sec"`
+	RoundsPerSec float64 `json:"feedback_rounds_per_sec"`
+}
+
+// LatSumm summarizes one operation's latency distribution.
+type LatSumm struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// SessionOutcome is the per-tenant end state.
+type SessionOutcome struct {
+	Index        int     `json:"index"`
+	InitialDirty int     `json:"initial_dirty"`
+	Dirty        int     `json:"dirty"`
+	Applied      int     `json:"applied"`
+	Pending      int     `json:"pending"`
+	CleanedPct   float64 `json:"cleaned_pct"`
+}
+
+// latRecorder collects op durations across users.
+type latRecorder struct {
+	mu   sync.Mutex
+	byOp map[string][]float64
+}
+
+func (l *latRecorder) observe(op string, d time.Duration) {
+	l.mu.Lock()
+	l.byOp[op] = append(l.byOp[op], d.Seconds())
+	l.mu.Unlock()
+}
+
+func (l *latRecorder) summarize() map[string]LatSumm {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]LatSumm, len(l.byOp))
+	for op, xs := range l.byOp {
+		sort.Float64s(xs)
+		n := len(xs)
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		q := func(p float64) float64 {
+			i := int(p*float64(n)+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= n {
+				i = n - 1
+			}
+			return xs[i]
+		}
+		out[op] = LatSumm{Count: n, Mean: sum / float64(n), P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: xs[n-1]}
+	}
+	return out
+}
+
+// counters are the shared run totals.
+type counters struct {
+	mu      sync.Mutex
+	rounds  int
+	items   int
+	applied int
+	stale   int
+	learner int
+}
+
+func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed int64, workers int, sweep bool, out io.Writer) error {
+	if sessions < 1 || users < 1 {
+		return fmt.Errorf("need at least one session and one user")
+	}
+	if selfhost {
+		srv := server.New(server.Config{Workers: workers, MaxSessions: sessions + 1})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+	}
+	addr = strings.TrimRight(addr, "/")
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Upload phase: one workload per session, distinct seeds. Uploads fan
+	// out concurrently — the server builds sessions in parallel up to its
+	// worker budget, so serial creates would leave it idle and stretch
+	// setup linearly with -sessions.
+	setupStart := time.Now()
+	type tenant struct {
+		id    string
+		truth *gdr.DB
+	}
+	tenants := make([]tenant, sessions)
+	setupErrs := make([]error, sessions)
+	var setupWG sync.WaitGroup
+	for i := range tenants {
+		setupWG.Add(1)
+		go func(i int) {
+			defer setupWG.Done()
+			d, err := workload(ds, n, seed+int64(i))
+			if err != nil {
+				setupErrs[i] = err
+				return
+			}
+			var csvBuf bytes.Buffer
+			if err := d.Dirty.WriteCSV(&csvBuf); err != nil {
+				setupErrs[i] = err
+				return
+			}
+			var rules strings.Builder
+			for _, r := range d.Rules {
+				rules.WriteString(r.String() + "\n")
+			}
+			var created server.CreateSessionResponse
+			code, err := doJSON(client, "POST", addr+"/v1/sessions", server.CreateSessionRequest{
+				Name:  fmt.Sprintf("load-%d", i),
+				CSV:   csvBuf.String(),
+				Rules: rules.String(),
+				Seed:  seed + int64(i),
+			}, &created)
+			if err != nil {
+				setupErrs[i] = fmt.Errorf("creating session %d: %w", i, err)
+				return
+			}
+			if code != http.StatusCreated {
+				setupErrs[i] = fmt.Errorf("creating session %d: status %d", i, code)
+				return
+			}
+			tenants[i] = tenant{id: created.Session.ID, truth: d.Truth}
+		}(i)
+	}
+	setupWG.Wait()
+	for _, err := range setupErrs {
+		if err != nil {
+			return err
+		}
+	}
+	setup := SetupStats{Seconds: time.Since(setupStart).Seconds(), SessionsOpened: sessions}
+
+	// Drive phase: users fan out round-robin across sessions.
+	lats := &latRecorder{byOp: make(map[string][]float64)}
+	var cnt counters
+	var wg sync.WaitGroup
+	errc := make(chan error, users)
+	driveStart := time.Now()
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			tn := tenants[u%sessions]
+			if err := drive(client, addr, tn.id, tn.truth, u, rounds, sweep, lats, &cnt); err != nil {
+				errc <- fmt.Errorf("user %d: %w", u, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	wall := time.Since(driveStart).Seconds()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+
+	// Final per-session state, then teardown.
+	outcomes := make([]SessionOutcome, sessions)
+	for i, tn := range tenants {
+		var st server.StatusResponse
+		code, err := doJSON(client, "GET", addr+"/v1/sessions/"+tn.id+"/status", nil, &st)
+		if err != nil || code != 200 {
+			return fmt.Errorf("status of session %d: code %d err %v", i, code, err)
+		}
+		outcomes[i] = SessionOutcome{
+			Index:        i,
+			InitialDirty: st.Stats.InitialDirty,
+			Dirty:        st.Stats.Dirty,
+			Applied:      st.Stats.Applied,
+			Pending:      st.Stats.Pending,
+			CleanedPct:   st.Stats.CleanedPct,
+		}
+		if code, err := doJSON(client, "DELETE", addr+"/v1/sessions/"+tn.id, nil, nil); err != nil || code != 200 {
+			return fmt.Errorf("deleting session %d: code %d err %v", i, code, err)
+		}
+	}
+
+	rep := Report{
+		Config: ReportConfig{
+			Target: addr, Sessions: sessions, Users: users, Rounds: rounds,
+			N: n, Dataset: ds, Seed: seed, Workers: workers, Sweep: sweep,
+		},
+		Setup:       setup,
+		WallSeconds: wall,
+		Rounds:      cnt.rounds,
+		Items:       cnt.items,
+		Applied:     cnt.applied,
+		Stale:       cnt.stale,
+		Learner:     cnt.learner,
+		Throughput: ThroughputStats{
+			ItemsPerSec:  float64(cnt.items) / wall,
+			RoundsPerSec: float64(cnt.rounds) / wall,
+		},
+		Latency:  lats.summarize(),
+		Sessions: outcomes,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// drive is one simulated user: the interactive loop of Procedure 1 against
+// one served session, answers from the ground truth.
+func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, sweep bool, lats *latRecorder, cnt *counters) error {
+	base := addr + "/v1/sessions/" + id
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		var groups server.GroupsResponse
+		code, err := doJSON(client, "GET", base+"/groups?order=voi&limit=4", nil, &groups)
+		if err != nil || code != 200 {
+			return fmt.Errorf("groups: code %d err %v", code, err)
+		}
+		lats.observe("groups", time.Since(start))
+		if len(groups.Groups) == 0 {
+			return nil // session fully repaired
+		}
+		g := groups.Groups[u%len(groups.Groups)]
+
+		start = time.Now()
+		var ups server.UpdatesResponse
+		code, err = doJSON(client, "GET", base+"/groups/"+g.Key+"/updates", nil, &ups)
+		if err != nil {
+			return fmt.Errorf("updates: %v", err)
+		}
+		lats.observe("updates", time.Since(start))
+		if code == http.StatusNotFound {
+			continue // another user drained the group between the two calls
+		}
+		if code != 200 {
+			return fmt.Errorf("updates: code %d", code)
+		}
+
+		items := make([]server.FeedbackItem, 0, len(ups.Updates))
+		for _, up := range ups.Updates {
+			want := truth.Get(up.Tid, up.Attr)
+			verb := "reject"
+			switch {
+			case up.Value == want:
+				verb = "confirm"
+			case up.Current == want:
+				verb = "retain"
+			}
+			items = append(items, server.FeedbackItem{Tid: up.Tid, Attr: up.Attr, Value: up.Value, Feedback: verb})
+		}
+		start = time.Now()
+		var fb server.FeedbackResponse
+		code, err = doJSON(client, "POST", base+"/feedback", server.FeedbackRequest{Items: items, Sweep: sweep}, &fb)
+		if err != nil || code != 200 {
+			return fmt.Errorf("feedback: code %d err %v", code, err)
+		}
+		lats.observe("feedback", time.Since(start))
+
+		applied, stale := 0, 0
+		for _, res := range fb.Results {
+			switch res.Status {
+			case server.FeedbackApplied:
+				applied++
+			case server.FeedbackStale:
+				stale++
+			}
+		}
+		cnt.mu.Lock()
+		cnt.rounds++
+		cnt.items += len(items)
+		cnt.applied += applied
+		cnt.stale += stale
+		cnt.learner += len(fb.LearnerDecisions)
+		cnt.mu.Unlock()
+	}
+	return nil
+}
+
+func workload(ds, n int, seed int64) (*gdr.Data, error) {
+	cfg := gdr.DataConfig{N: n, Seed: seed}
+	switch ds {
+	case 1:
+		return gdr.HospitalData(cfg), nil
+	case 2:
+		return gdr.CensusData(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %d (want 1 or 2)", ds)
+	}
+}
+
+// doJSON issues one JSON request; out may be nil.
+func doJSON(client *http.Client, method, url string, body any, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(data) > 0 && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSelfHostedLoadRun boots an in-process server and replays a small
+// multi-session load against it — the CI bench-smoke path.
+func TestSelfHostedLoadRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run("", true /*selfhost*/, 3 /*sessions*/, 6 /*users*/, 6, /*rounds*/
+		120 /*n*/, 1 /*dataset*/, 42 /*seed*/, 2 /*workers*/, true /*sweep*/, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Config.Sessions != 3 || rep.Setup.SessionsOpened != 3 {
+		t.Fatalf("sessions: %+v", rep)
+	}
+	if rep.Rounds == 0 || rep.Items == 0 || rep.Applied == 0 {
+		t.Fatalf("no load driven: %+v", rep)
+	}
+	if rep.Throughput.ItemsPerSec <= 0 {
+		t.Fatalf("throughput: %+v", rep.Throughput)
+	}
+	for _, op := range []string{"groups", "updates", "feedback"} {
+		s, ok := rep.Latency[op]
+		if !ok || s.Count == 0 || s.P50 <= 0 || s.P99 < s.P50 {
+			t.Fatalf("latency summary for %s: %+v", op, s)
+		}
+	}
+	if len(rep.Sessions) != 3 {
+		t.Fatalf("outcomes: %+v", rep.Sessions)
+	}
+	for _, o := range rep.Sessions {
+		if o.Applied == 0 {
+			t.Fatalf("session %d made no progress: %+v", o.Index, o)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", true, 0, 1, 1, 50, 1, 1, 1, false, &out); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if err := run("", true, 1, 1, 1, 50, 3, 1, 1, false, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

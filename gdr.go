@@ -46,6 +46,7 @@ import (
 	"gdr/internal/oracle"
 	"gdr/internal/relation"
 	"gdr/internal/repair"
+	"gdr/internal/server"
 )
 
 // Relational substrate.
@@ -139,6 +140,30 @@ const (
 func NewSession(db *DB, rules []*CFD, cfg SessionConfig) (*Session, error) {
 	return core.NewSession(db, rules, cfg)
 }
+
+// Session introspection (what the serving tier reports per tenant).
+type (
+	// SessionStats is a point-in-time session snapshot: suggestion
+	// backlog, violation counts and repair activity.
+	SessionStats = core.Stats
+	// ModelStat describes one per-attribute learner: training volume,
+	// accuracy and whether the user would delegate to it.
+	ModelStat = core.ModelStat
+)
+
+// Serving (the gdrd subsystem): embed the multi-tenant HTTP service in your
+// own binary. The daemon in cmd/gdrd is a thin wrapper around this.
+type (
+	// RepairServer is the multi-tenant guided-repair HTTP service.
+	RepairServer = server.Server
+	// RepairServerConfig tunes a RepairServer; the zero value serves with
+	// sane defaults.
+	RepairServerConfig = server.Config
+)
+
+// NewRepairServer builds the HTTP service; mount NewRepairServer(cfg).Handler()
+// on any mux or http.Server.
+func NewRepairServer(cfg RepairServerConfig) *RepairServer { return server.New(cfg) }
 
 // Strategies and simulated evaluation.
 type (

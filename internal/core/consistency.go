@@ -78,19 +78,24 @@ func (s *Session) LearnerDecision(u repair.Update, fb repair.Feedback) bool {
 
 // revisit re-derives the pending updates of every affected tuple against the
 // new database instance: stale suggestions are dropped; tuples that are
-// still (or newly) dirty get fresh suggestions.
+// still (or newly) dirty get fresh suggestions. Suggestion generation only
+// reads the instance, so after the serial invalidation pass the still-dirty
+// tuples are regenerated as one SuggestBatch — fanned out over the session's
+// workers for large cascades — and merged back into possible in tuple order,
+// which is byte-identical to the serial per-tuple loop at any worker count.
 func (s *Session) revisit(tids []int) {
+	dirty := make([]int, 0, len(tids))
 	for _, tid := range tids {
 		s.tupleVer[tid]++
 		for _, attr := range s.db.Schema.Attrs {
 			delete(s.possible, repair.CellKey{Tid: tid, Attr: attr})
 		}
-		if !s.eng.IsDirty(tid) {
-			continue
+		if s.eng.IsDirty(tid) {
+			dirty = append(dirty, tid)
 		}
-		for _, nu := range s.gen.SuggestTuple(tid) {
-			s.possible[nu.Cell()] = nu
-		}
+	}
+	for _, nu := range s.gen.SuggestBatch(dirty) {
+		s.possible[nu.Cell()] = nu
 	}
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"gdr/internal/group"
+	"gdr/internal/repair"
+)
+
+// Stats is a point-in-time snapshot of a session's observable state — the
+// introspection surface a serving layer exposes without holding a ground
+// truth: suggestion backlog, violation counts and repair activity.
+type Stats struct {
+	// Pending is the number of suggested updates awaiting a decision.
+	Pending int
+	// Dirty is the current number of tuples violating at least one rule.
+	Dirty int
+	// InitialDirty is E, the dirty-tuple count at session start.
+	InitialDirty int
+	// Tuples is the instance size.
+	Tuples int
+	// Applied counts cell changes written so far (user confirms, learner
+	// confirms and forced constant-rule fixes).
+	Applied int
+	// ForcedFixes counts the automatic constant-rule repairs among Applied.
+	ForcedFixes int
+	// CleanedPct is the quality-so-far proxy available without a ground
+	// truth: the percentage of the initially dirty tuples that no longer
+	// violate any rule, 100·(1 − Dirty/InitialDirty), clamped to [0, 100].
+	// (The Eq. 3 improvement needs Dopt and is only computable in simulated
+	// runs; see metrics.Quality.)
+	CleanedPct float64
+}
+
+// Stats returns the current session snapshot.
+func (s *Session) Stats() Stats {
+	st := Stats{
+		Pending:      len(s.possible),
+		Dirty:        s.eng.DirtyCount(),
+		InitialDirty: s.initialDirty,
+		Tuples:       s.db.N(),
+		Applied:      s.Applied,
+		ForcedFixes:  s.ForcedFixes,
+	}
+	if st.InitialDirty > 0 {
+		st.CleanedPct = 100 * (1 - float64(st.Dirty)/float64(st.InitialDirty))
+		if st.CleanedPct < 0 {
+			st.CleanedPct = 0
+		}
+		if st.CleanedPct > 100 {
+			st.CleanedPct = 100
+		}
+	} else {
+		st.CleanedPct = 100
+	}
+	return st
+}
+
+// ModelStat describes one per-attribute learner: training volume, readiness,
+// and the prequential accuracy backing the user's delegation decision.
+type ModelStat struct {
+	// Attr is the attribute the model labels.
+	Attr string
+	// Examples is the number of training examples collected.
+	Examples int
+	// Ready reports whether the model has enough examples to predict.
+	Ready bool
+	// Assessed reports whether enough predictions were user-checked for
+	// Accuracy to be meaningful.
+	Assessed bool
+	// Accuracy is the recent prediction accuracy (valid when Assessed).
+	Accuracy float64
+	// Trusted reports whether the user would currently delegate decisions
+	// on this attribute to the model.
+	Trusted bool
+}
+
+// ModelStats returns one entry per attribute model the session has created,
+// ordered by attribute name.
+func (s *Session) ModelStats() []ModelStat {
+	out := make([]ModelStat, 0, len(s.models))
+	for attr, m := range s.models {
+		st := ModelStat{Attr: attr, Examples: m.Len(), Ready: m.Ready()}
+		st.Accuracy, st.Assessed = s.ModelAccuracy(attr)
+		st.Trusted = s.Trusted(attr)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// ConfidentDecision returns the learner's decision for an update when the
+// user currently trusts the attribute's model and the committee's majority
+// share reaches the delegation threshold. ok is false otherwise — the
+// update stays with the user.
+func (s *Session) ConfidentDecision(u repair.Update) (repair.Feedback, bool) {
+	if !s.Trusted(u.Attr) {
+		return 0, false
+	}
+	label, votes, ok := s.Predict(u)
+	if !ok || votes[label] < s.cfg.MinDelegate {
+		return 0, false
+	}
+	return labelToFeedback(label), true
+}
+
+// LearnerSweepGroup lets the trained models decide every remaining update of
+// one group (Section 4.2's hand-off after the di verifications): confident
+// confirms are applied through the consistency manager; rejects and retains
+// are advisory and leave the suggestion pending. It returns the applied
+// updates in group order.
+func (s *Session) LearnerSweepGroup(k group.Key) []repair.Update {
+	var applied []repair.Update
+	for _, u := range s.GroupUpdates(k) {
+		if cur, ok := s.Pending(u.Cell()); !ok || cur != u {
+			continue
+		}
+		if fb, ok := s.ConfidentDecision(u); ok {
+			if s.LearnerDecision(u, fb) {
+				applied = append(applied, u)
+			}
+		}
+	}
+	return applied
+}
+
+// LearnerSweep applies the models to everything still pending — how a
+// session finishes once the user's feedback budget is exhausted. Rejected
+// suggestions regenerate, so up to passes full passes run; the sweep stops
+// early when a pass decides nothing. It returns the applied updates in
+// decision order.
+func (s *Session) LearnerSweep(passes int) []repair.Update {
+	var applied []repair.Update
+	for pass := 0; pass < passes; pass++ {
+		decided := false
+		for _, u := range s.PendingUpdates() {
+			if cur, ok := s.Pending(u.Cell()); !ok || cur != u {
+				continue
+			}
+			if fb, ok := s.ConfidentDecision(u); ok {
+				if s.LearnerDecision(u, fb) {
+					applied = append(applied, u)
+					decided = true
+				}
+			}
+		}
+		if !decided {
+			break
+		}
+	}
+	return applied
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gdr/internal/dataset"
+	"gdr/internal/oracle"
+	"gdr/internal/repair"
+)
+
+func TestStatsSnapshot(t *testing.T) {
+	s := figure1Session(t)
+	st := s.Stats()
+	if st.InitialDirty != s.InitialDirtyCount() || st.Dirty != s.Engine().DirtyCount() {
+		t.Fatalf("stats dirty counts diverge: %+v", st)
+	}
+	if st.Pending != s.PendingCount() || st.Tuples != s.DB().N() {
+		t.Fatalf("stats sizes diverge: %+v", st)
+	}
+	if st.Applied != 0 || st.ForcedFixes != 0 {
+		t.Fatalf("fresh session reports activity: %+v", st)
+	}
+	if st.CleanedPct != 0 {
+		t.Fatalf("fresh dirty session should report 0%% cleaned, got %v", st.CleanedPct)
+	}
+	// Confirm one update; activity counters and the cleaned fraction move.
+	u := s.PendingUpdates()[0]
+	s.ApplyFeedback(u, repair.Confirm)
+	st = s.Stats()
+	if st.Applied == 0 {
+		t.Fatalf("confirm not counted: %+v", st)
+	}
+	if st.CleanedPct < 0 || st.CleanedPct > 100 {
+		t.Fatalf("cleaned%% out of range: %v", st.CleanedPct)
+	}
+}
+
+func TestModelStatsTrackLearning(t *testing.T) {
+	s := figure1Session(t)
+	if got := s.ModelStats(); len(got) != 0 {
+		t.Fatalf("fresh session has model stats: %v", got)
+	}
+	u := s.PendingUpdates()[0]
+	for i := 0; i < 4; i++ {
+		s.LearnFrom(u, repair.Confirm)
+	}
+	stats := s.ModelStats()
+	if len(stats) != 1 || stats[0].Attr != u.Attr {
+		t.Fatalf("model stats = %v", stats)
+	}
+	if stats[0].Examples != 4 || !stats[0].Ready {
+		t.Fatalf("model stat does not reflect training: %+v", stats[0])
+	}
+	if stats[0].Assessed || stats[0].Trusted {
+		t.Fatalf("unassessed model reported as assessed/trusted: %+v", stats[0])
+	}
+}
+
+// TestLearnerSweepMatchesRunnerFinish drives a full GDR run and a manual
+// UserFeedback+LearnerSweep loop from the same seed; the sweep refactor must
+// not change what the learner decides.
+func TestLearnerSweepOnlyAppliesConfidentConfirms(t *testing.T) {
+	d := dataset.Hospital(dataset.Config{N: 200, Seed: 11, DirtyRate: 0.3})
+	db := d.Dirty.Clone()
+	s, err := NewSession(db, d.Rules, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.New(d.Truth)
+	// Label a healthy batch so some committee becomes trusted.
+	for i := 0; i < 120 && s.PendingCount() > 0; i++ {
+		ups := s.PendingUpdates()
+		u := ups[i%len(ups)]
+		s.UserFeedback(u, orc.Feedback(s.DB(), u))
+	}
+	before := s.Applied
+	applied := s.LearnerSweep(4)
+	if s.Applied-before != len(applied) {
+		t.Fatalf("sweep reported %d applied updates but session applied %d",
+			len(applied), s.Applied-before)
+	}
+	for _, u := range applied {
+		if _, ok := s.Pending(u.Cell()); ok {
+			t.Fatalf("applied update %v still pending", u)
+		}
+	}
+}
+
+// sessionFingerprint drains a session with an oracle-driven verify-everything
+// loop and returns the full visited-state trace plus the final instance.
+func sessionFingerprint(t *testing.T, workers int) ([]string, [][]string) {
+	t.Helper()
+	d := dataset.Hospital(dataset.Config{N: 400, Seed: 5, DirtyRate: 0.3})
+	db := d.Dirty.Clone()
+	s, err := NewSession(db, d.Rules, Config{Seed: 5, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.New(d.Truth)
+	var trace []string
+	for steps := 0; s.PendingCount() > 0 && steps < 5000; steps++ {
+		u := s.PendingUpdates()[0]
+		fb := orc.Feedback(s.DB(), u)
+		s.ApplyFeedback(u, fb)
+		trace = append(trace, u.String()+fb.String())
+	}
+	rows := make([][]string, db.N())
+	for tid := 0; tid < db.N(); tid++ {
+		rows[tid] = db.Tuple(tid)
+	}
+	return trace, rows
+}
+
+// TestRevisitParallelDeterminism pins the satellite requirement: the
+// parallel SuggestBatch merge inside Session.revisit must leave every
+// cascade byte-identical to the serial path at any worker count.
+func TestRevisitParallelDeterminism(t *testing.T) {
+	t1, r1 := sessionFingerprint(t, 1)
+	t4, r4 := sessionFingerprint(t, 4)
+	if !reflect.DeepEqual(t1, t4) {
+		t.Fatalf("feedback traces diverge between workers=1 (%d steps) and workers=4 (%d steps)",
+			len(t1), len(t4))
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatal("final instances diverge between workers=1 and workers=4")
+	}
+}

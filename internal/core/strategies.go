@@ -312,57 +312,16 @@ func (r *runner) sortByUncertainty(live []repair.Update) {
 // paper's user delegates only when satisfied with the predictions. It
 // reports whether anything happened.
 func (r *runner) learnerDecideGroup(k group.Key) bool {
-	decided := false
-	for _, u := range r.sess.GroupUpdates(k) {
-		if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
-			continue
-		}
-		if fb, ok := r.confidentDecision(u); ok {
-			if r.sess.LearnerDecision(u, fb) {
-				r.res.LearnerDecisions++
-				decided = true
-			}
-		}
-	}
-	return decided
-}
-
-// confidentDecision returns the learner's decision for an update when the
-// committee's majority share reaches the delegation threshold (confirms are
-// applied; rejects and retains merely set the suggestion aside — see
-// Session.LearnerDecision).
-func (r *runner) confidentDecision(u repair.Update) (repair.Feedback, bool) {
-	if !r.sess.Trusted(u.Attr) {
-		return 0, false
-	}
-	label, votes, ok := r.sess.Predict(u)
-	if !ok || votes[label] < r.sess.cfg.MinDelegate {
-		return 0, false
-	}
-	return labelToFeedback(label), true
+	applied := r.sess.LearnerSweepGroup(k)
+	r.res.LearnerDecisions += len(applied)
+	return len(applied) > 0
 }
 
 // learnerFinish applies the models to everything still pending once the
 // feedback budget is exhausted (how Figures 4 and 5 evaluate a budget F).
 // Rejected suggestions regenerate, so a few passes are allowed.
 func (r *runner) learnerFinish() {
-	for pass := 0; pass < 4; pass++ {
-		decided := false
-		for _, u := range r.sess.PendingUpdates() {
-			if cur, ok := r.sess.Pending(u.Cell()); !ok || cur != u {
-				continue
-			}
-			if fb, ok := r.confidentDecision(u); ok {
-				if r.sess.LearnerDecision(u, fb) {
-					r.res.LearnerDecisions++
-					decided = true
-				}
-			}
-		}
-		if !decided {
-			return
-		}
-	}
+	r.res.LearnerDecisions += len(r.sess.LearnerSweep(4))
 }
 
 // runActiveLearning is the no-grouping baseline: a single pool ordered by

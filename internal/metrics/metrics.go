@@ -31,7 +31,11 @@ type Quality struct {
 // percentage-improvement scale.
 func NewQuality(truth *relation.DB, dirty *cfd.Engine, weights []float64) (*Quality, error) {
 	rules := dirty.Rules()
-	truthEng, err := cfd.NewEngine(truth, rules)
+	// NewEngine interns any rule constant missing from the instance's
+	// dictionaries — a write. Concurrent runs (figure cells, bench jobs)
+	// share one truth instance and assume it is read-only, so the scoring
+	// engine gets a private clone; it is discarded when this returns.
+	truthEng, err := cfd.NewEngine(truth.Clone(), rules)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: building ground-truth engine: %w", err)
 	}

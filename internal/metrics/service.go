@@ -1,0 +1,243 @@
+package metrics
+
+// Service-side observability primitives for the gdrd daemon: counters,
+// gauges and latency histograms collected in a Registry and exposed in the
+// Prometheus text format. They complement this package's paper-evaluation
+// measures (Quality, Accuracy): those score repairs against a ground truth,
+// these watch a running repair service. Everything here is dependency-free
+// and safe for concurrent use.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (e.g. feedbacks served).
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored: counters only grow).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a metric that can go up and down (e.g. live sessions).
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge by d (either sign).
+func (g *Gauge) Add(d int64) { g.n.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// DefaultLatencyBuckets spans 100µs–10s in roughly 3×-ish steps — wide
+// enough for both the sub-millisecond status reads and multi-second
+// session-creation uploads of a repair service.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram accumulates observations into cumulative buckets, Prometheus
+// style: counts[i] tallies observations ≤ uppers[i], plus a +Inf overflow.
+type Histogram struct {
+	mu     sync.Mutex
+	uppers []float64
+	counts []uint64 // len(uppers)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds;
+// nil selects DefaultLatencyBuckets.
+func NewHistogram(uppers []float64) *Histogram {
+	if uppers == nil {
+		uppers = DefaultLatencyBuckets
+	}
+	uppers = append([]float64(nil), uppers...)
+	sort.Float64s(uppers)
+	return &Histogram{uppers: uppers, counts: make([]uint64, len(uppers)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// attributing each bucket's mass to its upper bound — the same conservative
+// estimate Prometheus' histogram_quantile makes without intra-bucket
+// interpolation. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.uppers) {
+				return h.uppers[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Registry is a named collection of metrics with a stable text exposition.
+type Registry struct {
+	mu     sync.Mutex
+	names  []string
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+		r.names = append(r.names, name)
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.names = append(r.names, name)
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram over
+// DefaultLatencyBuckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+		r.names = append(r.names, name)
+	}
+	return h
+}
+
+// WriteProm writes every registered metric in the Prometheus text format,
+// in registration order (stable across scrapes once the server is warm).
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		c, g, h := r.counts[name], r.gauges[name], r.hists[name]
+		r.mu.Unlock()
+		var err error
+		switch {
+		case c != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+		case g != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+		case h != nil:
+			err = h.writeProm(w, name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writeProm(w io.Writer, name string) error {
+	h.mu.Lock()
+	uppers := h.uppers
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, up := range uppers {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(up), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, cum, name, sum, name, total)
+	return err
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only grow
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // ≤ 0.01
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // ≤ 0.1
+	}
+	h.Observe(5) // overflow
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	if got := h.Quantile(0.95); got != 0.1 {
+		t.Fatalf("p95 = %v, want 0.1", got)
+	}
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %v, want +Inf", got)
+	}
+	if h.Sum() <= 0 {
+		t.Fatal("sum not accumulated")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gdrd_feedback_total").Add(3)
+	r.Gauge("gdrd_sessions_live").Set(2)
+	r.Histogram("gdrd_latency_seconds").Observe(0.004)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gdrd_feedback_total counter",
+		"gdrd_feedback_total 3",
+		"# TYPE gdrd_sessions_live gauge",
+		"gdrd_sessions_live 2",
+		"# TYPE gdrd_latency_seconds histogram",
+		`gdrd_latency_seconds_bucket{le="+Inf"} 1`,
+		"gdrd_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Same instance on re-lookup.
+	if r.Counter("gdrd_feedback_total").Value() != 3 {
+		t.Fatal("counter not shared across lookups")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+	if r.Histogram("h").Count() != 8000 {
+		t.Fatalf("histogram count = %d", r.Histogram("h").Count())
+	}
+}

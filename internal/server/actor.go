@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gdr/internal/core"
+)
+
+// ErrSessionClosed is returned for requests against a deleted or evicted
+// session.
+var ErrSessionClosed = errors.New("server: session closed")
+
+// actor wraps one core.Session — which is single-writer by design — in a
+// command loop: one goroutine owns the session and executes closures from a
+// queue, so any number of concurrent HTTP handlers can touch the session
+// without locks on the hot paths. CPU time across all actors is budgeted by
+// a shared slot semaphore sized from the server's Workers knob: a command
+// holds as many slots as its session's worker fan-out while it runs, so M
+// live sessions make progress in parallel up to the budget, and queued
+// commands of one session never block another session's loop.
+type actor struct {
+	sess *core.Session
+	cmds chan *command
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	// slots is how many budget slots one command of this session occupies —
+	// its configured intra-session worker fan-out — so a session that
+	// parallelizes VOI scoring over 4 workers accounts for 4 CPUs, and the
+	// sum of running fan-outs never overshoots the server budget. acqMu is
+	// shared store-wide: multi-slot acquisition must be serialized or two
+	// actors could each hold half the budget and deadlock.
+	slots  int
+	budget chan struct{}
+	acqMu  *sync.Mutex
+}
+
+// command is one queued unit of session work. state is the handshake
+// between the caller (which may abandon a command it no longer waits for)
+// and the loop (which claims it before running).
+type command struct {
+	state atomic.Int32
+	fn    func()
+}
+
+// Command lifecycle states.
+const (
+	cmdPending   = iota // queued, not yet picked up
+	cmdRunning          // the loop owns it; it will run to completion
+	cmdAbandoned        // the caller gave up first; the loop must skip it
+)
+
+// actorQueueDepth bounds how many commands one session may have waiting;
+// beyond it, do blocks (applying backpressure to that session's clients
+// only).
+const actorQueueDepth = 64
+
+// clampSlots bounds a requested fan-out to what the budget can ever hold.
+func clampSlots(budget chan struct{}, n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > cap(budget) {
+		return cap(budget)
+	}
+	return n
+}
+
+// acquireSlots takes n slots from budget. mu serializes multi-slot waits
+// across all acquirers — without it two acquirers could each hold half the
+// budget and deadlock; release never needs mu, so a waiter always drains.
+// A ctx cancellation mid-acquisition returns the slots already taken.
+func acquireSlots(ctx context.Context, mu *sync.Mutex, budget chan struct{}, n int) error {
+	mu.Lock()
+	for got := 0; got < n; got++ {
+		select {
+		case budget <- struct{}{}:
+		case <-ctx.Done():
+			mu.Unlock()
+			releaseSlots(budget, got)
+			return ctx.Err()
+		}
+	}
+	mu.Unlock()
+	return nil
+}
+
+// releaseSlots returns n slots to budget.
+func releaseSlots(budget chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		<-budget
+	}
+}
+
+func newActor(sess *core.Session, budget chan struct{}, slots int, acqMu *sync.Mutex) *actor {
+	a := &actor{
+		sess:   sess,
+		cmds:   make(chan *command, actorQueueDepth),
+		done:   make(chan struct{}),
+		slots:  clampSlots(budget, slots),
+		budget: budget,
+		acqMu:  acqMu,
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for {
+			select {
+			case c := <-a.cmds:
+				// Claim before spending shared CPU slots: an abandoned
+				// command must not delay live sessions' work.
+				if !c.state.CompareAndSwap(cmdPending, cmdRunning) {
+					continue
+				}
+				_ = acquireSlots(context.Background(), a.acqMu, a.budget, a.slots)
+				c.fn()
+				releaseSlots(a.budget, a.slots)
+			case <-a.done:
+				return
+			}
+		}
+	}()
+	return a
+}
+
+// do runs fn on the actor goroutine with exclusive access to the session
+// and waits for it to finish. A command whose caller gives up first — the
+// session closes or the context expires while it is still queued — is
+// abandoned and never runs, so an errored request can be safely retried.
+// Once fn has started it always runs to completion (the session must never
+// be left mid-command); a caller whose context expires mid-run waits it out
+// and still gets nil, because the decision was applied.
+//
+// A panic inside fn is contained to this one command: in a multi-tenant
+// daemon, one session tripping an edge case must not unwind the actor
+// goroutine and take every other tenant down. The panic comes back as this
+// call's error (the session may be mid-mutation — the caller decides
+// whether to keep using it).
+func (a *actor) do(ctx context.Context, fn func(sess *core.Session)) error {
+	ran := make(chan struct{})
+	var panicked error
+	c := &command{fn: func() {
+		defer close(ran)
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = fmt.Errorf("server: session command panicked: %v", p)
+			}
+		}()
+		fn(a.sess)
+	}}
+	select {
+	case a.cmds <- c:
+	case <-a.done:
+		return ErrSessionClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-ran:
+		return panicked
+	case <-a.done:
+		if c.state.CompareAndSwap(cmdPending, cmdAbandoned) {
+			return ErrSessionClosed
+		}
+		<-ran // mid-flight; close() waits for the loop, so this resolves
+		return panicked
+	case <-ctx.Done():
+		if c.state.CompareAndSwap(cmdPending, cmdAbandoned) {
+			return ctx.Err()
+		}
+		<-ran
+		return panicked
+	}
+}
+
+// close stops the command loop. Queued commands that were not yet picked up
+// are dropped; their callers get ErrSessionClosed. close waits for the loop
+// goroutine (and thus any in-flight command) to finish.
+func (a *actor) close() {
+	a.once.Do(func() { close(a.done) })
+	a.wg.Wait()
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/core"
+	"gdr/internal/dataset"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// hospitalUpload renders a generated workload in the upload formats: the
+// dirty instance as CSV and the rule set in the cfd text format.
+func hospitalUpload(t testing.TB, n int, seed int64) (csvText, rulesText string, d *dataset.Data) {
+	t.Helper()
+	d = dataset.Hospital(dataset.Config{N: n, Seed: seed, DirtyRate: 0.3})
+	var buf bytes.Buffer
+	if err := d.Dirty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rules strings.Builder
+	for _, r := range d.Rules {
+		rules.WriteString(r.String())
+		rules.WriteString("\n")
+	}
+	return buf.String(), rules.String(), d
+}
+
+// oracleVerb makes the paper's simulated-user decision from the ground
+// truth: confirm when the suggestion is the true value, retain when the
+// cell already holds it, reject otherwise.
+func oracleVerb(truthVal, suggested, current string) string {
+	switch {
+	case suggested == truthVal:
+		return "confirm"
+	case current == truthVal:
+		return "retain"
+	default:
+		return "reject"
+	}
+}
+
+// roundTrace is one round's observable outcome, compared across drivers.
+type roundTrace struct {
+	GroupAttr    string
+	GroupValue   string
+	Verbs        []string
+	Applied      int
+	ForcedFixes  int
+	Pending      int
+	Dirty        int
+	LearnerMoves int
+}
+
+// driveHTTP runs the full Procedure-1 loop against a served session:
+// top-VOI group → oracle answers for its updates → batched feedback with a
+// learner sweep — exactly what a remote user does.
+func driveHTTP(t *testing.T, ts *httptest.Server, csvText, rulesText string, truth *relation.DB, seed int64, maxRounds int) ([]roundTrace, string) {
+	t.Helper()
+	var created CreateSessionResponse
+	code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions",
+		CreateSessionRequest{CSV: csvText, Rules: rulesText, Seed: seed}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + created.Session.ID
+	var trace []roundTrace
+	for round := 0; round < maxRounds; round++ {
+		var groups GroupsResponse
+		if code := doJSON(t, ts.Client(), "GET", base+"/groups?order=voi", nil, &groups); code != 200 {
+			t.Fatalf("groups: status %d", code)
+		}
+		if len(groups.Groups) == 0 {
+			break
+		}
+		g := groups.Groups[0]
+		var ups UpdatesResponse
+		if code := doJSON(t, ts.Client(), "GET", base+"/groups/"+g.Key+"/updates", nil, &ups); code != 200 {
+			t.Fatalf("updates: status %d", code)
+		}
+		items := make([]FeedbackItem, len(ups.Updates))
+		verbs := make([]string, len(ups.Updates))
+		for i, u := range ups.Updates {
+			verbs[i] = oracleVerb(truth.Get(u.Tid, u.Attr), u.Value, u.Current)
+			items[i] = FeedbackItem{Tid: u.Tid, Attr: u.Attr, Value: u.Value, Feedback: verbs[i]}
+		}
+		var fb FeedbackResponse
+		if code := doJSON(t, ts.Client(), "POST", base+"/feedback",
+			FeedbackRequest{Items: items, Sweep: true}, &fb); code != 200 {
+			t.Fatalf("feedback: status %d", code)
+		}
+		trace = append(trace, roundTrace{
+			GroupAttr:    g.Attr,
+			GroupValue:   g.Value,
+			Verbs:        verbs,
+			Applied:      fb.Stats.Applied,
+			ForcedFixes:  fb.Stats.ForcedFixes,
+			Pending:      fb.Stats.Pending,
+			Dirty:        fb.Stats.Dirty,
+			LearnerMoves: len(fb.LearnerDecisions),
+		})
+	}
+	resp, err := ts.Client().Get(base + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return trace, string(final)
+}
+
+// driveLibrary mirrors driveHTTP call for call against a core.Session built
+// from the same uploaded bytes.
+func driveLibrary(t *testing.T, csvText, rulesText string, truth *relation.DB, seed int64, maxRounds int) ([]roundTrace, string) {
+	t.Helper()
+	db, err := relation.ReadCSV(strings.NewReader(csvText), "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := cfd.Parse(strings.NewReader(rulesText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(db, rules, core.Config{Seed: seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []roundTrace
+	for round := 0; round < maxRounds; round++ {
+		gs := sess.Groups(core.OrderVOI, nil)
+		if len(gs) == 0 {
+			break
+		}
+		k := gs[0].Key
+		ups := sess.GroupUpdates(k)
+		// Decide every verb up front from the pre-round snapshot, as the
+		// HTTP client does from the GET response.
+		verbs := make([]string, len(ups))
+		for i, u := range ups {
+			verbs[i] = oracleVerb(truth.Get(u.Tid, u.Attr), u.Value, sess.DB().Get(u.Tid, u.Attr))
+		}
+		for i, u := range ups {
+			cur, live := sess.Pending(u.Cell())
+			if !live || cur.Value != u.Value {
+				continue // stale, as the server reports it
+			}
+			var fb repair.Feedback
+			switch verbs[i] {
+			case "confirm":
+				fb = repair.Confirm
+			case "retain":
+				fb = repair.Retain
+			default:
+				fb = repair.Reject
+			}
+			sess.UserFeedback(cur, fb)
+		}
+		moves := sess.LearnerSweep(4)
+		st := sess.Stats()
+		trace = append(trace, roundTrace{
+			GroupAttr:    k.Attr,
+			GroupValue:   k.Value,
+			Verbs:        verbs,
+			Applied:      st.Applied,
+			ForcedFixes:  st.ForcedFixes,
+			Pending:      st.Pending,
+			Dirty:        st.Dirty,
+			LearnerMoves: len(moves),
+		})
+	}
+	var buf bytes.Buffer
+	if err := sess.DB().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return trace, buf.String()
+}
+
+// TestHTTPSessionEquivalentToLibrarySession is the acceptance bar of this
+// PR: a session driven over the wire must be byte-equivalent — same
+// feedback trajectory, same final instance — to the same seed driven
+// through the library API.
+func TestHTTPSessionEquivalentToLibrarySession(t *testing.T) {
+	const (
+		n      = 250
+		seed   = int64(9)
+		rounds = 400
+	)
+	csvText, rulesText, d := hospitalUpload(t, n, seed)
+	_, ts := newTestServer(t, Config{Session: core.Config{Workers: 1}})
+
+	httpTrace, httpFinal := driveHTTP(t, ts, csvText, rulesText, d.Truth, seed, rounds)
+	libTrace, libFinal := driveLibrary(t, csvText, rulesText, d.Truth, seed, rounds)
+
+	if len(httpTrace) == 0 {
+		t.Fatal("HTTP drive made no progress")
+	}
+	if len(httpTrace) != len(libTrace) {
+		t.Fatalf("round counts diverge: http=%d library=%d", len(httpTrace), len(libTrace))
+	}
+	for i := range httpTrace {
+		if !reflect.DeepEqual(httpTrace[i], libTrace[i]) {
+			t.Fatalf("round %d diverges:\nhttp:    %+v\nlibrary: %+v", i, httpTrace[i], libTrace[i])
+		}
+	}
+	if httpFinal != libFinal {
+		t.Fatal("final instances diverge between HTTP and library drivers")
+	}
+	// And the loop actually repaired: the final instance must beat the
+	// upload on dirty tuples.
+	if last := httpTrace[len(httpTrace)-1]; last.Dirty >= httpTrace[0].Dirty && last.Applied == 0 {
+		t.Fatalf("no repair progress: %+v", last)
+	}
+}
+
+// TestHTTPSessionEquivalenceWithSessionWorkers re-runs a shorter
+// equivalence drive with intra-session parallelism on the server side: the
+// Workers knob must not leak into results.
+func TestHTTPSessionEquivalenceWithSessionWorkers(t *testing.T) {
+	const (
+		n      = 150
+		seed   = int64(21)
+		rounds = 120
+	)
+	csvText, rulesText, d := hospitalUpload(t, n, seed)
+	// Server sessions score VOI and generate candidates on 4 workers; the
+	// library mirror stays serial.
+	_, ts := newTestServer(t, Config{Workers: 8, Session: core.Config{Workers: 4}})
+
+	httpTrace, httpFinal := driveHTTP(t, ts, csvText, rulesText, d.Truth, seed, rounds)
+	libTrace, libFinal := driveLibrary(t, csvText, rulesText, d.Truth, seed, rounds)
+
+	if !reflect.DeepEqual(httpTrace, libTrace) {
+		t.Fatal("parallel-session trace diverges from serial library trace")
+	}
+	if httpFinal != libFinal {
+		t.Fatal("parallel-session final instance diverges")
+	}
+}

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gdr/internal/core"
+	"gdr/internal/group"
+	"gdr/internal/repair"
+)
+
+// handleCreate opens a session from a JSON body or a multipart form (file
+// parts csv and rules; value parts name, seed, workers).
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeCreateRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, st, err := s.store.Create(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{Session: info, Stats: statsBody(st)})
+}
+
+func decodeCreateRequest(r *http.Request) (CreateSessionRequest, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "multipart/form-data") {
+		return decodeCreateForm(r)
+	}
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Double-%w keeps http.MaxBytesError reachable for the 413 mapping.
+		return req, fmt.Errorf("%w: decoding JSON body: %w", ErrBadUpload, err)
+	}
+	return req, nil
+}
+
+func decodeCreateForm(r *http.Request) (CreateSessionRequest, error) {
+	var req CreateSessionRequest
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		return req, fmt.Errorf("%w: parsing multipart form: %w", ErrBadUpload, err)
+	}
+	csvBody, err := formPart(r, "csv")
+	if err != nil {
+		return req, err
+	}
+	rules, err := formPart(r, "rules")
+	if err != nil {
+		return req, err
+	}
+	req.CSV, req.Rules = csvBody, rules
+	req.Name = r.FormValue("name")
+	if v := r.FormValue("seed"); v != "" {
+		if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return req, fmt.Errorf("%w: seed %q", ErrBadUpload, v)
+		}
+	}
+	if v := r.FormValue("workers"); v != "" {
+		if req.Workers, err = strconv.Atoi(v); err != nil {
+			return req, fmt.Errorf("%w: workers %q", ErrBadUpload, v)
+		}
+	}
+	return req, nil
+}
+
+// formPart reads a multipart part that may arrive as either a file upload
+// or a plain value field.
+func formPart(r *http.Request, name string) (string, error) {
+	if f, _, err := r.FormFile(name); err == nil {
+		defer f.Close()
+		b, err := io.ReadAll(f)
+		if err != nil {
+			return "", fmt.Errorf("%w: reading %s part: %w", ErrBadUpload, name, err)
+		}
+		return string(b), nil
+	}
+	if v := r.FormValue(name); v != "" {
+		return v, nil
+	}
+	return "", fmt.Errorf("%w: missing %s part", ErrBadUpload, name)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionList{Sessions: s.store.List()})
+}
+
+// session resolves the {id} path value; a miss writes the 404 itself.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	e, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "session")
+	}
+	return e, ok
+}
+
+func parseOrder(v string) (core.Order, string, error) {
+	switch v {
+	case "", "voi":
+		return core.OrderVOI, "voi", nil
+	case "greedy":
+		return core.OrderGreedy, "greedy", nil
+	case "random":
+		return core.OrderRandom, "random", nil
+	default:
+		return 0, "", fmt.Errorf("%w: order %q (want voi|greedy|random)", ErrBadRequest, v)
+	}
+}
+
+// handleGroups ranks the pending updates (step 4 of Procedure 1) and
+// returns the groups; ?order picks the policy, ?limit truncates the tail.
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	order, orderName, err := parseOrder(r.URL.Query().Get("order"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, fmt.Errorf("%w: limit %q", ErrBadRequest, v))
+			return
+		}
+	}
+	start := time.Now()
+	var resp GroupsResponse
+	err = e.actor.do(r.Context(), func(sess *core.Session) {
+		gs := sess.Groups(order, nil)
+		resp.Order = orderName
+		resp.Total = len(gs)
+		if limit > 0 && len(gs) > limit {
+			gs = gs[:limit]
+		}
+		resp.Groups = make([]GroupBody, len(gs))
+		for i, g := range gs {
+			resp.Groups[i] = GroupBody{
+				Key:     GroupKeyToken(g.Key),
+				Attr:    g.Key.Attr,
+				Value:   g.Key.Value,
+				Size:    g.Size(),
+				Benefit: g.Benefit,
+			}
+		}
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.reg.Histogram("gdrd_suggest_seconds").ObserveSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// groupKeyFromPath recovers the raw {key} segment from the escaped URL path
+// (PathValue would decode it once, making the ':' separator ambiguous) and
+// parses it.
+func groupKeyFromPath(r *http.Request) (group.Key, error) {
+	segs := strings.Split(r.URL.EscapedPath(), "/")
+	// /v1/sessions/{id}/groups/{key}/updates → ["", v1, sessions, id, groups, key, updates]
+	if len(segs) != 7 {
+		return group.Key{}, fmt.Errorf("%w: malformed updates path", ErrBadRequest)
+	}
+	k, err := ParseGroupKeyToken(segs[5])
+	if err != nil {
+		return group.Key{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return k, nil
+}
+
+// handleUpdates lists one group's live suggested updates.
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	key, err := groupKeyFromPath(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	start := time.Now()
+	var resp UpdatesResponse
+	var empty bool
+	err = e.actor.do(r.Context(), func(sess *core.Session) {
+		ups := sess.GroupUpdates(key)
+		if len(ups) == 0 {
+			empty = true
+			return
+		}
+		resp = UpdatesResponse{
+			Key:     GroupKeyToken(key),
+			Attr:    key.Attr,
+			Value:   key.Value,
+			Updates: updateBodies(sess, ups),
+		}
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.reg.Histogram("gdrd_suggest_seconds").ObserveSince(start)
+	if empty {
+		writeNotFound(w, "group")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseFeedback(v string) (repair.Feedback, bool) {
+	switch v {
+	case "confirm":
+		return repair.Confirm, true
+	case "reject":
+		return repair.Reject, true
+	case "retain":
+		return repair.Retain, true
+	default:
+		return 0, false
+	}
+}
+
+// handleFeedback applies one batched feedback round: each item is matched
+// against the live suggestion for its cell (stale items are reported, not
+// applied), answers train the committees unless no_learn is set, rejects
+// report their replacement suggestion, and with sweep the trained models
+// decide whatever they are confident about — the response carries those
+// newly derived consequences plus the post-round stats.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding JSON body: %w", ErrBadRequest, err))
+		return
+	}
+	if len(req.Items) == 0 && !req.Sweep {
+		writeError(w, fmt.Errorf("%w: empty feedback batch", ErrBadRequest))
+		return
+	}
+	start := time.Now()
+	var resp FeedbackResponse
+	err := e.actor.do(r.Context(), func(sess *core.Session) {
+		resp = applyFeedbackBatch(sess, req)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.reg.Histogram("gdrd_feedback_seconds").ObserveSince(start)
+	// Count per-item outcomes separately: stale is the multi-client
+	// contention signal, invalid is client misuse — lumping either into
+	// the applied rate would mislead dashboards.
+	var applied, stale, invalid int64
+	for _, res := range resp.Results {
+		switch res.Status {
+		case FeedbackApplied:
+			applied++
+		case FeedbackStale:
+			stale++
+		default:
+			invalid++
+		}
+	}
+	s.reg.Counter("gdrd_feedback_total").Add(applied)
+	s.reg.Counter("gdrd_feedback_stale_total").Add(stale)
+	s.reg.Counter("gdrd_feedback_invalid_total").Add(invalid)
+	s.reg.Counter("gdrd_learner_decisions_total").Add(int64(len(resp.LearnerDecisions)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyFeedbackBatch runs on the session's actor goroutine.
+func applyFeedbackBatch(sess *core.Session, req FeedbackRequest) FeedbackResponse {
+	before := sess.Stats()
+	resp := FeedbackResponse{Results: make([]FeedbackResult, len(req.Items))}
+	for i, item := range req.Items {
+		fb, ok := parseFeedback(item.Feedback)
+		if !ok {
+			resp.Results[i] = FeedbackResult{
+				Status: FeedbackInvalid,
+				Error:  fmt.Sprintf("feedback %q (want confirm|reject|retain)", item.Feedback),
+			}
+			continue
+		}
+		cell := repair.CellKey{Tid: item.Tid, Attr: item.Attr}
+		cur, live := sess.Pending(cell)
+		if !live || cur.Value != item.Value {
+			resp.Results[i] = FeedbackResult{Status: FeedbackStale}
+			continue
+		}
+		if req.NoLearn {
+			sess.ApplyFeedback(cur, fb)
+		} else {
+			sess.UserFeedback(cur, fb)
+		}
+		res := FeedbackResult{Status: FeedbackApplied}
+		if fb == repair.Reject {
+			if nu, ok := sess.Pending(cell); ok {
+				b := updateBody(sess, nu)
+				res.Replacement = &b
+			}
+		}
+		resp.Results[i] = res
+	}
+	if req.Sweep {
+		resp.LearnerDecisions = appliedBodies(sess.LearnerSweep(4))
+	}
+	after := sess.Stats()
+	resp.AppliedDelta = after.Applied - before.Applied
+	resp.ForcedFixesDelta = after.ForcedFixes - before.ForcedFixes
+	resp.Stats = statsBody(after)
+	return resp
+}
+
+// handleStatus reports the session snapshot: counts, quality-so-far proxy
+// and per-attribute model accuracy/trust.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var resp StatusResponse
+	err := e.actor.do(r.Context(), func(sess *core.Session) {
+		resp.Stats = statsBody(sess.Stats())
+		ms := sess.ModelStats()
+		resp.Models = make([]ModelStatBody, len(ms))
+		for i, m := range ms {
+			resp.Models[i] = ModelStatBody{
+				Attr:     m.Attr,
+				Examples: m.Examples,
+				Ready:    m.Ready,
+				Assessed: m.Assessed,
+				Accuracy: m.Accuracy,
+				Trusted:  m.Trusted,
+			}
+		}
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp.Session = e.info(s.cfg.TTL)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExport streams the instance under repair as CSV — the repaired data
+// is the product; this is how a tenant takes it home.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	err := e.actor.do(r.Context(), func(sess *core.Session) {
+		_ = sess.DB().WriteCSV(&buf)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Delete(r.PathValue("id")) {
+		writeNotFound(w, "session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"sessions":       s.store.Len(),
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteProm(w)
+}

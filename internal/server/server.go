@@ -1,0 +1,220 @@
+// Package server exposes guided-repair sessions over an HTTP/JSON API — the
+// serving tier the paper's interactive Figure 2 loop needs to face real
+// users. A Server owns a session store (create-from-CSV-upload, token
+// lookup, TTL eviction, capped live count); each core.Session, single-writer
+// by design, sits behind an actor goroutine that executes queued commands,
+// so concurrent HTTP traffic is safe with no locks on the repair hot paths,
+// and CPU across all sessions is budgeted by the Workers knob.
+//
+// Endpoints (see the README's "Serving repairs" section for a walkthrough):
+//
+//	POST   /v1/sessions                          create (CSV + rules upload)
+//	GET    /v1/sessions                          list live sessions
+//	GET    /v1/sessions/{id}/groups              ranked groups (?order=voi|greedy|random)
+//	GET    /v1/sessions/{id}/groups/{key}/updates  one group's live updates
+//	POST   /v1/sessions/{id}/feedback            batched confirm/reject/retain
+//	GET    /v1/sessions/{id}/status              pending/dirty counts, model trust
+//	GET    /v1/sessions/{id}/export              download the instance as CSV
+//	DELETE /v1/sessions/{id}                     close a session
+//	GET    /healthz                              liveness
+//	GET    /metrics                              Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"gdr/internal/core"
+	"gdr/internal/metrics"
+)
+
+// Upload and capacity errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrBadUpload wraps any client-side problem with a create request.
+	ErrBadUpload = errors.New("server: bad upload")
+	// ErrBadRequest wraps malformed parameters on non-upload endpoints
+	// (bad order/limit values, malformed group keys, bad feedback bodies).
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrTooManySessions is returned when the live-session cap is reached.
+	ErrTooManySessions = errors.New("server: too many live sessions")
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// MaxSessions caps concurrently live sessions (default 64; <0 = no cap).
+	MaxSessions int
+	// TTL evicts sessions idle for longer (default 30m).
+	TTL time.Duration
+	// Workers is the CPU slot budget shared by all session actors and
+	// session creation (default GOMAXPROCS).
+	Workers int
+	// Session provides per-session defaults; uploads override Seed and
+	// (clamped) Workers. Session.Workers defaults to 1 — the server scales
+	// across sessions.
+	Session core.Config
+	// Logf receives one line per request (nil disables logging).
+	Logf func(format string, args ...any)
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0 // uncapped
+	}
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Minute
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Session.Workers < 1 {
+		c.Session.Workers = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server is the gdrd HTTP service.
+type Server struct {
+	cfg     Config
+	store   *Store
+	reg     *metrics.Registry
+	handler http.Handler
+	started time.Time
+}
+
+// New builds a Server ready to serve via Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	// Pre-register the metrics the dashboards scrape, so a fresh server
+	// exposes zeros instead of an empty page.
+	reg.Gauge("gdrd_sessions_live")
+	reg.Counter("gdrd_sessions_created_total")
+	reg.Counter("gdrd_sessions_evicted_total")
+	reg.Counter("gdrd_http_requests_total")
+	reg.Counter("gdrd_http_errors_total")
+	reg.Counter("gdrd_feedback_total")
+	reg.Counter("gdrd_feedback_stale_total")
+	reg.Counter("gdrd_feedback_invalid_total")
+	reg.Counter("gdrd_learner_decisions_total")
+	reg.Histogram("gdrd_request_seconds")
+	reg.Histogram("gdrd_suggest_seconds")
+	reg.Histogram("gdrd_feedback_seconds")
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.TTL, cfg.MaxSessions, cfg.Workers, cfg.Session, reg),
+		reg:     reg,
+		started: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}/groups", s.handleGroups)
+	mux.HandleFunc("GET /v1/sessions/{id}/groups/{key}/updates", s.handleUpdates)
+	mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
+	mux.HandleFunc("GET /v1/sessions/{id}/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the fully instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the server's metrics (for embedding and tests).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Store exposes the session store (for tests and the daemon's drain).
+func (s *Server) Store() *Store { return s.store }
+
+// Close drains the store: every actor finishes its in-flight command, then
+// stops. Call after http.Server.Shutdown has stopped new traffic.
+func (s *Server) Close() { s.store.Close() }
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with body limiting, request logging and the
+// request counter/latency metrics.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.reg.Counter("gdrd_http_requests_total").Inc()
+		// Only server faults count as errors: 4xx is client misuse and 499
+		// a client abort — alerting on either would page for impatient
+		// clients.
+		if rec.status >= 500 {
+			s.reg.Counter("gdrd_http_errors_total").Inc()
+		}
+		s.reg.Histogram("gdrd_request_seconds").Observe(elapsed.Seconds())
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s %d %s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// writeJSON sends one response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+// statusClientClosedRequest is nginx's convention for a request abandoned
+// by its own client; there is no net/http constant for it.
+const statusClientClosedRequest = 499
+
+// writeError maps an error to its HTTP status and JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadUpload), errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrTooManySessions):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrSessionClosed):
+		status = http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The request context expired while the command was queued — the
+		// client went away or ran out of patience; not a server fault.
+		status = statusClientClosedRequest
+	}
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+func writeNotFound(w http.ResponseWriter, what string) {
+	writeJSON(w, http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("unknown %s", what)})
+}

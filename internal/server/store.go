@@ -1,0 +1,370 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gdr/internal/cfd"
+	"gdr/internal/core"
+	"gdr/internal/metrics"
+	"gdr/internal/relation"
+)
+
+// Store owns the live sessions of one server: creation from an uploaded
+// instance, token lookup, a cap on concurrently live sessions, and
+// TTL-based eviction of idle ones (touched on every lookup). All session
+// work after creation goes through each entry's actor.
+type Store struct {
+	ttl     time.Duration
+	maxLive int
+	session core.Config // per-session defaults (Seed/Workers overridable per request)
+	budget  chan struct{}
+	reg     *metrics.Registry
+	now     func() time.Time
+
+	// acquireMu serializes multi-slot budget acquisition across actors
+	// (see actor.acquire).
+	acquireMu sync.Mutex
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+
+	janitorStop chan struct{}
+	janitorWG   sync.WaitGroup
+}
+
+// entry is one live session: its actor, immutable metadata, and the
+// lastUsed stamp eviction works from.
+type entry struct {
+	id      string
+	name    string
+	created time.Time
+	attrs   []string
+	tuples  int
+	rules   int
+	actor   *actor
+
+	mu       sync.Mutex
+	lastUsed time.Time
+}
+
+func (e *entry) touch(now time.Time) {
+	e.mu.Lock()
+	e.lastUsed = now
+	e.mu.Unlock()
+}
+
+func (e *entry) idleSince() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastUsed
+}
+
+// info snapshots the entry's wire description. Expiry is projected from
+// the last use, so an actively driven session never shows as expiring.
+func (e *entry) info(ttl time.Duration) SessionInfo {
+	return SessionInfo{
+		ID:        e.id,
+		Name:      e.name,
+		Tuples:    e.tuples,
+		Attrs:     e.attrs,
+		Rules:     e.rules,
+		CreatedAt: e.created,
+		ExpiresAt: e.idleSince().Add(ttl),
+	}
+}
+
+// NewStore builds a store. ttl bounds session idleness, maxLive the number
+// of concurrently live sessions, and workers the CPU slots shared by every
+// actor (the server's Workers knob). reg receives the store's gauges and
+// counters.
+func NewStore(ttl time.Duration, maxLive, workers int, session core.Config, reg *metrics.Registry) *Store {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Store{
+		ttl:         ttl,
+		maxLive:     maxLive,
+		session:     session,
+		budget:      make(chan struct{}, workers),
+		reg:         reg,
+		now:         time.Now,
+		entries:     make(map[string]*entry),
+		janitorStop: make(chan struct{}),
+	}
+	interval := ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	s.janitorWG.Add(1)
+	go s.janitor(interval)
+	return s
+}
+
+func (s *Store) janitor(interval time.Duration) {
+	defer s.janitorWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.evictIdle()
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// evictIdle removes every session idle for longer than the TTL.
+func (s *Store) evictIdle() {
+	deadline := s.now().Add(-s.ttl)
+	var victims []*entry
+	s.mu.Lock()
+	for id, e := range s.entries {
+		if e == nil {
+			continue // cap reservation: a Create is mid-build
+		}
+		if e.idleSince().Before(deadline) {
+			delete(s.entries, id)
+			victims = append(victims, e)
+		}
+	}
+	s.setLiveLocked()
+	s.mu.Unlock()
+	for _, e := range victims {
+		e.actor.close()
+		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
+	}
+}
+
+// setLiveLocked refreshes the live-session gauge. It must run under s.mu:
+// publishing a count computed inside the lock after releasing it lets two
+// concurrent mutations land their Sets out of order and strand a stale
+// value.
+func (s *Store) setLiveLocked() {
+	n := 0
+	for _, e := range s.entries {
+		if e != nil {
+			n++
+		}
+	}
+	s.reg.Gauge("gdrd_sessions_live").Set(int64(n))
+}
+
+// newToken returns a 128-bit random session token.
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create parses the uploaded CSV instance and rule set, builds the session
+// (holding one CPU slot: construction runs the initial suggestion pass) and
+// registers it under a fresh token. It fails with ErrTooManySessions when
+// the live cap is reached, and honors ctx while waiting for a CPU slot —
+// a caller that gives up does not leave an orphan session pinning the cap.
+func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionInfo, core.Stats, error) {
+	if strings.TrimSpace(req.CSV) == "" {
+		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: empty csv", ErrBadUpload)
+	}
+	db, err := relation.ReadCSV(strings.NewReader(req.CSV), "upload")
+	if err != nil {
+		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	rules, err := cfd.Parse(strings.NewReader(req.Rules))
+	if err != nil {
+		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	if len(rules) == 0 {
+		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: empty rule set", ErrBadUpload)
+	}
+	cfg := s.session
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed // 0 (or omitted) keeps the server default
+	}
+	if req.Workers > 0 {
+		cfg.Workers = req.Workers
+	}
+	// Clamp the session's actual fan-out, not just its slot accounting:
+	// a session must never run wider than the budget it can hold.
+	cfg.Workers = clampSlots(s.budget, cfg.Workers)
+
+	// Reserve the slot in the cap before the expensive build, so a burst
+	// of concurrent creates cannot overshoot it; the reservation is rolled
+	// back if the build fails.
+	token, err := newToken()
+	if err != nil {
+		return SessionInfo{}, core.Stats{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SessionInfo{}, core.Stats{}, ErrSessionClosed
+	}
+	if s.maxLive > 0 && len(s.entries) >= s.maxLive {
+		s.mu.Unlock()
+		return SessionInfo{}, core.Stats{}, ErrTooManySessions
+	}
+	s.entries[token] = nil // reservation
+	s.mu.Unlock()
+	rollback := func() {
+		s.mu.Lock()
+		delete(s.entries, token)
+		s.mu.Unlock()
+	}
+
+	// Creation runs the initial suggestion pass with cfg.Workers-way
+	// fan-out, so it must hold that many slots — the same accounting the
+	// actors enforce — or concurrent builds would overshoot the CPU budget
+	// and starve live sessions' commands.
+	if err := acquireSlots(ctx, &s.acquireMu, s.budget, cfg.Workers); err != nil {
+		rollback()
+		return SessionInfo{}, core.Stats{}, err
+	}
+	sess, err := core.NewSession(db, rules, cfg)
+	releaseSlots(s.budget, cfg.Workers)
+	if err != nil {
+		rollback()
+		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	if ctx.Err() != nil {
+		// The client vanished mid-build: registering the session anyway
+		// would pin a cap slot under a token nobody holds, until the TTL.
+		rollback()
+		return SessionInfo{}, core.Stats{}, ctx.Err()
+	}
+
+	now := s.now()
+	e := &entry{
+		id:       token,
+		name:     req.Name,
+		created:  now,
+		lastUsed: now,
+		attrs:    append([]string(nil), db.Schema.Attrs...),
+		tuples:   db.N(),
+		rules:    len(rules),
+		actor:    newActor(sess, s.budget, cfg.Workers, &s.acquireMu),
+	}
+	st := sess.Stats()
+	s.mu.Lock()
+	if s.closed {
+		delete(s.entries, token)
+		s.mu.Unlock()
+		e.actor.close()
+		return SessionInfo{}, core.Stats{}, ErrSessionClosed
+	}
+	s.entries[token] = e
+	s.setLiveLocked()
+	s.mu.Unlock()
+	s.reg.Counter("gdrd_sessions_created_total").Inc()
+	return e.info(s.ttl), st, nil
+}
+
+// Get returns the live entry for a token, refreshing its idle clock. An
+// entry past its TTL is evicted on the spot, whatever the janitor's phase.
+func (s *Store) Get(id string) (*entry, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok || e == nil { // unknown, or still being built
+		s.mu.Unlock()
+		return nil, false
+	}
+	now := s.now()
+	if e.idleSince().Before(now.Add(-s.ttl)) {
+		delete(s.entries, id)
+		s.setLiveLocked()
+		s.mu.Unlock()
+		e.actor.close()
+		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
+		return nil, false
+	}
+	// Touch before releasing s.mu: a janitor tick between unlock and touch
+	// would still see the stale idle stamp and evict a session that is
+	// actively in use.
+	e.touch(now)
+	s.mu.Unlock()
+	return e, true
+}
+
+// Delete removes a session and stops its actor; it reports whether the
+// token was live.
+func (s *Store) Delete(id string) bool {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok || e == nil {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.entries, id)
+	s.setLiveLocked()
+	s.mu.Unlock()
+	e.actor.close()
+	return true
+}
+
+// List snapshots every live session, ordered by creation time then token.
+func (s *Store) List() []SessionInfo {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.entries))
+	for _, e := range s.entries {
+		if e == nil {
+			continue
+		}
+		out = append(out, e.info(s.ttl))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the live-session count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.entries {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the janitor and every actor, draining in-flight commands.
+// New creates and lookups fail afterwards.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	victims := make([]*entry, 0, len(s.entries))
+	for id, e := range s.entries {
+		delete(s.entries, id)
+		if e != nil {
+			victims = append(victims, e)
+		}
+	}
+	s.setLiveLocked()
+	s.mu.Unlock()
+	close(s.janitorStop)
+	s.janitorWG.Wait()
+	for _, e := range victims {
+		e.actor.close()
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdr/internal/core"
+	"gdr/internal/metrics"
+)
+
+// fakeClock is a settable time source for eviction tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestStore(t *testing.T, ttl time.Duration, maxLive int) (*Store, *fakeClock) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	st := NewStore(ttl, maxLive, 2, core.Config{Workers: 1}, reg)
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	st.now = clk.now
+	t.Cleanup(st.Close)
+	return st, clk
+}
+
+func fig1Request() CreateSessionRequest {
+	return CreateSessionRequest{CSV: figure1CSV, Rules: figure1Rules, Seed: 1}
+}
+
+func TestStoreTTLEviction(t *testing.T) {
+	st, clk := newTestStore(t, time.Minute, 0)
+	info, _, err := st.Create(context.Background(), fig1Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just under the TTL: still there, and the lookup refreshes the clock.
+	clk.advance(59 * time.Second)
+	if _, ok := st.Get(info.ID); !ok {
+		t.Fatal("session evicted before its TTL")
+	}
+	// The touch above restarted the idle clock: another 59s is still fine.
+	clk.advance(59 * time.Second)
+	if _, ok := st.Get(info.ID); !ok {
+		t.Fatal("touched session evicted before its TTL")
+	}
+	// Past the TTL with no touches: the lazy check evicts on lookup.
+	clk.advance(2 * time.Minute)
+	if _, ok := st.Get(info.ID); ok {
+		t.Fatal("expired session still served")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("store still holds %d sessions", st.Len())
+	}
+}
+
+func TestStoreJanitorEvicts(t *testing.T) {
+	st, clk := newTestStore(t, time.Minute, 0)
+	if _, _, err := st.Create(context.Background(), fig1Request()); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(5 * time.Minute)
+	st.evictIdle() // what the janitor tick runs
+	if st.Len() != 0 {
+		t.Fatal("janitor pass did not evict the idle session")
+	}
+}
+
+// TestJanitorSkipsCreateReservations pins the eviction pass against the
+// nil placeholder a mid-build Create leaves in the map: a janitor tick
+// during a slow upload must not panic.
+func TestJanitorSkipsCreateReservations(t *testing.T) {
+	st, clk := newTestStore(t, time.Minute, 0)
+	if _, _, err := st.Create(context.Background(), fig1Request()); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.entries["mid-build-reservation"] = nil
+	st.mu.Unlock()
+	clk.advance(5 * time.Minute)
+	st.evictIdle() // must not deref the nil reservation
+	if st.Len() != 0 {
+		t.Fatal("real idle session survived the pass")
+	}
+	st.mu.Lock()
+	_, stillThere := st.entries["mid-build-reservation"]
+	st.mu.Unlock()
+	if !stillThere {
+		t.Fatal("reservation must survive eviction (its Create will resolve it)")
+	}
+	st.mu.Lock()
+	delete(st.entries, "mid-build-reservation")
+	st.mu.Unlock()
+}
+
+func TestStoreCap(t *testing.T) {
+	st, _ := newTestStore(t, time.Minute, 2)
+	for i := 0; i < 2; i++ {
+		if _, _, err := st.Create(context.Background(), fig1Request()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.Create(context.Background(), fig1Request()); err != ErrTooManySessions {
+		t.Fatalf("over-cap create: %v", err)
+	}
+	// Freeing one slot lets the next create through.
+	victims := st.List()
+	if !st.Delete(victims[0].ID) {
+		t.Fatal("delete failed")
+	}
+	if _, _, err := st.Create(context.Background(), fig1Request()); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+}
+
+func TestStoreCloseStopsActors(t *testing.T) {
+	st, _ := newTestStore(t, time.Minute, 0)
+	info, _, err := st.Create(context.Background(), fig1Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := st.Get(info.ID)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	st.Close()
+	if err := e.actor.do(context.Background(), func(*core.Session) {}); err != ErrSessionClosed {
+		t.Fatalf("do after close: %v", err)
+	}
+	if _, _, err := st.Create(context.Background(), fig1Request()); err != ErrSessionClosed {
+		t.Fatalf("create after close: %v", err)
+	}
+}
+
+func TestActorSerializesCommands(t *testing.T) {
+	st, _ := newTestStore(t, time.Minute, 0)
+	info, _, err := st.Create(context.Background(), fig1Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := st.Get(info.ID)
+	// Fire concurrent commands that would race if not serialized: all
+	// append to one plain slice through the actor.
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = e.actor.do(context.Background(), func(*core.Session) {
+				order = append(order, i)
+			})
+		}(i)
+	}
+	wg.Wait()
+	if len(order) != 32 {
+		t.Fatalf("ran %d commands, want 32", len(order))
+	}
+}
+
+// TestActorContainsPanics pins the multi-tenant survival property: one
+// session's command panicking must error that one call, not unwind the
+// actor goroutine (which would kill the daemon and every other tenant).
+func TestActorContainsPanics(t *testing.T) {
+	st, _ := newTestStore(t, time.Minute, 0)
+	info, _, err := st.Create(context.Background(), fig1Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := st.Get(info.ID)
+	err = e.actor.do(context.Background(), func(*core.Session) { panic("tenant edge case") })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking command: err = %v", err)
+	}
+	// The actor must still serve subsequent commands.
+	ran := false
+	if err := e.actor.do(context.Background(), func(*core.Session) { ran = true }); err != nil || !ran {
+		t.Fatalf("actor dead after contained panic: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestActorContextCancellation(t *testing.T) {
+	st, _ := newTestStore(t, time.Minute, 0)
+	info, _, err := st.Create(context.Background(), fig1Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := st.Get(info.ID)
+	// Occupy the actor so the next command stays queued, then expire its
+	// caller's context while it waits.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = e.actor.do(context.Background(), func(*core.Session) {
+			close(entered)
+			<-release
+		})
+	}()
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ranLate := make(chan struct{})
+	err = e.actor.do(ctx, func(*core.Session) { close(ranLate) })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("queued command under expired context: err = %v", err)
+	}
+	close(release)
+	// The abandoned command must never execute once its caller was told it
+	// failed — otherwise an errored request is not safely retryable. Flush
+	// the queue with a follow-up command and check.
+	if err := e.actor.do(context.Background(), func(*core.Session) {}); err != nil {
+		t.Fatalf("follow-up command: %v", err)
+	}
+	select {
+	case <-ranLate:
+		t.Fatal("abandoned command executed after its caller errored")
+	default:
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"gdr/internal/core"
+)
+
+// TestManyClientsOneSession hammers a single session from concurrent
+// clients — the actor must serialize every touch of the core session (this
+// is the -race contract for the command loop). Clients race to answer the
+// same suggestions, so stale results are expected; server errors are not.
+func TestManyClientsOneSession(t *testing.T) {
+	csvText, rulesText, d := hospitalUpload(t, 150, 3)
+	_, ts := newTestServer(t, Config{Workers: 4})
+	var created CreateSessionResponse
+	if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions",
+		CreateSessionRequest{CSV: csvText, Rules: rulesText, Seed: 3}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + created.Session.ID
+
+	const clients = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var groups GroupsResponse
+				if code := doJSON(t, ts.Client(), "GET", base+"/groups?order=voi&limit=3", nil, &groups); code != 200 {
+					errs <- fmt.Errorf("client %d: groups status %d", c, code)
+					return
+				}
+				if len(groups.Groups) == 0 {
+					return // repaired to completion under contention
+				}
+				g := groups.Groups[c%len(groups.Groups)]
+				var ups UpdatesResponse
+				code := doJSON(t, ts.Client(), "GET", base+"/groups/"+g.Key+"/updates", nil, &ups)
+				if code == 404 {
+					continue // another client drained the group first
+				}
+				if code != 200 {
+					errs <- fmt.Errorf("client %d: updates status %d", c, code)
+					return
+				}
+				items := make([]FeedbackItem, 0, len(ups.Updates))
+				for _, u := range ups.Updates {
+					items = append(items, FeedbackItem{
+						Tid: u.Tid, Attr: u.Attr, Value: u.Value,
+						Feedback: oracleVerb(d.Truth.Get(u.Tid, u.Attr), u.Value, u.Current),
+					})
+				}
+				if code := doJSON(t, ts.Client(), "POST", base+"/feedback",
+					FeedbackRequest{Items: items}, nil); code != 200 {
+					errs <- fmt.Errorf("client %d: feedback status %d", c, code)
+					return
+				}
+				if code := doJSON(t, ts.Client(), "GET", base+"/status", nil, nil); code != 200 {
+					errs <- fmt.Errorf("client %d: status status %d", c, code)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The session must still be coherent: status serves and counters add up.
+	var st StatusResponse
+	if code := doJSON(t, ts.Client(), "GET", base+"/status", nil, &st); code != 200 {
+		t.Fatalf("final status: %d", code)
+	}
+	if st.Stats.Applied < 0 || st.Stats.Dirty > st.Stats.InitialDirty+st.Stats.Applied {
+		t.Fatalf("incoherent final stats: %+v", st.Stats)
+	}
+}
+
+// TestManySessionsParallel drives several tenants at once: sessions share
+// the worker budget but never each other's state.
+func TestManySessionsParallel(t *testing.T) {
+	const sessions = 6
+	_, ts := newTestServer(t, Config{Workers: 4, Session: core.Config{Workers: 1}})
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds: every tenant uploads a different instance.
+			csvText, rulesText, d := hospitalUpload(t, 120, int64(100+i))
+			var created CreateSessionResponse
+			if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions",
+				CreateSessionRequest{CSV: csvText, Rules: rulesText, Seed: int64(i)}, &created); code != http.StatusCreated {
+				errs <- fmt.Errorf("session %d: create status %d", i, code)
+				return
+			}
+			base := ts.URL + "/v1/sessions/" + created.Session.ID
+			for round := 0; round < 8; round++ {
+				var groups GroupsResponse
+				if code := doJSON(t, ts.Client(), "GET", base+"/groups?order=voi&limit=1", nil, &groups); code != 200 {
+					errs <- fmt.Errorf("session %d: groups status %d", i, code)
+					return
+				}
+				if len(groups.Groups) == 0 {
+					break
+				}
+				g := groups.Groups[0]
+				var ups UpdatesResponse
+				if code := doJSON(t, ts.Client(), "GET", base+"/groups/"+g.Key+"/updates", nil, &ups); code != 200 {
+					errs <- fmt.Errorf("session %d: updates status %d", i, code)
+					return
+				}
+				items := make([]FeedbackItem, 0, len(ups.Updates))
+				for _, u := range ups.Updates {
+					items = append(items, FeedbackItem{
+						Tid: u.Tid, Attr: u.Attr, Value: u.Value,
+						Feedback: oracleVerb(d.Truth.Get(u.Tid, u.Attr), u.Value, u.Current),
+					})
+				}
+				if code := doJSON(t, ts.Client(), "POST", base+"/feedback",
+					FeedbackRequest{Items: items, Sweep: true}, nil); code != 200 {
+					errs <- fmt.Errorf("session %d: feedback status %d", i, code)
+					return
+				}
+			}
+			var st StatusResponse
+			if code := doJSON(t, ts.Client(), "GET", base+"/status", nil, &st); code != 200 {
+				errs <- fmt.Errorf("session %d: status %d", i, code)
+				return
+			}
+			if st.Stats.Applied == 0 {
+				errs <- fmt.Errorf("session %d made no progress", i)
+			}
+			if code := doJSON(t, ts.Client(), "DELETE", base, nil, nil); code != 200 {
+				errs <- fmt.Errorf("session %d: delete status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

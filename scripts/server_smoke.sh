@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Server smoke: build gdrd, boot it on a random port, drive one full
+# feedback round with curl (create → groups → updates → feedback → status →
+# export → delete), replay a small gdrload bench against the same daemon,
+# then check the SIGTERM drain exits cleanly. Needs curl and jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building gdrd + gdrload"
+go build -o "$workdir/gdrd" ./cmd/gdrd
+go build -o "$workdir/gdrload" ./cmd/gdrload
+go run ./cmd/gdrgen -dataset 1 -n 300 -seed 5 -dir "$workdir"
+
+# Bind :0 and parse the kernel-assigned port from the startup log — no
+# race against other listeners, unlike picking a random port ourselves.
+"$workdir/gdrd" -addr 127.0.0.1:0 -quiet 2>"$workdir/gdrd.log" &
+pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.*serving on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/gdrd.log" | head -1)
+  if [ -n "$addr" ]; then base="http://$addr"; break; fi
+  sleep 0.1
+done
+if [ -z "$base" ]; then
+  echo "gdrd never reported its address:" >&2
+  cat "$workdir/gdrd.log" >&2
+  exit 1
+fi
+
+echo "== waiting for $base/healthz"
+for _ in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+
+echo "== create session (multipart upload)"
+id=$(curl -fsS -F csv=@"$workdir/dirty.csv" -F rules=@"$workdir/rules.txt" -F seed=5 \
+  "$base/v1/sessions" | jq -re '.session.id')
+sess="$base/v1/sessions/$id"
+
+echo "== top VOI group"
+key=$(curl -fsS "$sess/groups?order=voi&limit=1" | jq -re '.groups[0].key')
+
+echo "== group updates"
+updates=$(curl -fsS "$sess/groups/$key/updates")
+jq -e '.updates | length > 0' >/dev/null <<<"$updates"
+
+echo "== feedback round (confirm the whole group)"
+items=$(jq '[.updates[] | {tid, attr, value, feedback: "confirm"}]' <<<"$updates")
+fb=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\": $items, \"sweep\": true}" "$sess/feedback")
+jq -e '.applied_delta >= 1' >/dev/null <<<"$fb"
+
+echo "== status reflects the round"
+curl -fsS "$sess/status" | jq -e '.stats.applied >= 1' >/dev/null
+
+echo "== export the repaired instance"
+curl -fsS "$sess/export" -o "$workdir/repaired.csv"
+head -1 "$workdir/repaired.csv" | grep -q ','
+
+echo "== metrics expose the traffic"
+curl -fsS "$base/metrics" | grep -q '^gdrd_sessions_live 1'
+
+echo "== gdrload bench-smoke against the live daemon"
+"$workdir/gdrload" -addr "$base" -sessions 4 -users 4 -rounds 4 -n 150 -seed 11 \
+  | jq -e '.feedback_rounds > 0 and (.sessions | length) == 4' >/dev/null
+
+echo "== delete session"
+curl -fsS -X DELETE "$sess" | jq -e '.status == "deleted"' >/dev/null
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "gdrd did not drain in time" >&2
+  exit 1
+fi
+wait "$pid"
+pid=""
+echo "== smoke OK"
