@@ -4,10 +4,15 @@
 // ranked groups, per-group updates, batched confirm/reject/retain feedback,
 // status and CSV export. See the README's "Serving repairs" section.
 //
-//	gdrd -addr :8080 -max-sessions 64 -ttl 30m
+//	gdrd -addr :8080 -max-sessions 64 -ttl 30m -data-dir /var/lib/gdrd
+//
+// With -data-dir set, sessions are durable: every feedback round is
+// checkpointed to disk, the SIGTERM drain flushes a final checkpoint of
+// every live session, and a restarted daemon restores all sessions under
+// their original tokens — tenants resume exactly where they left off.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests and
-// session commands finish, then the process exits.
+// session commands finish, checkpoints flush, then the process exits.
 package main
 
 import (
@@ -27,19 +32,32 @@ import (
 	"gdr/internal/server"
 )
 
+// options carries the daemon's flag values.
+type options struct {
+	addr        string
+	maxSessions int
+	ttl         time.Duration
+	workers     int
+	drain       time.Duration
+	quiet       bool
+	dataDir     string
+	checkpoint  time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		maxSessions = flag.Int("max-sessions", 64, "cap on live sessions (-1 = uncapped)")
-		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU slots shared by all session actors")
-		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
-		quiet       = flag.Bool("quiet", false, "disable request logging")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.maxSessions, "max-sessions", 64, "cap on live sessions (-1 = uncapped)")
+	flag.DurationVar(&opts.ttl, "ttl", 30*time.Minute, "idle session time-to-live")
+	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "CPU slots shared by all session actors")
+	flag.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful shutdown timeout")
+	flag.BoolVar(&opts.quiet, "quiet", false, "disable request logging")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "directory for durable session snapshots (empty = sessions die with the process)")
+	flag.DurationVar(&opts.checkpoint, "checkpoint", 30*time.Second, "periodic checkpoint-retry cadence (with -data-dir)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *maxSessions, *ttl, *workers, *drain, *quiet, nil); err != nil {
+	if err := run(ctx, opts, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "gdrd:", err)
 		os.Exit(1)
 	}
@@ -47,20 +65,22 @@ func main() {
 
 // run serves until ctx is cancelled, then drains. ready (optional) receives
 // the bound address once listening — tests bind :0 and need the real port.
-func run(ctx context.Context, addr string, maxSessions int, ttl time.Duration, workers int, drain time.Duration, quiet bool, ready chan<- string) error {
+func run(ctx context.Context, opts options, ready chan<- string) error {
 	logf := log.Printf
-	if quiet {
+	if opts.quiet {
 		logf = nil
 	}
 	srv := server.New(server.Config{
-		MaxSessions: maxSessions,
-		TTL:         ttl,
-		Workers:     workers,
-		Logf:        logf,
+		MaxSessions:     opts.maxSessions,
+		TTL:             opts.ttl,
+		Workers:         opts.workers,
+		Logf:            logf,
+		DataDir:         opts.dataDir,
+		CheckpointEvery: opts.checkpoint,
 	})
 	defer srv.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
@@ -68,8 +88,8 @@ func run(ctx context.Context, addr string, maxSessions int, ttl time.Duration, w
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d)",
-		ln.Addr(), maxSessions, ttl, workers)
+	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d data-dir=%q sessions=%d)",
+		ln.Addr(), opts.maxSessions, opts.ttl, opts.workers, opts.dataDir, srv.Store().Len())
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -78,8 +98,8 @@ func run(ctx context.Context, addr string, maxSessions int, ttl time.Duration, w
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("gdrd: draining (timeout %s)...", drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("gdrd: draining (timeout %s)...", opts.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
@@ -87,7 +107,7 @@ func run(ctx context.Context, addr string, maxSessions int, ttl time.Duration, w
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	srv.Close() // stop actors only after in-flight requests completed
+	srv.Close() // stop actors only after in-flight requests completed; flushes final checkpoints
 	log.Printf("gdrd: drained, bye")
 	return nil
 }

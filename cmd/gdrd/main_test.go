@@ -21,7 +21,14 @@ func bootDaemon(t *testing.T) (string, func() error) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", 8, time.Minute, 2, 5*time.Second, true, ready)
+		done <- run(ctx, options{
+			addr:        "127.0.0.1:0",
+			maxSessions: 8,
+			ttl:         time.Minute,
+			workers:     2,
+			drain:       5 * time.Second,
+			quiet:       true,
+		}, ready)
 	}()
 	var addr string
 	select {

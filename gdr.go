@@ -47,6 +47,7 @@ import (
 	"gdr/internal/relation"
 	"gdr/internal/repair"
 	"gdr/internal/server"
+	"gdr/internal/snapshot"
 )
 
 // Relational substrate.
@@ -140,6 +141,37 @@ const (
 func NewSession(db *DB, rules []*CFD, cfg SessionConfig) (*Session, error) {
 	return core.NewSession(db, rules, cfg)
 }
+
+// Durable sessions: a session's complete state — the dictionary-encoded
+// instance, rules, feedback bookkeeping and trained committees — can be
+// snapshotted to a versioned binary format and restored later (in another
+// process, or on another node), resuming byte-identically.
+type (
+	// SessionState is the complete serializable state of a Session.
+	SessionState = core.SessionState
+)
+
+// SnapshotFormatVersion is the binary snapshot format this build writes
+// and reads.
+const SnapshotFormatVersion = snapshot.FormatVersion
+
+// WriteSnapshot serializes a session (with a display name) to w in the
+// versioned binary snapshot format.
+func WriteSnapshot(w io.Writer, name string, sess *Session) error {
+	return snapshot.Write(w, name, sess)
+}
+
+// ReadSnapshot rebuilds a session from a snapshot produced by
+// WriteSnapshot (or by gdrd's POST .../snapshot endpoint). The restored
+// session produces byte-identical suggestions, rankings and exports from
+// the snapshot point on.
+func ReadSnapshot(r io.Reader) (name string, sess *Session, err error) {
+	return snapshot.Read(r)
+}
+
+// RestoreSession rebuilds a session from an exported state (the in-memory
+// form; use ReadSnapshot for serialized bytes).
+func RestoreSession(st *SessionState) (*Session, error) { return core.RestoreSession(st) }
 
 // Session introspection (what the serving tier reports per tenant).
 type (

@@ -1,6 +1,7 @@
 package gdr_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -111,5 +112,54 @@ func TestFacadeOracle(t *testing.T) {
 	}
 	if fb := o.Feedback(d.Dirty, u); fb != gdr.Confirm {
 		t.Fatalf("feedback = %v, want confirm", fb)
+	}
+}
+
+// TestFacadeSnapshotRoundTrip drives a session partway, snapshots it
+// through the public API, restores it, and checks the restored session
+// exports the same instance and continues serving suggestions.
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	d := gdr.HospitalData(gdr.DataConfig{N: 120, Seed: 6})
+	sess, err := gdr.NewSession(d.Dirty.Clone(), d.Rules, gdr.SessionConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range sess.Groups(gdr.OrderVOI, nil)[:1] {
+		for _, u := range g.Updates {
+			if cur, ok := sess.Pending(u.Cell()); ok && cur == u {
+				if d.Truth.Get(u.Tid, u.Attr) == u.Value {
+					sess.UserFeedback(u, gdr.Confirm)
+				} else {
+					sess.UserFeedback(u, gdr.Reject)
+				}
+			}
+		}
+	}
+	var snap bytes.Buffer
+	if err := gdr.WriteSnapshot(&snap, "facade", sess); err != nil {
+		t.Fatal(err)
+	}
+	name, restored, err := gdr.ReadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "facade" {
+		t.Fatalf("name %q", name)
+	}
+	var a, b bytes.Buffer
+	if err := sess.DB().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.DB().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("restored session exports a different instance")
+	}
+	if got, want := restored.PendingCount(), sess.PendingCount(); got != want {
+		t.Fatalf("pending %d, want %d", got, want)
+	}
+	if gdr.SnapshotFormatVersion < 1 {
+		t.Fatal("snapshot format version must be positive")
 	}
 }

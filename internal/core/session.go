@@ -127,9 +127,12 @@ type Session struct {
 	predCache map[predKey]predVal
 	tupleVer  []uint32
 
-	// shuffleRNG is the deterministic fallback source for
-	// Groups(OrderRandom, nil), created on first use from Config.Seed.
-	shuffleRNG *rand.Rand
+	// shuffles counts the Groups(OrderRandom, nil) fallback shuffles so
+	// far. Each shuffle draws from a fresh RNG derived from (Config.Seed,
+	// shuffles) — deterministic per session, and the counter is the entire
+	// serializable randomness state (math/rand sources are not otherwise
+	// serializable, and recording a whole stream would grow without bound).
+	shuffles uint64
 
 	initialDirty int
 
@@ -254,10 +257,8 @@ func (s *Session) Groups(order Order, rng *rand.Rand) []*group.Group {
 		group.SortBySize(gs)
 	case OrderRandom:
 		if rng == nil {
-			if s.shuffleRNG == nil {
-				s.shuffleRNG = rand.New(rand.NewSource(s.cfg.Seed))
-			}
-			rng = s.shuffleRNG
+			rng = rand.New(rand.NewSource(s.cfg.Seed + int64(s.shuffles*0x9E3779B97F4A7C15)))
+			s.shuffles++
 		}
 		rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
 	}

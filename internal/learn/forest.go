@@ -210,13 +210,20 @@ func (m *Model) Predict(cats []string, sim float64) (label Label, votes Votes, o
 	}
 	if m.stale || m.forest == nil {
 		m.retrains++
-		cfg := m.cfg
-		// Vary the training seed across retrains (deterministically) so the
-		// committee is re-drawn as the training set evolves.
-		cfg.Seed = cfg.Seed*31 + int64(len(m.examples)) + m.retrains
-		m.forest = Train(m.examples, cfg)
-		m.stale = false
+		m.train()
 	}
 	label, votes = m.forest.Predict(cats, sim)
 	return label, votes, true
+}
+
+// train grows the forest for the current training set and retrain count.
+// The seed varies across retrains (deterministically) so the committee is
+// re-drawn as the training set evolves; because it is a pure function of
+// (Config.Seed, len(examples), retrains), a model restored from a snapshot
+// retrains to the byte-identical committee (see RestoreModel).
+func (m *Model) train() {
+	cfg := m.cfg
+	cfg.Seed = cfg.Seed*31 + int64(len(m.examples)) + m.retrains
+	m.forest = Train(m.examples, cfg)
+	m.stale = false
 }

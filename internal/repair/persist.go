@@ -1,0 +1,98 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"gdr/internal/relation"
+)
+
+// LockedCell identifies a confirmed-correct cell by tuple id and attribute
+// position (Changeable = false in the paper's bookkeeping).
+type LockedCell struct {
+	Tid int
+	Pos int
+}
+
+// PreventedCell carries one cell's prevented list: the interned ids of the
+// values the user has confirmed wrong for it. The ids are only meaningful
+// against the dictionaries of the instance they were snapshotted with.
+type PreventedCell struct {
+	Tid    int
+	Pos    int
+	Values []relation.VID
+}
+
+// CellState snapshots the generator's per-cell feedback bookkeeping — the
+// locked set and the prevented lists — in deterministic (tid, attribute
+// position) order, values ascending. Everything else the generator holds
+// (similarity memo, co-occurrence indexes) is a cache over the instance and
+// is rebuilt lazily after a restore.
+func (g *Generator) CellState() (locked []LockedCell, prevented []PreventedCell) {
+	for c := range g.locked {
+		locked = append(locked, LockedCell{Tid: c.tid, Pos: c.ai})
+	}
+	sort.Slice(locked, func(i, j int) bool {
+		if locked[i].Tid != locked[j].Tid {
+			return locked[i].Tid < locked[j].Tid
+		}
+		return locked[i].Pos < locked[j].Pos
+	})
+	for c, vals := range g.prevented {
+		if len(vals) == 0 {
+			continue
+		}
+		pc := PreventedCell{Tid: c.tid, Pos: c.ai, Values: make([]relation.VID, 0, len(vals))}
+		for v := range vals {
+			pc.Values = append(pc.Values, v)
+		}
+		sort.Slice(pc.Values, func(i, j int) bool { return pc.Values[i] < pc.Values[j] })
+		prevented = append(prevented, pc)
+	}
+	sort.Slice(prevented, func(i, j int) bool {
+		if prevented[i].Tid != prevented[j].Tid {
+			return prevented[i].Tid < prevented[j].Tid
+		}
+		return prevented[i].Pos < prevented[j].Pos
+	})
+	return locked, prevented
+}
+
+// RestoreCellState installs snapshotted feedback bookkeeping into a fresh
+// generator. Cells and value ids are validated against the instance, so a
+// snapshot that disagrees with its own rows/dictionaries errors cleanly.
+func (g *Generator) RestoreCellState(locked []LockedCell, prevented []PreventedCell) error {
+	checkCell := func(tid, ai int) error {
+		if tid < 0 || tid >= g.db.N() {
+			return fmt.Errorf("repair: cell tuple id %d outside instance of %d tuples", tid, g.db.N())
+		}
+		if ai < 0 || ai >= g.db.Schema.Arity() {
+			return fmt.Errorf("repair: cell attribute position %d outside schema arity %d", ai, g.db.Schema.Arity())
+		}
+		return nil
+	}
+	for _, c := range locked {
+		if err := checkCell(c.Tid, c.Pos); err != nil {
+			return err
+		}
+		g.locked[cellPos{c.Tid, c.Pos}] = true
+	}
+	for _, c := range prevented {
+		if err := checkCell(c.Tid, c.Pos); err != nil {
+			return err
+		}
+		m := g.prevented[cellPos{c.Tid, c.Pos}]
+		if m == nil {
+			m = make(map[relation.VID]bool, len(c.Values))
+			g.prevented[cellPos{c.Tid, c.Pos}] = m
+		}
+		for _, v := range c.Values {
+			if int(v) >= g.db.Dict(c.Pos).Len() {
+				return fmt.Errorf("repair: prevented VID %d outside dictionary of attribute %d (len %d)",
+					v, c.Pos, g.db.Dict(c.Pos).Len())
+			}
+			m[v] = true
+		}
+	}
+	return nil
+}

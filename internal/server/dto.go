@@ -36,6 +36,12 @@ type CreateSessionRequest struct {
 	// server's worker budget. Sessions default to 1: the serving tier
 	// scales across sessions, not inside one.
 	Workers int `json:"workers,omitempty"`
+	// Snapshot, when present, selects the restore-on-create path: the body
+	// of a previous POST .../snapshot export (base64 in JSON, raw bytes as
+	// a multipart "snapshot" file part). The snapshot carries the whole
+	// session — CSV, Rules and Seed must be absent; Workers may still
+	// override the restored session's fan-out (clamped to the budget).
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
 
 // SessionInfo describes one live session.

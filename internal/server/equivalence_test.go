@@ -70,7 +70,15 @@ func driveHTTP(t *testing.T, ts *httptest.Server, csvText, rulesText string, tru
 	if code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
-	base := ts.URL + "/v1/sessions/" + created.Session.ID
+	trace := driveSessionRounds(t, ts, created.Session.ID, truth, maxRounds)
+	return trace, exportHTTP(t, ts, created.Session.ID)
+}
+
+// driveSessionRounds plays up to maxRounds top-VOI feedback rounds against
+// an existing session, stopping when no groups remain.
+func driveSessionRounds(t *testing.T, ts *httptest.Server, id string, truth *relation.DB, maxRounds int) []roundTrace {
+	t.Helper()
+	base := ts.URL + "/v1/sessions/" + id
 	var trace []roundTrace
 	for round := 0; round < maxRounds; round++ {
 		var groups GroupsResponse
@@ -107,13 +115,22 @@ func driveHTTP(t *testing.T, ts *httptest.Server, csvText, rulesText string, tru
 			LearnerMoves: len(fb.LearnerDecisions),
 		})
 	}
-	resp, err := ts.Client().Get(base + "/export")
+	return trace
+}
+
+// exportHTTP downloads a session's repaired instance.
+func exportHTTP(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/" + id + "/export")
 	if err != nil {
 		t.Fatal(err)
 	}
 	final, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	return trace, string(final)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d", resp.StatusCode)
+	}
+	return string(final)
 }
 
 // driveLibrary mirrors driveHTTP call for call against a core.Session built

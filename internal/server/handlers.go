@@ -13,6 +13,7 @@ import (
 	"gdr/internal/core"
 	"gdr/internal/group"
 	"gdr/internal/repair"
+	"gdr/internal/snapshot"
 )
 
 // handleCreate opens a session from a JSON body or a multipart form (file
@@ -49,25 +50,40 @@ func decodeCreateForm(r *http.Request) (CreateSessionRequest, error) {
 	if err := r.ParseMultipartForm(32 << 20); err != nil {
 		return req, fmt.Errorf("%w: parsing multipart form: %w", ErrBadUpload, err)
 	}
-	csvBody, err := formPart(r, "csv")
-	if err != nil {
-		return req, err
+	// A snapshot part selects the restore-on-create path; csv and rules are
+	// then not expected (the snapshot carries the whole session).
+	if f, _, err := r.FormFile("snapshot"); err == nil {
+		b, rerr := io.ReadAll(f)
+		f.Close()
+		if rerr != nil {
+			return req, fmt.Errorf("%w: reading snapshot part: %w", ErrBadUpload, rerr)
+		}
+		req.Snapshot = b
+	} else {
+		csvBody, err := formPart(r, "csv")
+		if err != nil {
+			return req, err
+		}
+		rules, err := formPart(r, "rules")
+		if err != nil {
+			return req, err
+		}
+		req.CSV, req.Rules = csvBody, rules
 	}
-	rules, err := formPart(r, "rules")
-	if err != nil {
-		return req, err
-	}
-	req.CSV, req.Rules = csvBody, rules
 	req.Name = r.FormValue("name")
 	if v := r.FormValue("seed"); v != "" {
-		if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
 			return req, fmt.Errorf("%w: seed %q", ErrBadUpload, v)
 		}
+		req.Seed = seed
 	}
 	if v := r.FormValue("workers"); v != "" {
-		if req.Workers, err = strconv.Atoi(v); err != nil {
+		workers, err := strconv.Atoi(v)
+		if err != nil {
 			return req, fmt.Errorf("%w: workers %q", ErrBadUpload, v)
 		}
+		req.Workers = workers
 	}
 	return req, nil
 }
@@ -254,10 +270,22 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var resp FeedbackResponse
 	err := e.actor.do(r.Context(), func(sess *core.Session) {
 		resp = applyFeedbackBatch(sess, req)
+		// Bump on the actor, with the mutation it stamps: a snapshot
+		// encoded later on this goroutine always pairs a state with the
+		// right sequence number.
+		e.mutSeq.Add(1)
 	})
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	// Make the round durable before answering: once the client sees this
+	// response, a daemon crash must not lose the feedback. A failed write
+	// is logged and retried by the periodic flusher (the durability
+	// watermark stays behind) — the in-memory decision already happened, so
+	// the response still reports it.
+	if err := s.store.Checkpoint(r.Context(), e); err != nil {
+		s.logf("gdrd: checkpoint of session %s after feedback failed: %v", e.id, err)
 	}
 	s.reg.Histogram("gdrd_feedback_seconds").ObserveSince(start)
 	// Count per-item outcomes separately: stale is the multi-client
@@ -372,6 +400,28 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSnapshot exports the session as a versioned binary snapshot — the
+// portable form of a tenant's accumulated work (instance, feedback,
+// committees). The same bytes re-imported via POST /v1/sessions (snapshot
+// field or multipart part) resume the session exactly, on this server or
+// another; with persistence enabled the export also lands a durable
+// checkpoint.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.store.Snapshot(r.Context(), e)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", e.id+snapSuffix))
+	w.Header().Set("X-GDR-Snapshot-Version", strconv.Itoa(snapshot.FormatVersion))
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

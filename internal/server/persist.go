@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gdr/internal/core"
+	"gdr/internal/snapshot"
+)
+
+// snapSuffix names the per-session snapshot files in the data directory.
+const snapSuffix = ".snap"
+
+func (s *Store) snapshotPath(id string) string {
+	return filepath.Join(s.dir, id+snapSuffix)
+}
+
+// logff logs through the store's sink when one is configured.
+func (s *Store) logff(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// Snapshot encodes the session's current state on its actor goroutine and
+// returns the bytes; with persistence enabled the same bytes are also
+// written through the checkpoint path, so an explicit export doubles as a
+// durable checkpoint. The write is best-effort: a failing disk must not
+// block the export — taking sessions off a sick node is exactly what the
+// endpoint is for — so persist errors are logged and counted, and the
+// periodic flusher keeps retrying.
+func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
+	data, mut, err := s.encode(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	if s.dir != "" {
+		if err := s.persist(e, data, mut); err != nil {
+			s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+			s.logff("gdrd: persisting snapshot of session %s: %v", e.id, err)
+		}
+	}
+	return data, nil
+}
+
+// Checkpoint makes the session durable: encode on the actor, write to a
+// temp file, fsync, rename. A no-op without a data directory. Concurrent
+// checkpoints of one session are safe — snapshots are sequence-stamped in
+// session-mutation order and a stale one never overwrites a newer file.
+func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
+	if s.dir == "" {
+		return nil
+	}
+	start := time.Now()
+	data, mut, err := s.encode(ctx, e)
+	if err != nil {
+		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+		return err
+	}
+	if err := s.persist(e, data, mut); err != nil {
+		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+		return err
+	}
+	s.reg.Counter("gdrd_checkpoints_total").Inc()
+	s.reg.Histogram("gdrd_checkpoint_seconds").ObserveSince(start)
+	return nil
+}
+
+// encode runs the snapshot encoder on the session's actor and records
+// which mutation sequence the captured state corresponds to.
+func (s *Store) encode(ctx context.Context, e *entry) (data []byte, mut uint64, err error) {
+	var encErr error
+	doErr := e.actor.do(ctx, func(sess *core.Session) {
+		mut = e.mutSeq.Load()
+		data, encErr = snapshot.Encode(e.name, sess)
+	})
+	if doErr != nil {
+		return nil, 0, doErr
+	}
+	if encErr != nil {
+		return nil, 0, encErr
+	}
+	return data, mut, nil
+}
+
+// persist writes one captured snapshot crash-safely, advancing the
+// durability watermark to the mutation it covers. A snapshot at or behind
+// the watermark is skipped: the file already holds that state (or newer),
+// and advancing nothing means mutations the snapshot missed stay dirty for
+// the flusher.
+func (s *Store) persist(e *entry, data []byte, mut uint64) error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if e.hasDurable && mut <= e.durableMut {
+		return nil
+	}
+	if err := writeAtomic(s.snapshotPath(e.id), data); err != nil {
+		return err
+	}
+	e.durableMut = mut
+	e.hasDurable = true
+	return nil
+}
+
+// writeAtomic lands data at path via temp-file + fsync + rename, so a crash
+// at any moment leaves either the old snapshot or the new one — never a
+// torn file.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// removeSnapshot drops a session's durable state; called when the session
+// itself is deliberately removed (explicit delete, TTL eviction), so the
+// data directory always mirrors the live session set.
+func (s *Store) removeSnapshot(id string) {
+	if s.dir == "" {
+		return
+	}
+	if err := os.Remove(s.snapshotPath(id)); err != nil && !os.IsNotExist(err) {
+		s.logff("gdrd: removing snapshot of session %s: %v", id, err)
+	}
+}
+
+// restoreDir loads every *.snap file in the data directory and registers
+// the sessions under their original tokens (the file names). It runs during
+// store construction, before any traffic. Unreadable or corrupt snapshots
+// are skipped with a log line — one bad file must not take the daemon down
+// — and left in place for operator inspection.
+func (s *Store) restoreDir() {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		s.logff("gdrd: creating data dir %s: %v", s.dir, err)
+		return
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "*"+snapSuffix))
+	if err != nil {
+		s.logff("gdrd: scanning data dir %s: %v", s.dir, err)
+		return
+	}
+	restored := 0
+	// Construction is single-threaded (no janitor, flusher or traffic yet),
+	// but the map mutations take the lock anyway to keep the invariant
+	// obvious — setLiveLocked requires it.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, path := range names {
+		token := strings.TrimSuffix(filepath.Base(path), snapSuffix)
+		if s.maxLive > 0 && len(s.entries) >= s.maxLive {
+			s.logff("gdrd: session cap %d reached; not restoring %s", s.maxLive, path)
+			break
+		}
+		e, err := s.restoreFile(token, path)
+		if err != nil {
+			s.logff("gdrd: skipping snapshot %s: %v", path, err)
+			continue
+		}
+		s.entries[token] = e
+		restored++
+	}
+	s.setLiveLocked()
+	if restored > 0 || len(names) > 0 {
+		s.logff("gdrd: restored %d session(s) from %s", restored, s.dir)
+	}
+	s.reg.Counter("gdrd_sessions_restored_total").Add(int64(restored))
+}
+
+// restoreFile rebuilds one session from its snapshot file.
+func (s *Store) restoreFile(token, path string) (*entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name, st, err := snapshot.DecodeState(data)
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot may come from a server with a larger worker budget.
+	st.Config.Workers = clampSlots(s.budget, st.Config.Workers)
+	sess, err := core.RestoreSession(st)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session: %w", err)
+	}
+	now := s.now()
+	e := &entry{
+		id:       token,
+		name:     name,
+		created:  now,
+		lastUsed: now,
+		attrs:    append([]string(nil), sess.DB().Schema.Attrs...),
+		tuples:   sess.DB().N(),
+		rules:    len(sess.Engine().Rules()),
+		actor:    newActor(sess, s.budget, st.Config.Workers, &s.acquireMu),
+	}
+	// The on-disk state is exactly what we restored: durable at mutation 0.
+	e.hasDurable = true
+	return e, nil
+}
+
+// flusher periodically re-checkpoints sessions whose synchronous write
+// failed (the dirty flag survives a failed Checkpoint), so a transient
+// disk error does not leave a session undurable forever.
+func (s *Store) flusher() {
+	defer s.flushWG.Done()
+	tick := time.NewTicker(s.ckptEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.mu.Lock()
+			dirty := make([]*entry, 0, len(s.entries))
+			for _, e := range s.entries {
+				if e != nil && e.isDirty() {
+					dirty = append(dirty, e)
+				}
+			}
+			s.mu.Unlock()
+			for _, e := range dirty {
+				if err := s.Checkpoint(context.Background(), e); err != nil {
+					s.logff("gdrd: periodic checkpoint of session %s failed: %v", e.id, err)
+				}
+			}
+		case <-s.flushStop:
+			return
+		}
+	}
+}

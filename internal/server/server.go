@@ -8,16 +8,23 @@
 //
 // Endpoints (see the README's "Serving repairs" section for a walkthrough):
 //
-//	POST   /v1/sessions                          create (CSV + rules upload)
+//	POST   /v1/sessions                          create (CSV + rules upload, or a snapshot)
 //	GET    /v1/sessions                          list live sessions
 //	GET    /v1/sessions/{id}/groups              ranked groups (?order=voi|greedy|random)
 //	GET    /v1/sessions/{id}/groups/{key}/updates  one group's live updates
 //	POST   /v1/sessions/{id}/feedback            batched confirm/reject/retain
 //	GET    /v1/sessions/{id}/status              pending/dirty counts, model trust
 //	GET    /v1/sessions/{id}/export              download the instance as CSV
+//	POST   /v1/sessions/{id}/snapshot            download a binary session snapshot
 //	DELETE /v1/sessions/{id}                     close a session
 //	GET    /healthz                              liveness
 //	GET    /metrics                              Prometheus text exposition
+//
+// With Config.DataDir set, sessions are durable: every feedback round is
+// checkpointed to disk (temp-file + rename, so a crash never leaves a torn
+// snapshot), a periodic flusher retries failed writes, shutdown flushes a
+// final checkpoint of every live session, and a restarting server restores
+// all sessions under their original tokens.
 package server
 
 import (
@@ -61,6 +68,15 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// DataDir enables durable sessions: every live session is checkpointed
+	// into this directory (one <token>.snap file each) and restored on the
+	// next boot. Empty disables persistence.
+	DataDir string
+	// CheckpointEvery is the cadence of the periodic flusher that retries
+	// checkpoints for sessions whose on-feedback write failed (default 30s;
+	// only meaningful with DataDir set). Feedback itself checkpoints
+	// synchronously — the flusher is the safety net, not the main path.
+	CheckpointEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
 	}
 	return c
 }
@@ -109,12 +128,16 @@ func New(cfg Config) *Server {
 	reg.Counter("gdrd_feedback_stale_total")
 	reg.Counter("gdrd_feedback_invalid_total")
 	reg.Counter("gdrd_learner_decisions_total")
+	reg.Counter("gdrd_sessions_restored_total")
+	reg.Counter("gdrd_checkpoints_total")
+	reg.Counter("gdrd_checkpoint_failures_total")
 	reg.Histogram("gdrd_request_seconds")
 	reg.Histogram("gdrd_suggest_seconds")
 	reg.Histogram("gdrd_feedback_seconds")
+	reg.Histogram("gdrd_checkpoint_seconds")
 	s := &Server{
 		cfg:     cfg,
-		store:   NewStore(cfg.TTL, cfg.MaxSessions, cfg.Workers, cfg.Session, reg),
+		store:   NewStore(cfg, reg),
 		reg:     reg,
 		started: time.Now(),
 	}
@@ -126,6 +149,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /v1/sessions/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -142,9 +166,18 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // Store exposes the session store (for tests and the daemon's drain).
 func (s *Server) Store() *Store { return s.store }
 
-// Close drains the store: every actor finishes its in-flight command, then
-// stops. Call after http.Server.Shutdown has stopped new traffic.
+// Close drains the store: every actor finishes its in-flight command, a
+// final checkpoint of each live session is flushed (with persistence
+// enabled), then the actors stop. Call after http.Server.Shutdown has
+// stopped new traffic.
 func (s *Server) Close() { s.store.Close() }
+
+// logf logs through the configured sink, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
 
 // statusRecorder captures the response code for logging and metrics.
 type statusRecorder struct {

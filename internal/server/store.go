@@ -8,18 +8,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdr/internal/cfd"
 	"gdr/internal/core"
 	"gdr/internal/metrics"
 	"gdr/internal/relation"
+	"gdr/internal/snapshot"
 )
 
 // Store owns the live sessions of one server: creation from an uploaded
-// instance, token lookup, a cap on concurrently live sessions, and
-// TTL-based eviction of idle ones (touched on every lookup). All session
-// work after creation goes through each entry's actor.
+// instance (or an imported snapshot), token lookup, a cap on concurrently
+// live sessions, and TTL-based eviction of idle ones (touched on every
+// lookup). All session work after creation goes through each entry's actor.
+// With a data directory configured, the store is also the persistence tier:
+// it checkpoints sessions to disk, restores them on construction, and
+// flushes a final checkpoint of every live session on Close.
 type Store struct {
 	ttl     time.Duration
 	maxLive int
@@ -27,6 +32,12 @@ type Store struct {
 	budget  chan struct{}
 	reg     *metrics.Registry
 	now     func() time.Time
+
+	// dir is the snapshot directory ("" disables persistence); ckptEvery
+	// the periodic flusher cadence; logf the store's log sink (may be nil).
+	dir       string
+	ckptEvery time.Duration
+	logf      func(format string, args ...any)
 
 	// acquireMu serializes multi-slot budget acquisition across actors
 	// (see actor.acquire).
@@ -38,6 +49,8 @@ type Store struct {
 
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
+	flushStop   chan struct{}
+	flushWG     sync.WaitGroup
 }
 
 // entry is one live session: its actor, immutable metadata, and the
@@ -51,8 +64,39 @@ type entry struct {
 	rules   int
 	actor   *actor
 
+	// mutSeq counts the session's state mutations; it is bumped inside the
+	// actor command that performs the mutation, so a snapshot encoded on
+	// the actor observes a value consistent with the state it captured.
+	// ckptMu guards the durability watermark: durableMut is the mutSeq the
+	// newest on-disk snapshot captured (valid once hasDurable). An entry is
+	// dirty — needing a checkpoint — while mutSeq is ahead of the
+	// watermark; comparing sequences (instead of a boolean) means a stale
+	// in-flight snapshot can neither overwrite a newer file nor mark newer,
+	// unflushed mutations as durable.
+	mutSeq atomic.Uint64
+
+	ckptMu     sync.Mutex
+	durableMut uint64
+	hasDurable bool
+
 	mu       sync.Mutex
 	lastUsed time.Time
+}
+
+// isDirty reports whether the session has state not yet captured by an
+// on-disk snapshot.
+func (e *entry) isDirty() bool {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return !e.hasDurable || e.mutSeq.Load() > e.durableMut
+}
+
+// markUndurable invalidates the durability watermark, as if the last
+// checkpoint had never landed (the on-disk file is gone or stale).
+func (e *entry) markUndurable() {
+	e.ckptMu.Lock()
+	e.hasDurable = false
+	e.ckptMu.Unlock()
 }
 
 func (e *entry) touch(now time.Time) {
@@ -81,25 +125,36 @@ func (e *entry) info(ttl time.Duration) SessionInfo {
 	}
 }
 
-// NewStore builds a store. ttl bounds session idleness, maxLive the number
-// of concurrently live sessions, and workers the CPU slots shared by every
-// actor (the server's Workers knob). reg receives the store's gauges and
-// counters.
-func NewStore(ttl time.Duration, maxLive, workers int, session core.Config, reg *metrics.Registry) *Store {
+// NewStore builds a store from an already-defaulted server Config (TTL,
+// session cap, worker budget, per-session defaults, persistence settings).
+// reg receives the store's gauges and counters. When cfg.DataDir is set,
+// every existing snapshot in it is restored before the store starts
+// serving, and the periodic checkpoint flusher is started.
+func NewStore(cfg Config, reg *metrics.Registry) *Store {
+	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	s := &Store{
-		ttl:         ttl,
-		maxLive:     maxLive,
-		session:     session,
+		ttl:         cfg.TTL,
+		maxLive:     cfg.MaxSessions,
+		session:     cfg.Session,
 		budget:      make(chan struct{}, workers),
 		reg:         reg,
 		now:         time.Now,
+		dir:         cfg.DataDir,
+		ckptEvery:   cfg.CheckpointEvery,
+		logf:        cfg.Logf,
 		entries:     make(map[string]*entry),
 		janitorStop: make(chan struct{}),
+		flushStop:   make(chan struct{}),
 	}
-	interval := ttl / 4
+	if s.dir != "" {
+		s.restoreDir()
+		s.flushWG.Add(1)
+		go s.flusher()
+	}
+	interval := cfg.TTL / 4
 	if interval < time.Second {
 		interval = time.Second
 	}
@@ -140,6 +195,7 @@ func (s *Store) evictIdle() {
 	s.mu.Unlock()
 	for _, e := range victims {
 		e.actor.close()
+		s.removeSnapshot(e.id)
 		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
 	}
 }
@@ -167,36 +223,34 @@ func newToken() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// Create parses the uploaded CSV instance and rule set, builds the session
-// (holding one CPU slot: construction runs the initial suggestion pass) and
-// registers it under a fresh token. It fails with ErrTooManySessions when
-// the live cap is reached, and honors ctx while waiting for a CPU slot —
-// a caller that gives up does not leave an orphan session pinning the cap.
+// Create builds and registers a session under a fresh token, from either an
+// uploaded CSV instance plus rule set, or an exported snapshot (restore-on-
+// create). Construction holds CPU slots matching the session's fan-out: the
+// upload path runs the initial suggestion pass, the snapshot path rebuilds
+// the violation engine and retrains committees. It fails with
+// ErrTooManySessions when the live cap is reached, and honors ctx while
+// waiting for a CPU slot — a caller that gives up does not leave an orphan
+// session pinning the cap.
 func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionInfo, core.Stats, error) {
-	if strings.TrimSpace(req.CSV) == "" {
-		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: empty csv", ErrBadUpload)
+	var build func() (*core.Session, error)
+	var workers int
+	name := req.Name
+	if len(req.Snapshot) > 0 {
+		b, w, n, err := s.importBuild(req)
+		if err != nil {
+			return SessionInfo{}, core.Stats{}, err
+		}
+		build, workers = b, w
+		if name == "" {
+			name = n
+		}
+	} else {
+		b, w, err := s.uploadBuild(req)
+		if err != nil {
+			return SessionInfo{}, core.Stats{}, err
+		}
+		build, workers = b, w
 	}
-	db, err := relation.ReadCSV(strings.NewReader(req.CSV), "upload")
-	if err != nil {
-		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
-	}
-	rules, err := cfd.Parse(strings.NewReader(req.Rules))
-	if err != nil {
-		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
-	}
-	if len(rules) == 0 {
-		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: empty rule set", ErrBadUpload)
-	}
-	cfg := s.session
-	if req.Seed != 0 {
-		cfg.Seed = req.Seed // 0 (or omitted) keeps the server default
-	}
-	if req.Workers > 0 {
-		cfg.Workers = req.Workers
-	}
-	// Clamp the session's actual fan-out, not just its slot accounting:
-	// a session must never run wider than the budget it can hold.
-	cfg.Workers = clampSlots(s.budget, cfg.Workers)
 
 	// Reserve the slot in the cap before the expensive build, so a burst
 	// of concurrent creates cannot overshoot it; the reservation is rolled
@@ -222,16 +276,15 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 		s.mu.Unlock()
 	}
 
-	// Creation runs the initial suggestion pass with cfg.Workers-way
-	// fan-out, so it must hold that many slots — the same accounting the
-	// actors enforce — or concurrent builds would overshoot the CPU budget
-	// and starve live sessions' commands.
-	if err := acquireSlots(ctx, &s.acquireMu, s.budget, cfg.Workers); err != nil {
+	// Construction runs with workers-way fan-out, so it must hold that many
+	// slots — the same accounting the actors enforce — or concurrent builds
+	// would overshoot the CPU budget and starve live sessions' commands.
+	if err := acquireSlots(ctx, &s.acquireMu, s.budget, workers); err != nil {
 		rollback()
 		return SessionInfo{}, core.Stats{}, err
 	}
-	sess, err := core.NewSession(db, rules, cfg)
-	releaseSlots(s.budget, cfg.Workers)
+	sess, err := build()
+	releaseSlots(s.budget, workers)
 	if err != nil {
 		rollback()
 		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
@@ -246,13 +299,13 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 	now := s.now()
 	e := &entry{
 		id:       token,
-		name:     req.Name,
+		name:     name,
 		created:  now,
 		lastUsed: now,
-		attrs:    append([]string(nil), db.Schema.Attrs...),
-		tuples:   db.N(),
-		rules:    len(rules),
-		actor:    newActor(sess, s.budget, cfg.Workers, &s.acquireMu),
+		attrs:    append([]string(nil), sess.DB().Schema.Attrs...),
+		tuples:   sess.DB().N(),
+		rules:    len(sess.Engine().Rules()),
+		actor:    newActor(sess, s.budget, workers, &s.acquireMu),
 	}
 	st := sess.Stats()
 	s.mu.Lock()
@@ -266,7 +319,103 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 	s.setLiveLocked()
 	s.mu.Unlock()
 	s.reg.Counter("gdrd_sessions_created_total").Inc()
+	// Make the newborn durable right away: a crash between creation and the
+	// first feedback must not lose the upload. (A fresh entry has no
+	// durability watermark, so it counts as dirty until this lands; a
+	// failure here is retried by the periodic flusher.)
+	if err := s.Checkpoint(ctx, e); err != nil {
+		s.logff("gdrd: initial checkpoint of session %s failed: %v", token, err)
+	}
 	return e.info(s.ttl), st, nil
+}
+
+// uploadBuild validates a CSV + rules upload and returns the session
+// constructor for it, plus the worker fan-out it will hold while building.
+func (s *Store) uploadBuild(req CreateSessionRequest) (build func() (*core.Session, error), workers int, err error) {
+	if strings.TrimSpace(req.CSV) == "" {
+		return nil, 0, fmt.Errorf("%w: empty csv", ErrBadUpload)
+	}
+	db, err := relation.ReadCSV(strings.NewReader(req.CSV), "upload")
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	rules, err := cfd.Parse(strings.NewReader(req.Rules))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	if len(rules) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty rule set", ErrBadUpload)
+	}
+	cfg := s.session
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed // 0 (or omitted) keeps the server default
+	}
+	if req.Workers > 0 {
+		cfg.Workers = req.Workers
+	}
+	// Clamp the session's actual fan-out, not just its slot accounting:
+	// a session must never run wider than the budget it can hold.
+	cfg.Workers = clampSlots(s.budget, cfg.Workers)
+	return func() (*core.Session, error) { return core.NewSession(db, rules, cfg) }, cfg.Workers, nil
+}
+
+// importBuild validates a snapshot upload (restore-on-create) and returns
+// the session constructor for it. The snapshot carries the session's own
+// configuration; only Workers may be overridden (clamped to the budget
+// either way), because overriding Seed would desynchronize the restored
+// session's recorded randomness from its state.
+func (s *Store) importBuild(req CreateSessionRequest) (build func() (*core.Session, error), workers int, name string, err error) {
+	if strings.TrimSpace(req.CSV) != "" || strings.TrimSpace(req.Rules) != "" {
+		return nil, 0, "", fmt.Errorf("%w: a snapshot upload cannot also carry csv or rules", ErrBadUpload)
+	}
+	if req.Seed != 0 {
+		return nil, 0, "", fmt.Errorf("%w: seed cannot be overridden when restoring a snapshot", ErrBadUpload)
+	}
+	name, st, err := snapshot.DecodeState(req.Snapshot)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("%w: %v", ErrBadUpload, err)
+	}
+	if err := validateImportConfig(st.Config); err != nil {
+		return nil, 0, "", err
+	}
+	if req.Workers > 0 {
+		st.Config.Workers = req.Workers
+	}
+	st.Config.Workers = clampSlots(s.budget, st.Config.Workers)
+	return func() (*core.Session, error) { return core.RestoreSession(st) }, st.Config.Workers, name, nil
+}
+
+// validateImportConfig bounds the session configuration arriving inside an
+// untrusted snapshot. The upload path only ever exposes Seed and Workers —
+// everything else is server-chosen — so an imported config far outside
+// what this server would create (million-tree committees, unbounded
+// depths) is a resource-exhaustion attempt, not a legitimate migration,
+// and is rejected rather than silently clamped (clamping would break the
+// byte-identical-resume guarantee).
+func validateImportConfig(c core.Config) error {
+	limits := []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"forest committee size", c.Forest.K, 256},
+		{"forest depth", c.Forest.MaxDepth, 256},
+		{"forest min leaf", c.Forest.MinLeaf, 1 << 20},
+		{"forest mtry", c.Forest.Mtry, 1 << 16},
+		{"min train", c.MinTrain, 1 << 20},
+		{"min verify", c.MinVerify, 1 << 20},
+		{"batch size", c.BatchSize, 1 << 20},
+		{"workers", c.Workers, 1 << 16},
+	}
+	for _, l := range limits {
+		if l.v > l.max {
+			return fmt.Errorf("%w: snapshot %s %d exceeds limit %d", ErrBadUpload, l.name, l.v, l.max)
+		}
+	}
+	if f := c.Forest.SampleFrac; f < 0 || f > 1 {
+		return fmt.Errorf("%w: snapshot sample fraction %v outside [0, 1]", ErrBadUpload, f)
+	}
+	return nil
 }
 
 // Get returns the live entry for a token, refreshing its idle clock. An
@@ -284,6 +433,7 @@ func (s *Store) Get(id string) (*entry, bool) {
 		s.setLiveLocked()
 		s.mu.Unlock()
 		e.actor.close()
+		s.removeSnapshot(e.id)
 		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
 		return nil, false
 	}
@@ -308,6 +458,7 @@ func (s *Store) Delete(id string) bool {
 	s.setLiveLocked()
 	s.mu.Unlock()
 	e.actor.close()
+	s.removeSnapshot(e.id)
 	return true
 }
 
@@ -344,8 +495,10 @@ func (s *Store) Len() int {
 	return n
 }
 
-// Close stops the janitor and every actor, draining in-flight commands.
-// New creates and lookups fail afterwards.
+// Close stops the janitor and the checkpoint flusher, flushes a final
+// checkpoint of every live session that still has undurable state (so a
+// graceful drain never loses feedback), then stops every actor, draining
+// in-flight commands. New creates and lookups fail afterwards.
 func (s *Store) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -364,6 +517,20 @@ func (s *Store) Close() {
 	s.mu.Unlock()
 	close(s.janitorStop)
 	s.janitorWG.Wait()
+	if s.dir != "" {
+		close(s.flushStop)
+		s.flushWG.Wait()
+		for _, e := range victims {
+			// The actor is still live here, so the final encode sees the
+			// session's last state; errors are logged, not fatal — the
+			// session is going away either way.
+			if e.isDirty() {
+				if err := s.Checkpoint(context.Background(), e); err != nil {
+					s.logff("gdrd: final checkpoint of session %s failed: %v", e.id, err)
+				}
+			}
+		}
+	}
 	for _, e := range victims {
 		e.actor.close()
 	}

@@ -33,7 +33,7 @@ func (c *fakeClock) advance(d time.Duration) {
 func newTestStore(t *testing.T, ttl time.Duration, maxLive int) (*Store, *fakeClock) {
 	t.Helper()
 	reg := metrics.NewRegistry()
-	st := NewStore(ttl, maxLive, 2, core.Config{Workers: 1}, reg)
+	st := NewStore(Config{TTL: ttl, MaxSessions: maxLive, Workers: 2, Session: core.Config{Workers: 1}}, reg)
 	clk := &fakeClock{t: time.Unix(1700000000, 0)}
 	st.now = clk.now
 	t.Cleanup(st.Close)

@@ -1,0 +1,168 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"gdr/internal/core"
+)
+
+// lockFile records, per format version, a hash of the shape of every Go
+// struct the snapshot serializes. TestFormatLock recomputes the hash and
+// fails when it no longer matches the entry for FormatVersion — i.e. when
+// someone changed a serialized struct without bumping the version. To
+// accept an intentional change: bump FormatVersion in snapshot.go, then
+// regenerate with
+//
+//	GDR_UPDATE_FORMAT_LOCK=1 go test ./internal/snapshot/ -run TestFormatLock
+//
+// which appends the new version's line (old lines stay as history).
+const lockFile = "testdata/format.lock"
+
+// typeSignature renders a type's full serialized shape — struct names,
+// field names and types, recursively — as a canonical string.
+func typeSignature(t reflect.Type, seen map[reflect.Type]bool) string {
+	switch t.Kind() {
+	case reflect.Pointer:
+		return "*" + typeSignature(t.Elem(), seen)
+	case reflect.Slice:
+		return "[]" + typeSignature(t.Elem(), seen)
+	case reflect.Array:
+		return fmt.Sprintf("[%d]%s", t.Len(), typeSignature(t.Elem(), seen))
+	case reflect.Map:
+		return "map[" + typeSignature(t.Key(), seen) + "]" + typeSignature(t.Elem(), seen)
+	case reflect.Struct:
+		if seen[t] {
+			return t.String()
+		}
+		seen[t] = true
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s{", t.String())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fmt.Fprintf(&b, "%s %s;", f.Name, typeSignature(f.Type, seen))
+		}
+		b.WriteString("}")
+		return b.String()
+	default:
+		return t.String()
+	}
+}
+
+func currentSignature() string {
+	sig := typeSignature(reflect.TypeOf(core.SessionState{}), map[reflect.Type]bool{})
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sig)))
+}
+
+func readLock(t *testing.T) map[int]string {
+	t.Helper()
+	out := map[int]string{}
+	data, err := os.ReadFile(lockFile)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var v int
+		var h string
+		if _, err := fmt.Sscanf(line, "v%d %s", &v, &h); err != nil {
+			t.Fatalf("malformed lock line %q: %v", line, err)
+		}
+		out[v] = h
+	}
+	return out
+}
+
+// TestFormatLock is the golden-hash guard wired into CI: the snapshot
+// version constant must be bumped whenever a serialized struct changes.
+func TestFormatLock(t *testing.T) {
+	sig := currentSignature()
+	lock := readLock(t)
+
+	if os.Getenv("GDR_UPDATE_FORMAT_LOCK") != "" {
+		lock[FormatVersion] = sig
+		versions := make([]int, 0, len(lock))
+		for v := range lock {
+			versions = append(versions, v)
+		}
+		sort.Ints(versions)
+		var b strings.Builder
+		for _, v := range versions {
+			fmt.Fprintf(&b, "v%d %s\n", v, lock[v])
+		}
+		if err := os.MkdirAll(filepath.Dir(lockFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(lockFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s: v%d %s", lockFile, FormatVersion, sig)
+		return
+	}
+
+	recorded, ok := lock[FormatVersion]
+	if !ok {
+		t.Fatalf("no lock entry for format version %d — run GDR_UPDATE_FORMAT_LOCK=1 go test ./internal/snapshot/ -run TestFormatLock", FormatVersion)
+	}
+	if recorded != sig {
+		t.Fatalf("serialized structs changed but FormatVersion is still %d —\n"+
+			"bump FormatVersion in snapshot.go, audit the encoder/decoder for the new layout,\n"+
+			"then regenerate the lock (GDR_UPDATE_FORMAT_LOCK=1 go test ./internal/snapshot/ -run TestFormatLock)\n"+
+			"recorded: %s\ncurrent:  %s", FormatVersion, recorded, sig)
+	}
+
+	// The version actually written on the wire must match the constant the
+	// lock protects (a stale hard-coded header would defeat the guard).
+	data, err := Encode("lock", canonicalSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := int(data[4]) | int(data[5])<<8; v != FormatVersion {
+		t.Fatalf("wire version %d != FormatVersion %d", v, FormatVersion)
+	}
+}
+
+// TestGoldenSnapshotStillDecodes pins decoder compatibility within one
+// format version: a snapshot written in the past (checked into testdata)
+// must keep decoding, restoring, and re-encoding to the exact same bytes.
+// Regenerate alongside a version bump with GDR_UPDATE_FORMAT_LOCK=1.
+func TestGoldenSnapshotStillDecodes(t *testing.T) {
+	golden := fmt.Sprintf("testdata/golden_v%d.snap", FormatVersion)
+	if os.Getenv("GDR_UPDATE_FORMAT_LOCK") != "" {
+		data, err := Encode("golden", canonicalSession(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(data))
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v — run GDR_UPDATE_FORMAT_LOCK=1 go test ./internal/snapshot/ to regenerate", err)
+	}
+	name, st, err := DecodeState(data)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	if _, err := core.RestoreSession(st); err != nil {
+		t.Fatalf("golden snapshot no longer restores: %v", err)
+	}
+	again, err := EncodeState(name, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("golden snapshot no longer re-encodes byte-identically — the layout drifted without a version bump")
+	}
+}

@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeState: arbitrary bytes must never panic the decoder (or the
+// session restorer behind Decode) and anything that does decode must
+// re-encode. The seed corpus includes a full valid snapshot so mutations
+// explore deep into the body, plus resealed prefixes that pass the CRC.
+func FuzzDecodeState(f *testing.F) {
+	valid, err := Encode("fuzz", canonicalSession(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("GDRS"))
+	f.Add(reseal(valid[:6]))
+	f.Add(reseal(valid[:len(valid)/2]))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, st, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode (possibly to different bytes:
+		// non-minimal varints decode fine but re-encode canonically).
+		if _, err := EncodeState(name, st); err != nil {
+			t.Fatalf("decoded state failed to re-encode: %v", err)
+		}
+		// And restoring it must error or succeed — never panic.
+		_, _, _ = Decode(data)
+	})
+}
+
+// FuzzDecodeBodyMutations reseals mutated bodies with a fresh CRC so the
+// fuzzer reaches the structural parser instead of bouncing off the
+// checksum.
+func FuzzDecodeBodyMutations(f *testing.F) {
+	valid, err := Encode("fuzz", canonicalSession(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid[:len(valid)-4], 0, byte(0))
+	f.Add(valid[:len(valid)-4], 100, byte(0xff))
+	f.Fuzz(func(t *testing.T, body []byte, off int, x byte) {
+		mut := append([]byte(nil), body...)
+		if len(mut) > 0 {
+			mut[((off%len(mut))+len(mut))%len(mut)] ^= x
+		}
+		data := reseal(mut)
+		if _, _, err := DecodeState(data); err != nil {
+			return
+		}
+		_, _, _ = Decode(data)
+	})
+}
+
+// TestFuzzSeedsAsUnit keeps the fuzz targets exercised in plain `go test`
+// runs with a couple of adversarial inputs beyond the corpus.
+func TestFuzzSeedsAsUnit(t *testing.T) {
+	valid, err := Encode("unit", canonicalSession(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		bytes.Repeat([]byte{0xff}, 64),
+		reseal(append(append([]byte(nil), valid[:6]...), bytes.Repeat([]byte{0x80}, 32)...)),
+		reseal(valid[:len(valid)-5]),
+	}
+	for i, in := range inputs {
+		if _, _, err := DecodeState(in); err == nil {
+			t.Fatalf("adversarial input %d decoded without error", i)
+		}
+	}
+}

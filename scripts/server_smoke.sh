@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Server smoke: build gdrd, boot it on a random port, drive one full
-# feedback round with curl (create → groups → updates → feedback → status →
-# export → delete), replay a small gdrload bench against the same daemon,
-# then check the SIGTERM drain exits cleanly. Needs curl and jq.
+# Server smoke: build gdrd, boot it on a random port with a data dir, drive
+# one full feedback round with curl (create → groups → updates → feedback →
+# status → export), replay a small gdrload bench against the same daemon,
+# then restart the daemon mid-run and verify the session survived with a
+# byte-identical export, and finally check the SIGTERM drain exits cleanly.
+# Needs curl and jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,29 +21,49 @@ go build -o "$workdir/gdrd" ./cmd/gdrd
 go build -o "$workdir/gdrload" ./cmd/gdrload
 go run ./cmd/gdrgen -dataset 1 -n 300 -seed 5 -dir "$workdir"
 
-# Bind :0 and parse the kernel-assigned port from the startup log — no
-# race against other listeners, unlike picking a random port ourselves.
-"$workdir/gdrd" -addr 127.0.0.1:0 -quiet 2>"$workdir/gdrd.log" &
-pid=$!
+# boot_gdrd: start the daemon on a random port with the shared data dir and
+# wait for it to report healthy. Binding :0 and parsing the kernel-assigned
+# port from the startup log avoids racing other listeners. Sets $pid and
+# $base.
+boot_gdrd() {
+  : >"$workdir/gdrd.log"
+  "$workdir/gdrd" -addr 127.0.0.1:0 -quiet -data-dir "$workdir/data" 2>"$workdir/gdrd.log" &
+  pid=$!
+  base=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*serving on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/gdrd.log" | head -1)
+    if [ -n "$addr" ]; then base="http://$addr"; break; fi
+    sleep 0.1
+  done
+  if [ -z "$base" ]; then
+    echo "gdrd never reported its address:" >&2
+    cat "$workdir/gdrd.log" >&2
+    exit 1
+  fi
+  for _ in $(seq 1 100); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+}
 
-base=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's/.*serving on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/gdrd.log" | head -1)
-  if [ -n "$addr" ]; then base="http://$addr"; break; fi
-  sleep 0.1
-done
-if [ -z "$base" ]; then
-  echo "gdrd never reported its address:" >&2
-  cat "$workdir/gdrd.log" >&2
-  exit 1
-fi
+# stop_gdrd: SIGTERM the daemon and wait for a clean drain.
+stop_gdrd() {
+  kill -TERM "$pid"
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "gdrd did not drain in time" >&2
+    exit 1
+  fi
+  wait "$pid"
+  pid=""
+}
 
-echo "== waiting for $base/healthz"
-for _ in $(seq 1 100); do
-  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
+echo "== boot gdrd with -data-dir"
+boot_gdrd
 
 echo "== create session (multipart upload)"
 id=$(curl -fsS -F csv=@"$workdir/dirty.csv" -F rules=@"$workdir/rules.txt" -F seed=5 \
@@ -75,19 +97,30 @@ echo "== gdrload bench-smoke against the live daemon"
 "$workdir/gdrload" -addr "$base" -sessions 4 -users 4 -rounds 4 -n 150 -seed 11 \
   | jq -e '.feedback_rounds > 0 and (.sessions | length) == 4' >/dev/null
 
+echo "== restart the daemon mid-run; the session must survive"
+stop_gdrd
+boot_gdrd
+sess="$base/v1/sessions/$id"
+curl -fsS "$base/metrics" | grep -q '^gdrd_sessions_restored_total 1'
+curl -fsS "$sess/status" | jq -e '.stats.applied >= 1' >/dev/null
+curl -fsS "$sess/export" -o "$workdir/repaired-after-restart.csv"
+cmp "$workdir/repaired.csv" "$workdir/repaired-after-restart.csv"
+
+echo "== the restored session is live: snapshot export + re-import works"
+curl -fsS -X POST "$sess/snapshot" -o "$workdir/session.snap"
+[ -s "$workdir/session.snap" ]
+imported=$(curl -fsS -F snapshot=@"$workdir/session.snap" -F name=imported \
+  "$base/v1/sessions" | jq -re '.session.id')
+curl -fsS "$base/v1/sessions/$imported/export" | cmp - "$workdir/repaired.csv"
+curl -fsS -X DELETE "$base/v1/sessions/$imported" >/dev/null
+
 echo "== delete session"
 curl -fsS -X DELETE "$sess" | jq -e '.status == "deleted"' >/dev/null
-
-echo "== graceful drain on SIGTERM"
-kill -TERM "$pid"
-for _ in $(seq 1 100); do
-  kill -0 "$pid" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$pid" 2>/dev/null; then
-  echo "gdrd did not drain in time" >&2
+if [ -e "$workdir/data/$id.snap" ]; then
+  echo "deleted session left its snapshot behind" >&2
   exit 1
 fi
-wait "$pid"
-pid=""
+
+echo "== graceful drain on SIGTERM"
+stop_gdrd
 echo "== smoke OK"
