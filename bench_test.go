@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"gdr"
+	"gdr/internal/group"
 )
 
 // benchN is the per-iteration instance size for the figure benches.
@@ -169,6 +170,102 @@ func BenchmarkSessionBootstrap(b *testing.B) {
 		}
 		if sess.PendingCount() == 0 {
 			b.Fatal("no updates")
+		}
+	}
+}
+
+// groupsBenchSession builds a session over the 2000-row hospital workload
+// and performs one cold VOI ranking, leaving every cache warm.
+func groupsBenchSession(b *testing.B, workers int) *gdr.Session {
+	b.Helper()
+	d := benchData(b, 1)
+	sess, err := gdr.NewSession(d.Dirty.Clone(), d.Rules, gdr.SessionConfig{Seed: 1, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(sess.Groups(gdr.OrderVOI, nil)) == 0 {
+		b.Fatal("no groups")
+	}
+	return sess
+}
+
+// BenchmarkGroupsWarm measures the steady-state poll: Groups(OrderVOI) with
+// no intervening feedback. The incremental group index answers it from the
+// cached ranking — this is the per-request cost every /groups poll pays at
+// the serving tier between feedback rounds.
+func BenchmarkGroupsWarm(b *testing.B) {
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sess := groupsBenchSession(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(sess.Groups(gdr.OrderVOI, nil)) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupsRebuild measures the same steady-state poll through the
+// rebuild-from-scratch path the index replaced (partition the flat pending
+// list, re-score every group, full sort) — the before side of the
+// BENCH_5.json comparison, kept runnable because the lockstep equivalence
+// tests define correctness against it.
+func BenchmarkGroupsRebuild(b *testing.B) {
+	sess := groupsBenchSession(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs := group.Partition(sess.PendingUpdates())
+		sess.Ranker().Rank(gs, sess.Prob)
+		if len(gs) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkFeedbackRound measures one whole interactive cycle — rank the
+// groups, answer a batch of ns=10 updates from the top group through the
+// consistency manager (learner in the loop), re-rank — the unit of work a
+// serving-tier feedback round performs.
+func BenchmarkFeedbackRound(b *testing.B) {
+	d := benchData(b, 1)
+	newSess := func() *gdr.Session {
+		sess, err := gdr.NewSession(d.Dirty.Clone(), d.Rules, gdr.SessionConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+	sess := newSess()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs := sess.Groups(gdr.OrderVOI, nil)
+		if len(gs) == 0 {
+			b.StopTimer()
+			sess = newSess()
+			b.StartTimer()
+			gs = sess.Groups(gdr.OrderVOI, nil)
+		}
+		batch := gs[0].Updates
+		if len(batch) > 10 {
+			batch = batch[:10]
+		}
+		for _, u := range batch {
+			cur, ok := sess.Pending(u.Cell())
+			if !ok || cur != u {
+				continue
+			}
+			switch tv := d.Truth.Get(u.Tid, u.Attr); {
+			case u.Value == tv:
+				sess.UserFeedback(u, gdr.Confirm)
+			case sess.DB().Get(u.Tid, u.Attr) == tv:
+				sess.UserFeedback(u, gdr.Retain)
+			default:
+				sess.UserFeedback(u, gdr.Reject)
+			}
 		}
 	}
 }

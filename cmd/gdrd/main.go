@@ -11,6 +11,11 @@
 // every live session, and a restarted daemon restores all sessions under
 // their original tokens — tenants resume exactly where they left off.
 //
+// With -pprof PORT, net/http/pprof is served on 127.0.0.1:PORT — loopback
+// only, segregated from the service listener — so a live daemon can be
+// profiled (CPU, heap, goroutines) without exposing the endpoints to
+// tenants.
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests and
 // session commands finish, checkpoints flush, then the process exits.
 package main
@@ -23,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -42,6 +48,7 @@ type options struct {
 	quiet       bool
 	dataDir     string
 	checkpoint  time.Duration
+	pprofPort   int
 }
 
 func main() {
@@ -54,6 +61,7 @@ func main() {
 	flag.BoolVar(&opts.quiet, "quiet", false, "disable request logging")
 	flag.StringVar(&opts.dataDir, "data-dir", "", "directory for durable session snapshots (empty = sessions die with the process)")
 	flag.DurationVar(&opts.checkpoint, "checkpoint", 30*time.Second, "periodic checkpoint-retry cadence (with -data-dir)")
+	flag.IntVar(&opts.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 = disabled)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -69,6 +77,13 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 	logf := log.Printf
 	if opts.quiet {
 		logf = nil
+	}
+	if opts.pprofPort != 0 {
+		stopProfiler, err := startProfiler(opts.pprofPort)
+		if err != nil {
+			return err
+		}
+		defer stopProfiler()
 	}
 	srv := server.New(server.Config{
 		MaxSessions:     opts.maxSessions,
@@ -110,4 +125,29 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 	srv.Close() // stop actors only after in-flight requests completed; flushes final checkpoints
 	log.Printf("gdrd: drained, bye")
 	return nil
+}
+
+// startProfiler mounts net/http/pprof on a loopback-only port, segregated
+// from the service listener so profiling endpoints are never reachable
+// through whatever exposure -addr has. The explicit mux avoids the package's
+// DefaultServeMux registrations leaking into anything else. It returns a
+// stop function closing the listener.
+func startProfiler(port int) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	log.Printf("gdrd: pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("gdrd: pprof server: %v", err)
+		}
+	}()
+	return func() { _ = ln.Close() }, nil
 }

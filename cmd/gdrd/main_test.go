@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -46,6 +47,65 @@ func bootDaemon(t *testing.T) (string, func() error) {
 		case <-time.After(15 * time.Second):
 			return fmt.Errorf("daemon did not drain in time")
 		}
+	}
+}
+
+// TestDaemonPprofEndpoint boots the daemon with -pprof on a free loopback
+// port and checks the profiling mux answers there — and that nothing was
+// mounted on the service listener.
+func TestDaemonPprofEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofPort := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			addr:        "127.0.0.1:0",
+			maxSessions: 2,
+			ttl:         time.Minute,
+			workers:     1,
+			drain:       5 * time.Second,
+			quiet:       true,
+			pprofPort:   pprofPort,
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}()
+
+	resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d/debug/pprof/cmdline", pprofPort))
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+	// The service listener must not expose the profiler.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("profiler leaked onto the service listener")
 	}
 }
 

@@ -67,6 +67,7 @@ type Report struct {
 	Applied     int                `json:"feedback_applied"`
 	Stale       int                `json:"feedback_stale"`
 	Learner     int                `json:"learner_decisions"`
+	Groups304   int                `json:"groups_not_modified"`
 	Throughput  ThroughputStats    `json:"throughput"`
 	Latency     map[string]LatSumm `json:"latency_seconds"`
 	Sessions    []SessionOutcome   `json:"sessions"`
@@ -157,12 +158,13 @@ func (l *latRecorder) summarize() map[string]LatSumm {
 
 // counters are the shared run totals.
 type counters struct {
-	mu      sync.Mutex
-	rounds  int
-	items   int
-	applied int
-	stale   int
-	learner int
+	mu        sync.Mutex
+	rounds    int
+	items     int
+	applied   int
+	stale     int
+	learner   int
+	groups304 int
 }
 
 func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed int64, workers int, sweep bool, out io.Writer) error {
@@ -296,6 +298,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 		Applied:     cnt.applied,
 		Stale:       cnt.stale,
 		Learner:     cnt.learner,
+		Groups304:   cnt.groups304,
 		Throughput: ThroughputStats{
 			ItemsPerSec:  float64(cnt.items) / wall,
 			RoundsPerSec: float64(cnt.rounds) / wall,
@@ -312,12 +315,26 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 // one served session, answers from the ground truth.
 func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, sweep bool, lats *latRecorder, cnt *counters) error {
 	base := addr + "/v1/sessions/" + id
+	// Conditional polling state: the last groups listing and its validator.
+	// The server answers an unchanged ranking with a bodyless 304, so a user
+	// whose session was not perturbed since its previous poll (common when
+	// users outnumber active work, or between retries) pays no body at all.
+	var groups server.GroupsResponse
+	var groupsTag string
 	for r := 0; r < rounds; r++ {
 		start := time.Now()
-		var groups server.GroupsResponse
-		code, err := doJSON(client, "GET", base+"/groups?order=voi&limit=4", nil, &groups)
-		if err != nil || code != 200 {
-			return fmt.Errorf("groups: code %d err %v", code, err)
+		code, tag, err := getJSONCond(client, base+"/groups?order=voi&limit=4", groupsTag, &groups)
+		switch {
+		case err != nil:
+			return fmt.Errorf("groups: %v", err)
+		case code == http.StatusNotModified:
+			cnt.mu.Lock()
+			cnt.groups304++
+			cnt.mu.Unlock()
+		case code == 200:
+			groupsTag = tag
+		default:
+			return fmt.Errorf("groups: code %d", code)
 		}
 		lats.observe("groups", time.Since(start))
 		if len(groups.Groups) == 0 {
@@ -389,6 +406,34 @@ func workload(ds, n int, seed int64) (*gdr.Data, error) {
 	default:
 		return nil, fmt.Errorf("unknown dataset %d (want 1 or 2)", ds)
 	}
+}
+
+// getJSONCond issues a conditional GET: etag (if any) travels as
+// If-None-Match. On 200 the body is decoded into out and the fresh ETag
+// returned; on 304 out is left holding the caller's cached value.
+func getJSONCond(client *http.Client, url, etag string, out any) (int, string, error) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode == http.StatusOK && out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, "", fmt.Errorf("decoding GET %s response: %w", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), nil
 }
 
 // doJSON issues one JSON request; out may be nil.

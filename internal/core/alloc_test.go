@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"gdr/internal/dataset"
+	"gdr/internal/par"
+)
+
+// TestWarmGroupsSteadyStateAllocs pins the steady-state poll — a VOI
+// Groups call with no intervening feedback — to a small constant allocation
+// budget. The incremental group index answers such a poll from its cached
+// ranking (one output-slice copy plus closure headers); a regression to the
+// per-call partition-rebuild path allocates proportionally to the pending
+// list and fails this ceiling immediately. The CI alloc-guard step runs
+// this test alongside the voi warm-score guard.
+func TestWarmGroupsSteadyStateAllocs(t *testing.T) {
+	if par.RaceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	d := dataset.Hospital(dataset.Config{N: 2000, Seed: 7, DirtyRate: 0.3})
+	s, err := NewSession(d.Dirty.Clone(), d.Rules, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Groups(OrderVOI, nil)) == 0 { // cold rank fills the index caches
+		t.Fatal("no groups to rank")
+	}
+	const ceiling = 8
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Groups(OrderVOI, nil)
+	})
+	if allocs > ceiling {
+		t.Fatalf("warm Groups(OrderVOI) allocates %.1f times per call, want <= %d", allocs, ceiling)
+	}
+}

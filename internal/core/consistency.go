@@ -26,19 +26,19 @@ func (s *Session) ApplyFeedback(u repair.Update, fb repair.Feedback) {
 	switch fb {
 	case repair.Retain:
 		s.gen.Lock(u.Tid, u.Attr)
-		delete(s.possible, cell)
+		s.index.Delete(cell)
 		// Retaining a value also confirms it, which can complete a violated
 		// constant rule's LHS and force its RHS (step 3(a)i applies here too).
 		s.forcedFixes(u.Tid)
 	case repair.Reject:
 		s.gen.Prevent(u.Tid, u.Attr, u.Value)
-		delete(s.possible, cell)
+		s.index.Delete(cell)
 		if nu, ok := s.gen.Suggest(u.Tid, u.Attr); ok {
-			s.possible[cell] = nu
+			s.index.Set(nu)
 		}
 	case repair.Confirm:
 		s.gen.Lock(u.Tid, u.Attr)
-		delete(s.possible, cell)
+		s.index.Delete(cell)
 		affected := s.gen.Apply(u.Tid, u.Attr, u.Value)
 		s.Applied++
 		s.revisit(affected)
@@ -88,14 +88,14 @@ func (s *Session) revisit(tids []int) {
 	for _, tid := range tids {
 		s.tupleVer[tid]++
 		for _, attr := range s.db.Schema.Attrs {
-			delete(s.possible, repair.CellKey{Tid: tid, Attr: attr})
+			s.index.Delete(repair.CellKey{Tid: tid, Attr: attr})
 		}
 		if s.eng.IsDirty(tid) {
 			dirty = append(dirty, tid)
 		}
 	}
 	for _, nu := range s.gen.SuggestBatch(dirty) {
-		s.possible[nu.Cell()] = nu
+		s.index.Set(nu)
 	}
 }
 
@@ -125,7 +125,7 @@ func (s *Session) forcedFixes(tid int) {
 			}
 			want := rule.TP[rule.RHS]
 			s.gen.Lock(tid, rule.RHS)
-			delete(s.possible, repair.CellKey{Tid: tid, Attr: rule.RHS})
+			s.index.Delete(repair.CellKey{Tid: tid, Attr: rule.RHS})
 			affected := s.gen.Apply(tid, rule.RHS, want)
 			s.Applied++
 			s.ForcedFixes++

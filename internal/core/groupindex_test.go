@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gdr/internal/dataset"
+	"gdr/internal/group"
+	"gdr/internal/relation"
+	"gdr/internal/repair"
+)
+
+// referenceGroups is the rebuild-from-scratch ranking the incremental index
+// must reproduce byte for byte: partition the flat pending list, score every
+// group, full sort — exactly what Session.Groups(OrderVOI) did before the
+// index existed. It uses the session's own ranker and user model, so cached
+// Eq. 6 terms and committee predictions are shared with the incremental
+// path (both are pure functions of session state).
+func referenceGroups(s *Session) []*group.Group {
+	gs := group.Partition(s.PendingUpdates())
+	if s.cfg.Workers > 1 {
+		probs := make(map[repair.Update]float64)
+		for _, g := range gs {
+			for _, u := range g.Updates {
+				if _, ok := probs[u]; !ok {
+					probs[u] = s.Prob(u)
+				}
+			}
+		}
+		s.Ranker().RankParallel(gs, func(u repair.Update) float64 { return probs[u] }, s.cfg.Workers)
+	} else {
+		s.Ranker().Rank(gs, s.Prob)
+	}
+	return gs
+}
+
+func diffGroups(t *testing.T, step int, got, want []*group.Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: %d groups, want %d", step, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Key != w.Key {
+			t.Fatalf("step %d rank %d: key %v, want %v", step, i, g.Key, w.Key)
+		}
+		if g.Benefit != w.Benefit {
+			t.Fatalf("step %d rank %d (%v): benefit %v, want %v", step, i, g.Key, g.Benefit, w.Benefit)
+		}
+		if len(g.Updates) != len(w.Updates) {
+			t.Fatalf("step %d rank %d (%v): %d updates, want %d", step, i, g.Key, len(g.Updates), len(w.Updates))
+		}
+		for j := range w.Updates {
+			if g.Updates[j] != w.Updates[j] {
+				t.Fatalf("step %d rank %d (%v) update %d: %v, want %v", step, i, g.Key, j, g.Updates[j], w.Updates[j])
+			}
+		}
+	}
+}
+
+// TestGroupIndexLockstepEquivalence drives ~500 random feedback, cascade,
+// revisit and insert steps through a session and, after every step, checks
+// the incrementally maintained VOI ranking against a from-scratch
+// Partition+Rank — group order, memberships and benefits must match exactly
+// (same pattern as TestEncodedEngineEquivalence for the violation engine).
+// It runs serially and with workers=4, so `go test -race` also proves the
+// partial re-rank's parallel scoring phase clean.
+func TestGroupIndexLockstepEquivalence(t *testing.T) {
+	const steps = 500
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			d := dataset.Hospital(dataset.Config{N: 120, Seed: 11, DirtyRate: 0.3})
+			s, err := NewSession(d.Dirty.Clone(), d.Rules, Config{Seed: 3, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			lastVersion := uint64(0)
+			for step := 0; step < steps; step++ {
+				op := rng.Intn(10)
+				if s.PendingCount() == 0 {
+					op = 7 // drained: insert fresh dirt so the drive sustains all steps
+				}
+				switch {
+				case op < 7: // user feedback, learner in the loop
+					ups := s.PendingUpdates()
+					if len(ups) == 0 {
+						break
+					}
+					u := ups[rng.Intn(len(ups))]
+					s.UserFeedback(u, repair.Feedback(rng.Intn(3)))
+				case op < 8: // online insert (cascades through revisit)
+					src := rng.Intn(s.DB().N())
+					tup := append(relation.Tuple(nil), s.DB().Tuple(src)...)
+					ai := rng.Intn(len(tup))
+					tup[ai] = tup[ai] + "x"
+					if _, err := s.Insert(tup); err != nil {
+						t.Fatal(err)
+					}
+				case op < 9: // interleave the other orders; they must not disturb the VOI cache
+					s.Groups(OrderGreedy, nil)
+					s.Groups(OrderRandom, rng)
+				default: // learner sweep (cascaded confirms without user feedback)
+					s.LearnerSweep(1)
+				}
+
+				got := s.Groups(OrderVOI, nil)
+				want := referenceGroups(s)
+				diffGroups(t, step, got, want)
+
+				// The ranking version is monotone, and a steady-state re-poll
+				// returns the identical ranking without advancing it.
+				if v := s.RankingVersion(); v < lastVersion {
+					t.Fatalf("step %d: ranking version went backwards (%d -> %d)", step, lastVersion, v)
+				} else {
+					lastVersion = v
+				}
+				again := s.Groups(OrderVOI, nil)
+				diffGroups(t, step, again, want)
+				if v := s.RankingVersion(); v != lastVersion {
+					t.Fatalf("step %d: steady-state poll moved the version (%d -> %d)", step, lastVersion, v)
+				}
+
+				// GroupUpdates must agree with a scan of the flat pending list.
+				if len(got) > 0 {
+					k := got[rng.Intn(len(got))].Key
+					var scan []repair.Update
+					for _, u := range s.PendingUpdates() {
+						if u.Attr == k.Attr && u.Value == k.Value {
+							scan = append(scan, u)
+						}
+					}
+					live := s.GroupUpdates(k)
+					if len(live) != len(scan) {
+						t.Fatalf("step %d: GroupUpdates(%v) has %d updates, scan %d", step, k, len(live), len(scan))
+					}
+					for i := range scan {
+						if live[i] != scan[i] {
+							t.Fatalf("step %d: GroupUpdates(%v)[%d] = %v, scan %v", step, k, i, live[i], scan[i])
+						}
+					}
+				}
+			}
+			if lastVersion == 0 {
+				t.Fatal("drive made no progress")
+			}
+		})
+	}
+}

@@ -35,7 +35,7 @@ type Stats struct {
 // Stats returns the current session snapshot.
 func (s *Session) Stats() Stats {
 	st := Stats{
-		Pending:      len(s.possible),
+		Pending:      s.index.Len(),
 		Dirty:        s.eng.DirtyCount(),
 		InitialDirty: s.initialDirty,
 		Tuples:       s.db.N(),

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gdr/internal/cfd"
+	"gdr/internal/group"
 	"gdr/internal/learn"
 	"gdr/internal/relation"
 	"gdr/internal/repair"
@@ -186,7 +187,9 @@ func RestoreSession(st *SessionState) (*Session, error) {
 		eng:          eng,
 		gen:          gen,
 		ranker:       voi.NewRanker(eng, voi.WithWeights(st.RuleWeights)),
-		possible:     make(map[repair.CellKey]repair.Update, len(st.Possible)),
+		index:        group.NewIndex(),
+		attrSigs:     make([]attrSig, db.Schema.Arity()),
+		staleBuf:     make([]bool, db.Schema.Arity()),
 		models:       make(map[string]*learn.Model, len(st.Models)),
 		hits:         make(map[string][]bool, len(st.Hits)),
 		predCache:    make(map[predKey]predVal),
@@ -202,7 +205,7 @@ func RestoreSession(st *SessionState) (*Session, error) {
 		if _, ok := schema.Index(u.Attr); !ok {
 			return nil, fmt.Errorf("core: pending update for unknown attribute %q", u.Attr)
 		}
-		s.possible[u.Cell()] = u
+		s.index.Set(u)
 	}
 	for _, ms := range st.Models {
 		if _, ok := schema.Index(ms.Attr); !ok {

@@ -101,6 +101,10 @@ func TestSessionSnapshotRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The group index is derived state — snapshots carry only the flat
+			// pending list — so the restored session's incremental ranking must
+			// equal a from-scratch Partition+Rank of that list exactly.
+			diffGroups(t, -1, b.Groups(OrderVOI, nil), referenceGroups(b))
 			if got := observe(t, b); got != atSnap {
 				t.Fatalf("restored session diverges at the snapshot point:\n%s", firstDiff(atSnap, got))
 			}

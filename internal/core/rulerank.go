@@ -61,9 +61,9 @@ func (s *Session) FocusTopRules(n int) []int {
 	for _, tid := range s.DirtyTuplesOf(top) {
 		keep[tid] = true
 	}
-	for cell := range s.possible {
-		if !keep[cell.Tid] {
-			delete(s.possible, cell)
+	for _, u := range s.index.AppendAll(nil) {
+		if !keep[u.Tid] {
+			s.index.Delete(u.Cell())
 		}
 	}
 	return top
@@ -76,8 +76,8 @@ func (s *Session) FocusTopRules(n int) []int {
 func (s *Session) RefocusAll() {
 	for _, tid := range s.eng.Dirty() {
 		for _, nu := range s.gen.SuggestTuple(tid) {
-			if _, ok := s.possible[nu.Cell()]; !ok {
-				s.possible[nu.Cell()] = nu
+			if _, ok := s.index.Get(nu.Cell()); !ok {
+				s.index.Set(nu)
 			}
 		}
 	}

@@ -110,9 +110,23 @@ type Session struct {
 	gen    *repair.Generator
 	ranker *voi.Ranker
 
-	// possible is the PossibleUpdates list, at most one pending suggestion
-	// per cell (newer suggestions replace older ones for the same cell).
-	possible map[repair.CellKey]repair.Update
+	// index owns the PossibleUpdates list — at most one pending suggestion
+	// per cell (newer suggestions replace older ones for the same cell) —
+	// partitioned by (attr, value) and kept incrementally: the consistency
+	// manager feeds it one Set/Delete per suggestion delta, and ranking
+	// re-scores only groups invalidated since the last call (see
+	// staleAttrs). It is derived state: snapshots persist the flat update
+	// list and restore rebuilds the index from it.
+	index *group.Index
+
+	// attrSigs records, per attribute position, the scoring inputs the last
+	// VOI rank observed: the version counters of every rule involving the
+	// attribute and the attribute committee's generation. A mismatch means
+	// every group on that attribute must be re-scored even if its membership
+	// is unchanged. staleBuf is the per-rank scratch verdict, reused so the
+	// steady-state poll allocates nothing here.
+	attrSigs []attrSig
+	staleBuf []bool
 
 	// models holds one learner per attribute (M_Ai of Section 4.2).
 	models map[string]*learn.Model
@@ -169,7 +183,9 @@ func NewSession(db *relation.DB, rules []*cfd.CFD, cfg Config) (*Session, error)
 		eng:          eng,
 		gen:          gen,
 		ranker:       voi.NewRanker(eng),
-		possible:     make(map[repair.CellKey]repair.Update),
+		index:        group.NewIndex(),
+		attrSigs:     make([]attrSig, db.Schema.Arity()),
+		staleBuf:     make([]bool, db.Schema.Arity()),
 		models:       make(map[string]*learn.Model),
 		hits:         make(map[string][]bool),
 		predCache:    make(map[predKey]predVal),
@@ -177,7 +193,7 @@ func NewSession(db *relation.DB, rules []*cfd.CFD, cfg Config) (*Session, error)
 		initialDirty: eng.DirtyCount(),
 	}
 	for _, u := range gen.SuggestAll() {
-		s.possible[u.Cell()] = u
+		s.index.Set(u)
 	}
 	return s, nil
 }
@@ -198,20 +214,16 @@ func (s *Session) Ranker() *voi.Ranker { return s.ranker }
 func (s *Session) InitialDirtyCount() int { return s.initialDirty }
 
 // PendingCount returns the number of suggested updates awaiting a decision.
-func (s *Session) PendingCount() int { return len(s.possible) }
+func (s *Session) PendingCount() int { return s.index.Len() }
 
 // Pending returns the live suggestion for a cell, if any.
 func (s *Session) Pending(c repair.CellKey) (repair.Update, bool) {
-	u, ok := s.possible[c]
-	return u, ok
+	return s.index.Get(c)
 }
 
 // PendingUpdates returns all live suggestions in deterministic order.
 func (s *Session) PendingUpdates() []repair.Update {
-	out := make([]repair.Update, 0, len(s.possible))
-	for _, u := range s.possible {
-		out = append(out, u)
-	}
+	out := s.index.AppendAll(make([]repair.Update, 0, s.index.Len()))
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Tid != out[j].Tid {
 			return out[i].Tid < out[j].Tid
@@ -221,64 +233,163 @@ func (s *Session) PendingUpdates() []repair.Update {
 	return out
 }
 
-// GroupUpdates returns the live suggestions belonging to a group key.
+// GroupUpdates returns the live suggestions belonging to a group key, in
+// ascending tuple order — an O(group) index lookup, not a pending scan. The
+// slice is the caller's to reorder.
 func (s *Session) GroupUpdates(k group.Key) []repair.Update {
-	var out []repair.Update
-	for _, u := range s.possible {
-		if u.Attr == k.Attr && u.Value == k.Value {
-			out = append(out, u)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tid < out[j].Tid })
-	return out
+	return s.index.Updates(k)
 }
 
-// Groups partitions the pending updates and ranks the groups: by VOI
-// benefit (step 4 of Procedure 1), by size, or randomly. rng is only used
-// for OrderRandom; passing rng == nil there is explicit, supported behavior
-// — the session falls back to its own generator seeded from Config.Seed, so
-// the shuffle is deterministic per session rather than silently skipped.
+// RankingVersion returns the group index's monotone ranking version: it
+// advances whenever the pending partition mutates or a re-rank changes a
+// cached benefit, so equal versions imply an identical VOI (and size)
+// ordering. The serving tier uses it as the /groups ETag.
+func (s *Session) RankingVersion() uint64 { return s.index.Version() }
+
+// Groups ranks the pending update groups: by VOI benefit (step 4 of
+// Procedure 1), by size, or randomly. rng is only used for OrderRandom;
+// passing rng == nil there is explicit, supported behavior — the session
+// falls back to its own generator seeded from Config.Seed, so the shuffle
+// is deterministic per session rather than silently skipped.
 //
-// With Config.Workers > 1 the VOI benefit of each group is computed on a
-// worker pool. The learner probabilities p̃j are precomputed serially first
-// (the committee caches are not concurrency-safe), after which scoring is
-// read-only; the resulting ranking is identical at any worker count.
+// The VOI ranking is incremental: the session's group index keeps the
+// partition and the sorted order across calls, and only groups invalidated
+// since the last call — membership deltas from feedback and cascades, rule
+// version moves, committee retrains — are re-scored and re-inserted. The
+// result is byte-identical to a from-scratch Partition+Rank at any worker
+// count; a steady-state poll costs O(changed). The returned VOI groups are
+// cached snapshots that own their memory: reordering one's Updates in place
+// cannot corrupt the index, but later calls may return the same snapshot,
+// so callers wanting a private ordering should use GroupUpdates (always a
+// fresh copy).
 func (s *Session) Groups(order Order, rng *rand.Rand) []*group.Group {
-	gs := group.Partition(s.PendingUpdates())
 	switch order {
 	case OrderVOI:
-		if s.cfg.Workers > 1 {
-			probs := s.probTable(gs)
-			s.ranker.RankParallel(gs, func(u repair.Update) float64 { return probs[u] }, s.cfg.Workers)
-		} else {
-			s.ranker.Rank(gs, s.Prob)
-		}
+		s.refreshStaleAttrs()
+		gs, _ := s.index.Rank(s.staleKey, s.scoreGroups)
+		s.recordAttrSigs()
+		return gs
 	case OrderGreedy:
+		gs := s.index.Partition()
 		group.SortBySize(gs)
-	case OrderRandom:
+		return gs
+	default: // OrderRandom
+		gs := s.index.Partition()
 		if rng == nil {
 			rng = rand.New(rand.NewSource(s.cfg.Seed + int64(s.shuffles*0x9E3779B97F4A7C15)))
 			s.shuffles++
 		}
 		rng.Shuffle(len(gs), func(i, j int) { gs[i], gs[j] = gs[j], gs[i] })
+		return gs
 	}
-	return gs
 }
 
-// probTable precomputes the user-model probability p̃j for every pending
-// update in gs. Session.Prob consults (and memoizes into) the committee
-// prediction caches, which are single-goroutine; snapshotting the values
-// up front leaves the parallel ranking phase purely read-only.
-func (s *Session) probTable(gs []*group.Group) map[repair.Update]float64 {
-	m := make(map[repair.Update]float64, len(s.possible))
-	for _, g := range gs {
-		for _, u := range g.Updates {
-			if _, ok := m[u]; !ok {
-				m[u] = s.Prob(u)
+// attrSig is the per-attribute scoring-input signature of the last VOI rank.
+type attrSig struct {
+	seen     bool
+	modelGen int64
+	vers     []uint64 // versions of RulesInvolvingAt(ai), engine order
+}
+
+// modelGen returns the attribute committee's generation without creating a
+// model: an absent model and a fresh empty one predict identically (not
+// ready → p̃j falls back to the update score), so both read as generation 0.
+func (s *Session) modelGen(attr string) int64 {
+	if m, ok := s.models[attr]; ok {
+		return m.Gen()
+	}
+	return 0
+}
+
+// refreshStaleAttrs decides, per attribute, whether groups on it must be
+// re-scored: true when any rule involving the attribute changed version
+// (the engine bumps counters on every Apply/Insert touching the rule) or
+// the attribute's committee trained on new feedback since the last rank.
+// The verdicts land in staleBuf (reused across calls).
+func (s *Session) refreshStaleAttrs() {
+	for ai, attr := range s.db.Schema.Attrs {
+		sig := &s.attrSigs[ai]
+		if !sig.seen {
+			s.staleBuf[ai] = true
+			continue
+		}
+		stale := sig.modelGen != s.modelGen(attr)
+		if !stale {
+			for i, ri := range s.eng.RulesInvolvingAt(ai) {
+				if sig.vers[i] != s.eng.Version(ri) {
+					stale = true
+					break
+				}
 			}
 		}
+		s.staleBuf[ai] = stale
 	}
-	return m
+}
+
+// recordAttrSigs snapshots the post-rank scoring inputs for every attribute.
+func (s *Session) recordAttrSigs() {
+	for ai, attr := range s.db.Schema.Attrs {
+		sig := &s.attrSigs[ai]
+		rules := s.eng.RulesInvolvingAt(ai)
+		if sig.vers == nil {
+			sig.vers = make([]uint64, len(rules))
+		}
+		for i, ri := range rules {
+			sig.vers[i] = s.eng.Version(ri)
+		}
+		sig.modelGen = s.modelGen(attr)
+		sig.seen = true
+	}
+}
+
+// staleKey adapts the per-attribute staleness verdicts to group keys.
+func (s *Session) staleKey(k group.Key) bool {
+	return s.staleBuf[s.db.Schema.MustIndex(k.Attr)]
+}
+
+// scoreGroups computes Eq. 6 benefits for the dirty groups the index hands
+// over (key-ordered). With Config.Workers > 1 the committee probabilities
+// p̃j are warmed serially first — committee (re)training, model creation and
+// the prediction memo are single-goroutine — after which scoring is
+// read-only and fans out over the worker pool; the benefits are identical
+// at any worker count.
+func (s *Session) scoreGroups(gs []*group.Group) {
+	if s.cfg.Workers > 1 && len(gs) > 1 {
+		for _, g := range gs {
+			for _, u := range g.Updates {
+				s.Prob(u)
+			}
+		}
+		s.ranker.ScoreGroups(gs, s.probFrozen, s.cfg.Workers)
+		return
+	}
+	s.ranker.ScoreGroups(gs, s.Prob, 1)
+}
+
+// probFrozen is Session.Prob for the read-only parallel scoring phase: it
+// serves p̃j from the prediction memo the serial warm-up just filled,
+// writing nothing. If the memo entry was lost to a capacity reset mid-warm,
+// the prediction is recomputed without memoizing — safe concurrently, since
+// the warm-up already (re)trained every committee the dirty groups touch,
+// leaving Model.Predict a pure read.
+func (s *Session) probFrozen(u repair.Update) float64 {
+	m, ok := s.models[u.Attr]
+	if !ok {
+		return u.Score
+	}
+	key := predKey{cell: u.Cell(), value: u.Value}
+	if v, hit := s.predCache[key]; hit && v.modelGen == m.Gen() && v.tupleVer == s.tupleVer[u.Tid] {
+		if !v.ok {
+			return u.Score
+		}
+		return v.votes[learn.Confirm]
+	}
+	cats, sim := s.Features(u)
+	_, votes, ready := m.Predict(cats, sim)
+	if !ready {
+		return u.Score
+	}
+	return votes[learn.Confirm]
 }
 
 // model returns (creating if needed) the learner for an attribute.

@@ -60,18 +60,49 @@ func Partition(ups []repair.Update) []*Group {
 	return out
 }
 
-// SortByBenefit orders groups by descending benefit, breaking ties by size
-// (larger first) and then key, so ranking is deterministic.
+// RankLess is the VOI ranking comparator: descending benefit, ties broken by
+// size (larger first) and then key. Keys are unique across a partition, so
+// this is a strict total order — the ranking of a group set is unique, which
+// is what lets the incremental Index repair it with a partial re-sort.
+func RankLess(a, b *Group) bool {
+	if a.Benefit != b.Benefit {
+		return a.Benefit > b.Benefit
+	}
+	if a.Size() != b.Size() {
+		return a.Size() > b.Size()
+	}
+	return less(a.Key, b.Key)
+}
+
+// SortByBenefit orders groups by RankLess, so ranking is deterministic.
 func SortByBenefit(gs []*Group) {
-	sort.SliceStable(gs, func(i, j int) bool {
-		if gs[i].Benefit != gs[j].Benefit {
-			return gs[i].Benefit > gs[j].Benefit
+	sort.SliceStable(gs, func(i, j int) bool { return RankLess(gs[i], gs[j]) })
+}
+
+// MergeByBenefit merges two RankLess-ordered slices into one. Because
+// RankLess is a strict total order, merging the clean remainder of a
+// previous ranking with freshly re-sorted dirty groups reproduces exactly
+// the order a full sort of the union would produce.
+func MergeByBenefit(a, b []*Group) []*Group {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]*Group, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if RankLess(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
 		}
-		if gs[i].Size() != gs[j].Size() {
-			return gs[i].Size() > gs[j].Size()
-		}
-		return less(gs[i].Key, gs[j].Key)
-	})
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // SortBySize orders groups by descending size (the Greedy baseline of

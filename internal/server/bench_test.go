@@ -1,0 +1,73 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"gdr/internal/core"
+)
+
+// benchPollServer uploads one 2000-row hospital tenant and returns the
+// /groups URL plus its current ETag.
+func benchPollServer(b *testing.B) (ts string, client *http.Client, url, etag string) {
+	_, hts := newTestServer(b, Config{Session: core.Config{Workers: 1}})
+	csvText, rulesText, _ := hospitalUpload(b, 2000, 7)
+	var created CreateSessionResponse
+	if code := doJSON(b, hts.Client(), "POST", hts.URL+"/v1/sessions",
+		CreateSessionRequest{CSV: csvText, Rules: rulesText, Seed: 7}, &created); code != http.StatusCreated {
+		b.Fatalf("create: status %d", code)
+	}
+	url = hts.URL + "/v1/sessions/" + created.Session.ID + "/groups?order=voi"
+	resp, err := hts.Client().Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if etag = resp.Header.Get("ETag"); etag == "" {
+		b.Fatal("no ETag on /groups")
+	}
+	return hts.URL, hts.Client(), url, etag
+}
+
+// BenchmarkGroupsPoll measures a steady-state /groups poll over HTTP — the
+// whole stack: actor round-trip, incremental rank (a cache hit), DTO build,
+// JSON encoding.
+func BenchmarkGroupsPoll(b *testing.B) {
+	_, client, url, _ := benchPollServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkGroupsPollNotModified is the same poll with If-None-Match: the
+// server validates the ranking version and answers 304 with no body — what
+// a well-behaved polling client pays while nothing changes.
+func BenchmarkGroupsPollNotModified(b *testing.B) {
+	_, client, url, etag := benchPollServer(b)
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -148,7 +148,11 @@ type GroupBody struct {
 	Benefit float64 `json:"benefit"`
 }
 
-// GroupsResponse is the ranked group listing.
+// GroupsResponse is the ranked group listing. The session's monotone
+// ranking version travels in the response's ETag (not the body, which stays
+// byte-identical across snapshot/restore): poll with If-None-Match to get a
+// bodyless 304 while the ranking is unchanged (voi and greedy orders only;
+// random produces a fresh shuffle per request and is never cacheable).
 type GroupsResponse struct {
 	Order  string      `json:"order"`
 	Total  int         `json:"total"`

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"gdr/internal/core"
+)
+
+// getGroups issues GET /groups with an optional If-None-Match and returns
+// the status, the response ETag and the raw body length.
+func getGroups(t *testing.T, ts string, id, query, inm string) (int, string, int) {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts+"/v1/sessions/"+id+"/groups"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), len(body)
+}
+
+// TestGroupsETagConditionalPolling covers the poll-cheaply contract: an
+// unchanged ranking answers If-None-Match with a bodyless 304, any feedback
+// invalidates the validator, and the validator is scoped to the request
+// shape (order, limit). Random order is never cacheable.
+func TestGroupsETagConditionalPolling(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Session: core.Config{Workers: 1}})
+
+	var created CreateSessionResponse
+	if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions",
+		CreateSessionRequest{CSV: figure1CSV, Rules: figure1Rules, Seed: 5}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	id := created.Session.ID
+
+	code, etag, n := getGroups(t, ts.URL, id, "?order=voi", "")
+	if code != http.StatusOK || etag == "" || n == 0 {
+		t.Fatalf("cold groups: code %d etag %q len %d", code, etag, n)
+	}
+
+	// Steady state: the same request with If-None-Match is a bodyless 304
+	// carrying the same validator.
+	code, etag2, n := getGroups(t, ts.URL, id, "?order=voi", etag)
+	if code != http.StatusNotModified || n != 0 {
+		t.Fatalf("steady poll: code %d len %d, want 304 with no body", code, n)
+	}
+	if etag2 != etag {
+		t.Fatalf("steady poll moved the validator: %q -> %q", etag, etag2)
+	}
+
+	// The validator is scoped to order and limit: the same version under a
+	// different request shape must not match.
+	if code, _, _ = getGroups(t, ts.URL, id, "?order=voi&limit=1", etag); code != http.StatusOK {
+		t.Fatalf("limit-scoped request served 304 off a full-listing validator (code %d)", code)
+	}
+	if code, _, _ = getGroups(t, ts.URL, id, "?order=greedy", etag); code != http.StatusOK {
+		t.Fatalf("greedy request served 304 off a voi validator (code %d)", code)
+	}
+
+	// A wildcard matches anything cacheable.
+	if code, _, _ = getGroups(t, ts.URL, id, "?order=voi", "*"); code != http.StatusNotModified {
+		t.Fatalf("If-None-Match: * not honored (code %d)", code)
+	}
+
+	// Random order is a fresh shuffle per request: no ETag, never a 304.
+	code, randTag, _ := getGroups(t, ts.URL, id, "?order=random", "*")
+	if code != http.StatusOK || randTag != "" {
+		t.Fatalf("random order: code %d etag %q, want 200 with no validator", code, randTag)
+	}
+
+	// Feedback perturbs the ranking: the old validator stops matching and
+	// the new response carries a fresh one plus a larger version.
+	var groups GroupsResponse
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/sessions/"+id+"/groups?order=voi", nil, &groups); code != http.StatusOK {
+		t.Fatalf("groups: status %d", code)
+	}
+	var ups UpdatesResponse
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/sessions/"+id+"/groups/"+groups.Groups[0].Key+"/updates", nil, &ups); code != http.StatusOK {
+		t.Fatalf("updates: status %d", code)
+	}
+	u := ups.Updates[0]
+	var fb FeedbackResponse
+	if code := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/sessions/"+id+"/feedback",
+		FeedbackRequest{Items: []FeedbackItem{{Tid: u.Tid, Attr: u.Attr, Value: u.Value, Feedback: "confirm"}}}, &fb); code != http.StatusOK {
+		t.Fatalf("feedback: status %d", code)
+	}
+	code, etag3, n := getGroups(t, ts.URL, id, "?order=voi", etag)
+	if code != http.StatusOK || n == 0 {
+		t.Fatalf("post-feedback poll: code %d len %d, want a fresh 200", code, n)
+	}
+	if etag3 == etag {
+		t.Fatal("feedback did not advance the groups validator")
+	}
+
+	// The 304s were counted.
+	if got := srv.Registry().Counter("gdrd_groups_not_modified_total").Value(); got < 2 {
+		t.Fatalf("gdrd_groups_not_modified_total = %d, want >= 2", got)
+	}
+}

@@ -131,8 +131,42 @@ func parseOrder(v string) (core.Order, string, error) {
 	}
 }
 
+// groupsETag renders the /groups cache validator: the session's monotone
+// ranking version, scoped by the entry's incarnation salt (a restored
+// session restarts the counter) and by the request shape (order and limit
+// change the body without changing the ranking). Random order returns "" —
+// every such response is a fresh shuffle and must never be served from a
+// cache — as does a saltless entry.
+func groupsETag(salt, orderName string, limit int, version uint64) string {
+	if orderName == "random" || salt == "" {
+		return ""
+	}
+	return fmt.Sprintf("\"gdr-%s-%s-%d-%d\"", salt, orderName, limit, version)
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// ETag, per RFC 9110: a comma-separated candidate list or "*"; weak
+// validators (W/ prefix) compare by opaque value.
+func etagMatches(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // handleGroups ranks the pending updates (step 4 of Procedure 1) and
 // returns the groups; ?order picks the policy, ?limit truncates the tail.
+// The session's incremental group index makes the steady-state call cheap
+// (only invalidated groups are re-scored) and versions the ranking; when
+// the client's If-None-Match still matches post-rank, the response is a
+// bodyless 304 and no DTOs are built at all.
 func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.session(w, r)
 	if !ok {
@@ -150,10 +184,18 @@ func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	inm := r.Header.Get("If-None-Match")
 	start := time.Now()
 	var resp GroupsResponse
+	var etag string
+	var notModified bool
 	err = e.actor.do(r.Context(), func(sess *core.Session) {
 		gs := sess.Groups(order, nil)
+		etag = groupsETag(e.etagSalt, orderName, limit, sess.RankingVersion())
+		if etagMatches(inm, etag) {
+			notModified = true
+			return
+		}
 		resp.Order = orderName
 		resp.Total = len(gs)
 		if limit > 0 && len(gs) > limit {
@@ -175,6 +217,14 @@ func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Histogram("gdrd_suggest_seconds").ObserveSince(start)
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	if notModified {
+		s.reg.Counter("gdrd_groups_not_modified_total").Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -213,6 +213,7 @@ func (s *Store) restoreFile(token, path string) (*entry, error) {
 		tuples:   sess.DB().N(),
 		rules:    len(sess.Engine().Rules()),
 		actor:    newActor(sess, s.budget, st.Config.Workers, &s.acquireMu),
+		etagSalt: newETagSalt(),
 	}
 	// The on-disk state is exactly what we restored: durable at mutation 0.
 	e.hasDurable = true

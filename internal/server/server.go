@@ -10,7 +10,8 @@
 //
 //	POST   /v1/sessions                          create (CSV + rules upload, or a snapshot)
 //	GET    /v1/sessions                          list live sessions
-//	GET    /v1/sessions/{id}/groups              ranked groups (?order=voi|greedy|random)
+//	GET    /v1/sessions/{id}/groups              ranked groups (?order=voi|greedy|random);
+//	                                             ETag + If-None-Match → 304 while unchanged
 //	GET    /v1/sessions/{id}/groups/{key}/updates  one group's live updates
 //	POST   /v1/sessions/{id}/feedback            batched confirm/reject/retain
 //	GET    /v1/sessions/{id}/status              pending/dirty counts, model trust
@@ -128,6 +129,7 @@ func New(cfg Config) *Server {
 	reg.Counter("gdrd_feedback_stale_total")
 	reg.Counter("gdrd_feedback_invalid_total")
 	reg.Counter("gdrd_learner_decisions_total")
+	reg.Counter("gdrd_groups_not_modified_total")
 	reg.Counter("gdrd_sessions_restored_total")
 	reg.Counter("gdrd_checkpoints_total")
 	reg.Counter("gdrd_checkpoint_failures_total")

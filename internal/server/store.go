@@ -64,6 +64,14 @@ type entry struct {
 	rules   int
 	actor   *actor
 
+	// etagSalt scopes /groups cache validators to this in-memory incarnation
+	// of the session. The ranking version is derived, unpersisted state that
+	// restarts when a snapshot is restored; without the salt, a client
+	// holding a pre-restart ETag could get a false 304 once the restored
+	// session's version counter passes the old value again. Empty disables
+	// conditional responses for the entry (fail-safe).
+	etagSalt string
+
 	// mutSeq counts the session's state mutations; it is bumped inside the
 	// actor command that performs the mutation, so a snapshot encoded on
 	// the actor observes a value consistent with the state it captured.
@@ -223,6 +231,16 @@ func newToken() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// newETagSalt returns a short random incarnation marker for entry.etagSalt,
+// or "" when entropy is unavailable (which merely disables 304s).
+func newETagSalt() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Create builds and registers a session under a fresh token, from either an
 // uploaded CSV instance plus rule set, or an exported snapshot (restore-on-
 // create). Construction holds CPU slots matching the session's fan-out: the
@@ -306,6 +324,7 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 		tuples:   sess.DB().N(),
 		rules:    len(sess.Engine().Rules()),
 		actor:    newActor(sess, s.budget, workers, &s.acquireMu),
+		etagSalt: newETagSalt(),
 	}
 	st := sess.Stats()
 	s.mu.Lock()

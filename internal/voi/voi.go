@@ -163,18 +163,25 @@ func (r *Ranker) Rank(gs []*group.Group, prob Prob) {
 }
 
 // RankParallel is Rank with the per-group benefit computations fanned out
-// over at most workers goroutines. Scoring is read-only against the engine
-// and the benefit cache is sharded, so the only requirement is that prob be
-// safe for concurrent calls (a precomputed lookup, or a pure function like
-// ScoreProb). Each group's sum is still accumulated in update order, so the
-// resulting benefits — and therefore the final ranking — are bit-identical
-// to the serial path at any worker count.
+// over at most workers goroutines.
 func (r *Ranker) RankParallel(gs []*group.Group, prob Prob, workers int) {
+	r.ScoreGroups(gs, prob, workers)
+	group.SortByBenefit(gs)
+}
+
+// ScoreGroups computes Eq. 6 benefits for the given groups without sorting
+// them — the re-score half of ranking, which the incremental group index
+// applies to dirty groups only. Scoring is read-only against the engine and
+// the benefit cache is sharded, so the only requirement for workers > 1 is
+// that prob be safe for concurrent calls (a warmed memo, or a pure function
+// like ScoreProb). Each group's sum is accumulated in update order, so the
+// resulting benefits — and therefore any ranking built from them — are
+// bit-identical to the serial path at any worker count.
+func (r *Ranker) ScoreGroups(gs []*group.Group, prob Prob, workers int) {
 	par.ForEach(par.Workers(workers), len(gs), func(i int) error {
 		gs[i].Benefit = r.GroupBenefit(gs[i], prob)
 		return nil
 	})
-	group.SortByBenefit(gs)
 }
 
 // ExpectedLossGiven computes E[L(D|c)] of Eq. 5: the expected quality loss
