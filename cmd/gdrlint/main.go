@@ -1,0 +1,84 @@
+// Command gdrlint runs the repository's invariant analyzers (internal/lint)
+// over a set of packages and exits non-zero if any finding survives
+// suppression. It is the multichecker entry point used by CI:
+//
+//	go run ./cmd/gdrlint ./...
+//
+// Flags:
+//
+//	-list         print the analyzers and their docs, then exit
+//	-only a,b     run only the named analyzers
+//
+// Findings print one per line as position: analyzer: message. A finding can
+// be silenced in source with `//lint:ignore <analyzer> <reason>` on or
+// directly above the offending line; the reason is mandatory and unused
+// directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gdr/internal/lint"
+	"gdr/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("gdrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "gdrlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "gdrlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "gdrlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, name := range []string{"actorconfine", "detrand", "guardedby", "maprange", "pkgdoc"} {
+		if !strings.Contains(out.String(), name+": ") {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}

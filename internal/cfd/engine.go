@@ -2,6 +2,7 @@ package cfd
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gdr/internal/relation"
@@ -591,8 +592,8 @@ func (e *Engine) ViolatingPartners(ri, tid int) []int {
 // ViolatingPartners for scenario 2 of the update generator, which needs the
 // candidate values, not the partner tuples: reading the bucket's value
 // histogram is O(distinct values) instead of O(bucket size · log) for
-// materializing and sorting the partner tuple list. Append order follows map
-// iteration and is unspecified; callers must not depend on it.
+// materializing and sorting the partner tuple list. The appended values are
+// sorted, so the result is independent of map iteration order.
 func (e *Engine) AppendPartnerRHSVIDs(dst []relation.VID, ri, tid int) []relation.VID {
 	st := e.states[ri]
 	if st.isConst {
@@ -607,11 +608,13 @@ func (e *Engine) AppendPartnerRHSVIDs(dst []relation.VID, ri, tid int) []relatio
 		return dst
 	}
 	mine := row[st.rhsIdx]
+	start := len(dst)
 	for v := range b.byVal {
 		if v != mine {
 			dst = append(dst, v)
 		}
 	}
+	slices.Sort(dst[start:])
 	return dst
 }
 

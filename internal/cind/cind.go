@@ -136,21 +136,23 @@ func NewChecker(left, right *relation.DB, rules []*CIND) (*Checker, error) {
 			}
 			st.rhsIdx = append(st.rhsIdx, i)
 		}
-		for a, v := range r.LHSCond {
+		// Condition attributes come out of maps; iterate them sorted so the
+		// built rule state — and anything derived from it — is reproducible.
+		for _, a := range sortedKeys(r.LHSCond) {
 			i, ok := left.Schema.Index(a)
 			if !ok {
 				return nil, fmt.Errorf("cind %s: condition attribute %q not in left schema", r.ID, a)
 			}
 			st.lhsCond = append(st.lhsCond, [2]int{i, len(st.condVals)})
-			st.condVals = append(st.condVals, v)
+			st.condVals = append(st.condVals, r.LHSCond[a])
 		}
-		for a, v := range r.RHSCond {
+		for _, a := range sortedKeys(r.RHSCond) {
 			i, ok := right.Schema.Index(a)
 			if !ok {
 				return nil, fmt.Errorf("cind %s: condition attribute %q not in right schema", r.ID, a)
 			}
 			st.rhsCond = append(st.rhsCond, [2]int{i, len(st.rhsVals)})
-			st.rhsVals = append(st.rhsVals, v)
+			st.rhsVals = append(st.rhsVals, r.RHSCond[a])
 		}
 		c.state = append(c.state, st)
 	}
@@ -333,3 +335,13 @@ func (c *Checker) RightUpdated(tid int, attr, old string) {
 
 // Rules returns the checker's rule list.
 func (c *Checker) Rules() []*CIND { return c.rules }
+
+// sortedKeys returns m's keys in sorted order, for deterministic iteration.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,12 @@
+package actorconfine_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/actorconfine"
+	"gdr/internal/lint/analysistest"
+)
+
+func TestActorconfine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), actorconfine.Analyzer, "server", "client")
+}

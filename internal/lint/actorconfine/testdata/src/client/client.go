@@ -1,0 +1,13 @@
+// Package client is an actorconfine fixture outside any "server" package:
+// direct session use is the library's normal, single-goroutine mode and
+// must not flag.
+package client
+
+import "core"
+
+// Direct drives a session without an actor, which is fine outside server.
+func Direct() int {
+	s := core.NewSession()
+	s.Bump()
+	return s.N()
+}

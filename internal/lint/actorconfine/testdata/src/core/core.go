@@ -1,0 +1,15 @@
+// Package core is an actorconfine fixture standing in for gdr/internal/core:
+// the analyzer recognizes the Session type by name and package-path base.
+package core
+
+// Session is the stand-in for core.Session: single-writer session state.
+type Session struct{ n int }
+
+// NewSession builds a fixture session.
+func NewSession() *Session { return &Session{} }
+
+// Bump mutates session state.
+func (s *Session) Bump() { s.n++ }
+
+// N reads session state.
+func (s *Session) N() int { return s.n }

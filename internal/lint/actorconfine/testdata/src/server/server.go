@@ -1,0 +1,45 @@
+// Package server is the actorconfine fixture: inside a "server" package,
+// Session methods may only be reached through a function parameter.
+package server
+
+import "core"
+
+type actor struct{ sess *core.Session }
+
+// do is the fixture's command loop: the only sanctioned route to a session.
+func (a *actor) do(fn func(*core.Session)) { fn(a.sess) }
+
+// goodClosure drives the session through a do-closure parameter.
+func goodClosure(a *actor) {
+	a.do(func(sess *core.Session) {
+		sess.Bump()
+	})
+}
+
+// goodHelper inherits confinement from its caller via the parameter.
+func goodHelper(sess *core.Session) int {
+	sess.Bump()
+	return sess.N()
+}
+
+// goodNestedCapture captures an enclosing function's parameter.
+func goodNestedCapture(sess *core.Session) func() {
+	return func() { sess.Bump() }
+}
+
+// badField calls methods on a session pulled straight off the actor.
+func badField(a *actor) int {
+	a.sess.Bump()     // want `core\.Session method called outside its actor`
+	return a.sess.N() // want `core\.Session method called outside its actor`
+}
+
+// badLocal launders the field through a local variable.
+func badLocal(a *actor) int {
+	s := a.sess
+	return s.N() // want `core\.Session method called outside its actor`
+}
+
+// badFresh builds a session and uses it without an actor.
+func badFresh() int {
+	return core.NewSession().N() // want `core\.Session method called outside its actor`
+}

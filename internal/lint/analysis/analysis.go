@@ -1,0 +1,69 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// that the gdrlint analyzers are written against. This repository builds in
+// containers without module-proxy access, so the real x/tools framework
+// cannot be imported; this package keeps analyzer code source-compatible
+// with it (an analyzer here is a literal *analysis.Analyzer whose Run takes
+// a *Pass), so migrating to the upstream framework later is an import-path
+// change, not a rewrite. Facts, Requires and ResultOf are intentionally
+// absent: every gdrlint analyzer is self-contained within one package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one self-contained static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -only selections, and
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `gdrlint -list`: the
+	// rule, and the invariant it defends.
+	Doc string
+
+	// Run applies the check to one package. It reports problems through
+	// pass.Report / pass.Reportf; the result value is unused (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files are the package's parsed sources (comments included), sorted by
+	// filename.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's expression facts for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one problem found by an analyzer.
+type Diagnostic struct {
+	// Pos anchors the problem in p.Fset.
+	Pos token.Pos
+
+	// Message states the problem and, ideally, the fix.
+	Message string
+}

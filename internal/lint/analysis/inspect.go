@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks every node of every file in preorder, passing the chain
+// of ancestors from the file down to (and including) the visited node.
+// Returning false skips the node's children. The stack slice is reused
+// between calls; callers must not retain it.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Children are skipped, so Inspect never sends the closing
+				// nil for this node; pop it here.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// PathBase returns the last slash-separated element of an import path:
+// "gdr/internal/core" → "core". The gdrlint analyzers scope themselves by
+// this convention so their testdata fixtures (package path "core") and the
+// real tree (package path "gdr/internal/core") trigger the same rules.
+func PathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// RootIdent returns the identifier at the base of a selector/index/deref
+// chain: for `a.b.c[i].d` it returns `a`. It returns nil when the chain
+// bottoms out in something other than an identifier (a call result, a
+// composite literal, ...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Callee resolves the *types.Func a call invokes (package function or
+// method), or nil for builtins, conversions, function-typed variables and
+// anything else that is not a declared function.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// EnclosingFunc returns the innermost function declaration or literal in
+// stack that strictly encloses the node at the top of the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// FuncBody returns the body of a *ast.FuncDecl or *ast.FuncLit.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// IsParamOf reports whether obj is declared as a parameter (or named
+// result) of any function declaration or literal in stack.
+func IsParamOf(info *types.Info, stack []ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	check := func(ft *ast.FuncType, recv *ast.FieldList) bool {
+		lists := []*ast.FieldList{ft.Params, ft.Results, recv}
+		for _, fl := range lists {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if info.Defs[name] == obj {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if check(fn.Type, fn.Recv) {
+				return true
+			}
+		case *ast.FuncLit:
+			if check(fn.Type, nil) {
+				return true
+			}
+		}
+	}
+	return false
+}

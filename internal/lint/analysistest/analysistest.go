@@ -1,0 +1,274 @@
+// Package analysistest runs one gdrlint analyzer over fixture packages
+// under a testdata/src tree and compares its diagnostics against `// want`
+// annotations in the fixtures, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract: a fixture line that
+// should be flagged carries a trailing comment with one or more quoted
+// regular expressions, each of which must match exactly one diagnostic
+// message reported on that line, and every diagnostic must be claimed by an
+// annotation. Fixture packages may import each other by their directory
+// name ("server" importing "core"); standard-library imports are resolved
+// from the toolchain's compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gdr/internal/lint/analysis"
+	"gdr/internal/lint/load"
+)
+
+// TestData returns the canonical fixture root: testdata under the calling
+// test's working directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package (a directory under
+// testdata/src) and reports mismatches between diagnostics and `// want`
+// annotations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgs {
+		fp, err := ld.fixture(path)
+		if err != nil {
+			t.Errorf("%s: loading fixture %q: %v", a.Name, path, err)
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+		}
+		var diags []analysis.Diagnostic
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: running on %q: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, a.Name, ld.fset, fp.files, diags)
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string // the regexp's source, for error messages
+	met  bool
+}
+
+// checkWants matches diagnostics against annotations, erroring on both
+// unexpected diagnostics and unmet expectations.
+func checkWants(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWants(fset, c)
+				if err != nil {
+					t.Errorf("%s: %s: %v", name, fset.Position(c.Pos()), err)
+					continue
+				}
+				wants = append(wants, ws...)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: no diagnostic matched `%s`", name, w.file, w.line, w.text)
+		}
+	}
+}
+
+// wantMarker introduces expectations inside a fixture comment.
+const wantMarker = "// want "
+
+// parseWants extracts the expectations of one comment: everything after
+// "// want" must be a sequence of quoted or backquoted regular expressions.
+func parseWants(fset *token.FileSet, c *ast.Comment) ([]*want, error) {
+	idx := strings.Index(c.Text, wantMarker)
+	if idx < 0 {
+		return nil, nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(c.Text[idx+len(wantMarker):])
+	var out []*want
+	for rest != "" {
+		var src string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			src = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("malformed quoted want pattern: %v", err)
+			}
+			src, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("malformed quoted want pattern: %v", err)
+			}
+			rest = strings.TrimSpace(rest[len(q):])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", rest)
+		}
+		re, err := regexp.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern `%s`: %v", src, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, text: src})
+	}
+	return out, nil
+}
+
+// loader resolves fixture packages from source and everything else from the
+// toolchain's export data. It implements types.Importer so fixture imports
+// recurse through it.
+type loader struct {
+	fset *token.FileSet
+	src  string // the testdata/src root
+	pkgs map[string]*fixturePkg
+	std  map[string]string // import path → export data file
+	gc   types.Importer
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(src string) *loader {
+	ld := &loader{
+		fset: token.NewFileSet(),
+		src:  src,
+		pkgs: make(map[string]*fixturePkg),
+		std:  make(map[string]string),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := ld.std[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ld
+}
+
+// Import makes loader a types.Importer for fixture type-checking.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.src, path); isDir(dir) {
+		fp, err := ld.fixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	if err := ld.ensureStd(path); err != nil {
+		return nil, err
+	}
+	return ld.gc.Import(path)
+}
+
+// ensureStd records export-data locations for path and its transitive
+// dependencies, compiling them on first use.
+func (ld *loader) ensureStd(path string) error {
+	if _, ok := ld.std[path]; ok {
+		return nil
+	}
+	listed, err := load.ExportData(path)
+	if err != nil {
+		return err
+	}
+	for p, f := range listed {
+		ld.std[p] = f
+	}
+	if _, ok := ld.std[path]; !ok && path != "unsafe" {
+		return fmt.Errorf("no export data produced for %q", path)
+	}
+	return nil
+}
+
+// fixture parses and type-checks one testdata/src package (memoized).
+func (ld *loader) fixture(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture sources in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %v", path, err)
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

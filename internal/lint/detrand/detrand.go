@@ -1,0 +1,84 @@
+// Package detrand implements the gdrlint analyzer that keeps wall-clock
+// reads and ambient (globally seeded) randomness out of the deterministic
+// packages. The library guarantees byte-identical output for a given
+// session seed at any worker count, and the snapshot format (PR 4) freezes
+// the entire randomness state as one counter — both collapse the moment a
+// deterministic package consults time.Now or the process-global math/rand
+// source. All randomness there must flow through a *rand.Rand constructed
+// from seed state (rand.New(rand.NewSource(seed))).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gdr/internal/lint/analysis"
+)
+
+// deterministicPkgs names the packages (by import-path base) covered by the
+// byte-identical-output guarantee. internal/server and the binaries are
+// deliberately absent: serving code may read clocks.
+var deterministicPkgs = map[string]bool{
+	"core": true, "cfd": true, "cind": true, "md": true, "repair": true,
+	"voi": true, "group": true, "learn": true, "relation": true,
+}
+
+// wallClock is the set of time package functions that read the system
+// clock. Constructors and conversions (time.Unix, time.Duration math) stay
+// allowed: they are pure.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand is the set of math/rand{,/v2} package functions that do NOT
+// consult the global source: constructors for explicitly seeded generators.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid time.Now/Since/Until and globally seeded math/rand calls in " +
+		"the deterministic packages (core, cfd, cind, md, repair, voi, group, " +
+		"learn, relation): all randomness there must derive from the session " +
+		"seed so output stays byte-identical and snapshots can capture the " +
+		"full randomness state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !deterministicPkgs[analysis.PathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. rand.Rand.Intn, time.Time.Sub) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClock[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in deterministic package %s: wall-clock reads break the byte-identical-output guarantee; derive timing from session state or move it out of the deterministic core",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"use of globally seeded %s.%s in deterministic package %s: draw from a rand.New(rand.NewSource(seed)) generator seeded from session state instead",
+						analysis.PathBase(fn.Pkg().Path()), fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

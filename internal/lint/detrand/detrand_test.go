@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/analysistest"
+	"gdr/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer, "core", "other")
+}

@@ -1,0 +1,27 @@
+// Package core is a detrand fixture: its path base matches the
+// deterministic-package set, so ambient time and randomness must flag.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad pulls nondeterminism from ambient process state.
+func Bad(start time.Time) (int, time.Duration) {
+	stamp := time.Now() // want `call to time\.Now in deterministic package core`
+	_ = stamp
+	elapsed := time.Since(start)       // want `call to time\.Since in deterministic package core`
+	time.Until(start)                  // want `call to time\.Until in deterministic package core`
+	n := rand.Intn(10)                 // want `use of globally seeded rand\.Intn in deterministic package core`
+	rand.Shuffle(n, func(i, j int) {}) // want `use of globally seeded rand\.Shuffle in deterministic package core`
+	return n, elapsed
+}
+
+// Good derives every random draw from an explicit seed, and only does pure
+// time arithmetic.
+func Good(seed int64, t time.Time) (int, time.Time) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(4)
+	return perm[0] + rng.Intn(10), t.Add(time.Second)
+}

@@ -1,0 +1,13 @@
+// Package other is a detrand fixture outside the deterministic set: the
+// serving tier and binaries may read clocks and the global rand freely.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clocky is fine here: "other" is not a deterministic package.
+func Clocky() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

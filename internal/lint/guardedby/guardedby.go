@@ -1,0 +1,388 @@
+// Package guardedby implements the gdrlint analyzer behind the
+// `// gdr:guarded-by <mutex>` field annotation: a struct field so annotated
+// may only be read or written while the named sibling mutex is held in the
+// accessing function. The striped caches under the worker pools and the
+// server store's session maps rely on exactly this discipline; the
+// annotation turns the convention into a checked contract.
+//
+// The analyzer tracks lock state with a lexical mini-interpreter over the
+// enclosing function body: Lock/RLock on `<base>.<mutex>` sets the state,
+// Unlock/RUnlock clears it, `defer ...Unlock()` leaves it held, and an
+// early-return branch that unlocks does not poison the code after it (the
+// classic `if bad { mu.Unlock(); return }` shape). Three escapes are
+// recognized, in keeping with the codebase's conventions:
+//
+//   - functions whose name ends in "Locked" assert that their caller holds
+//     the lock (e.g. setLiveLocked);
+//   - composite-literal construction is not an access — builders initialize
+//     guarded fields before the value is published;
+//   - a nested function literal is its own context: holding the lock when a
+//     closure is *created* does not license accesses inside it, and a
+//     closure that locks for itself is fine wherever it runs.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"gdr/internal/lint/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// gdr:guarded-by <mutex>` must only be accessed " +
+		"with that sibling mutex held in the enclosing function (or from a " +
+		"function whose name ends in \"Locked\")",
+	Run: run,
+}
+
+// annotationRE extracts the mutex name from a field comment.
+var annotationRE = regexp.MustCompile(`gdr:guarded-by\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mutex, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		enclosing := analysis.EnclosingFunc(stack)
+		if enclosing == nil {
+			return true // package-level initializer: construction, not access
+		}
+		if fd, ok := enclosing.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+			return true
+		}
+		key := types.ExprString(sel.X) + "." + mutex
+		if heldAt(analysis.FuncBody(enclosing), key, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is annotated gdr:guarded-by %s but accessed without it held; hold %s across the access or move it into a function named *Locked",
+			selection.Obj().Name(), mutex, key)
+		return true
+	})
+	return nil, nil
+}
+
+// collectAnnotations maps each annotated field object to its mutex name,
+// reporting annotations that name a non-existent sibling.
+func collectAnnotations(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mutex := annotationOf(field)
+				if mutex == "" {
+					continue
+				}
+				if !siblings[mutex] {
+					pass.Reportf(field.Pos(),
+						"gdr:guarded-by names unknown sibling field %q", mutex)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// annotationOf returns the mutex named by a field's gdr:guarded-by comment,
+// looking at both the doc comment above the field and the trailing comment.
+func annotationOf(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := annotationRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// heldAt reports whether the lock named key is held when control reaches
+// position at, walking body's statements in order and interpreting
+// Lock/Unlock events. The walk never descends into nested function
+// literals: they execute in their own context.
+func heldAt(body *ast.BlockStmt, key string, at token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	held, found := walkStmts(body.List, key, at, false)
+	return found && held
+}
+
+// walkStmts threads lock state through a statement list. It returns
+// (held, found): once the statement containing `at` is reached, held is the
+// state at that point and found is true.
+func walkStmts(stmts []ast.Stmt, key string, at token.Pos, held bool) (bool, bool) {
+	for _, st := range stmts {
+		if st.Pos() <= at && at < st.End() {
+			return atPoint(st, key, at, held)
+		}
+		held = applyStmt(st, key, held)
+	}
+	return held, false
+}
+
+// atPoint descends into the statement containing the access to resolve the
+// lock state at the access itself.
+func atPoint(st ast.Stmt, key string, at token.Pos, held bool) (bool, bool) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return walkStmts(s.List, key, at, held)
+	case *ast.IfStmt:
+		if s.Init != nil && within(s.Init, at) {
+			return atPoint(s.Init, key, at, held)
+		}
+		if s.Init != nil {
+			held = applyStmt(s.Init, key, held)
+		}
+		if within(s.Body, at) {
+			return walkStmts(s.Body.List, key, at, held)
+		}
+		if s.Else != nil && within(s.Else, at) {
+			return atPoint(s.Else, key, at, held)
+		}
+		return held, true // in Init/Cond
+	case *ast.ForStmt:
+		if s.Init != nil && within(s.Init, at) {
+			return atPoint(s.Init, key, at, held)
+		}
+		if s.Init != nil {
+			held = applyStmt(s.Init, key, held)
+		}
+		if within(s.Body, at) {
+			return walkStmts(s.Body.List, key, at, held)
+		}
+		if s.Post != nil && within(s.Post, at) {
+			return atPoint(s.Post, key, at, held)
+		}
+		return held, true
+	case *ast.RangeStmt:
+		if within(s.Body, at) {
+			return walkStmts(s.Body.List, key, at, held)
+		}
+		return held, true
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			if within(s.Init, at) {
+				return atPoint(s.Init, key, at, held)
+			}
+			held = applyStmt(s.Init, key, held)
+		}
+		return caseBodies(s.Body, key, at, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			if within(s.Init, at) {
+				return atPoint(s.Init, key, at, held)
+			}
+			held = applyStmt(s.Init, key, held)
+		}
+		return caseBodies(s.Body, key, at, held)
+	case *ast.SelectStmt:
+		return caseBodies(s.Body, key, at, held)
+	case *ast.LabeledStmt:
+		return atPoint(s.Stmt, key, at, held)
+	default:
+		// A flat statement (assignment, return, expression, send, defer):
+		// the access happens with the state accumulated so far.
+		return held, true
+	}
+}
+
+// caseBodies resolves an access inside a switch/select clause.
+func caseBodies(body *ast.BlockStmt, key string, at token.Pos, held bool) (bool, bool) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if within(c, at) {
+				return walkStmts(c.Body, key, at, held)
+			}
+		case *ast.CommClause:
+			if within(c, at) {
+				return walkStmts(c.Body, key, at, held)
+			}
+		}
+	}
+	return held, true
+}
+
+func within(n ast.Node, at token.Pos) bool {
+	return n.Pos() <= at && at < n.End()
+}
+
+// applyStmt returns the lock state after executing st, given state held
+// before it. Branches that terminate (return/panic/break/...) do not
+// contribute to the fall-through state; surviving branches are merged
+// conservatively (held only if held on every surviving path).
+func applyStmt(st ast.Stmt, key string, held bool) bool {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if kind := lockEvent(s.X, key); kind != 0 {
+			return kind > 0
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() runs at function exit; state here is unchanged.
+	case *ast.BlockStmt:
+		return applyBlock(s.List, key, held)
+	case *ast.LabeledStmt:
+		return applyStmt(s.Stmt, key, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = applyStmt(s.Init, key, held)
+		}
+		after := held
+		if !terminates(s.Body.List) {
+			after = after && applyBlock(s.Body.List, key, held)
+		}
+		if s.Else != nil {
+			elseHeld := held
+			elseTerm := false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = terminates(e.List)
+				elseHeld = applyBlock(e.List, key, held)
+			case *ast.IfStmt:
+				elseHeld = applyStmt(e, key, held)
+			}
+			if !elseTerm {
+				after = after && elseHeld
+			}
+		}
+		return after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = applyStmt(s.Init, key, held)
+		}
+		// The loop may run zero times; require the lock state to survive
+		// both skipping and executing the body.
+		return held && applyBlock(s.Body.List, key, held)
+	case *ast.RangeStmt:
+		return held && applyBlock(s.Body.List, key, held)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				held = applyStmt(sw.Init, key, held)
+			}
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				held = applyStmt(sw.Init, key, held)
+			}
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		after := held
+		for _, clause := range body.List {
+			var stmts []ast.Stmt
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				stmts = c.Body
+			case *ast.CommClause:
+				stmts = c.Body
+			}
+			if !terminates(stmts) {
+				after = after && applyBlock(stmts, key, held)
+			}
+		}
+		return after
+	}
+	return held
+}
+
+func applyBlock(stmts []ast.Stmt, key string, held bool) bool {
+	for _, st := range stmts {
+		held = applyStmt(st, key, held)
+	}
+	return held
+}
+
+// lockEvent classifies a call expression against key: +1 for Lock/RLock,
+// -1 for Unlock/RUnlock, 0 for anything else.
+func lockEvent(e ast.Expr, key string) int {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 1
+	case "Unlock", "RUnlock":
+		kind = -1
+	default:
+		return 0
+	}
+	if types.ExprString(sel.X) != key {
+		return 0
+	}
+	return kind
+}
+
+// terminates reports whether a statement list always transfers control out
+// (return, panic, or a branch statement), so its lock-state changes never
+// reach the code after the enclosing conditional.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	case *ast.IfStmt:
+		if block, ok := last.Else.(*ast.BlockStmt); ok {
+			return terminates(last.Body.List) && terminates(block.List)
+		}
+	}
+	return false
+}

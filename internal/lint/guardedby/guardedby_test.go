@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/analysistest"
+	"gdr/internal/lint/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "a")
+}

@@ -1,0 +1,104 @@
+// Package a exercises the guardedby analyzer: annotated fields accessed
+// with and without their mutex held, across the codebase's lock idioms.
+package a
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// gdr:guarded-by mu
+	items map[string]int
+
+	statMu sync.RWMutex
+	seen   int // gdr:guarded-by statMu
+}
+
+// goodDefer holds the lock via the lock-then-defer-unlock idiom.
+func (s *store) goodDefer(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// goodWindow brackets the access explicitly.
+func (s *store) goodWindow(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+// goodEarlyReturn unlocks on the early-out path; the main path stays held.
+func (s *store) goodEarlyReturn(k string) int {
+	s.mu.Lock()
+	if len(s.items) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.items[k]
+	s.mu.Unlock()
+	return v
+}
+
+// goodRead holds the read half of an RWMutex.
+func (s *store) goodRead() int {
+	s.statMu.RLock()
+	defer s.statMu.RUnlock()
+	return s.seen
+}
+
+// goodRange iterates under the lock.
+func (s *store) goodRange() int {
+	total := 0
+	s.mu.Lock()
+	for _, v := range s.items {
+		total += v
+	}
+	s.mu.Unlock()
+	return total
+}
+
+// sizeLocked asserts by name that its caller holds mu.
+func (s *store) sizeLocked() int { return len(s.items) }
+
+// goodOwnLockClosure locks for itself inside the closure.
+func (s *store) goodOwnLockClosure() func() int {
+	return func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.items)
+	}
+}
+
+// bad reads without any lock.
+func (s *store) bad(k string) int {
+	return s.items[k] // want `guarded by mu|gdr:guarded-by mu`
+}
+
+// badAfterUnlock touches the field after releasing the lock.
+func (s *store) badAfterUnlock(k string) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.items[k] // want `gdr:guarded-by mu`
+}
+
+// badWrongLock holds the other mutex.
+func (s *store) badWrongLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen // want `gdr:guarded-by statMu`
+}
+
+// badClosure creates a closure while holding the lock; by the time the
+// closure runs, the lock is long gone.
+func (s *store) badClosure() func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int {
+		return len(s.items) // want `gdr:guarded-by mu`
+	}
+}
+
+type broken struct {
+	// gdr:guarded-by nosuch
+	x int // want `gdr:guarded-by names unknown sibling field "nosuch"`
+}

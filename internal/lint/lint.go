@@ -1,0 +1,175 @@
+// Package lint ties the gdrlint analyzers together: it holds the registry
+// consumed by cmd/gdrlint and CI, the loader-driven runner that applies every
+// analyzer to a set of packages, and the //lint:ignore suppression machinery.
+//
+// Suppressions are deliberately strict. A directive has the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason the rule does not apply here
+//
+// and silences the named analyzers on the directive's own line and on the
+// line immediately following it. The reason is mandatory — a directive
+// without one is itself reported — and a directive that suppresses nothing
+// is reported as unused, so stale ignores cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"gdr/internal/lint/actorconfine"
+	"gdr/internal/lint/analysis"
+	"gdr/internal/lint/detrand"
+	"gdr/internal/lint/guardedby"
+	"gdr/internal/lint/load"
+	"gdr/internal/lint/maprange"
+	"gdr/internal/lint/pkgdoc"
+)
+
+// Analyzers returns the full gdrlint suite in display order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		actorconfine.Analyzer,
+		detrand.Analyzer,
+		guardedby.Analyzer,
+		maprange.Analyzer,
+		pkgdoc.Analyzer,
+	}
+}
+
+// Finding is one reported diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// each analyzer to each package, returning the surviving findings sorted by
+// position. Suppressed findings are dropped; malformed or unused
+// //lint:ignore directives are reported as findings of the synthetic
+// "lintignore" analyzer.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := directives(pkg.Fset, pkg.Files)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(dirs, a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+		}
+		for _, d := range dirs {
+			if !d.used {
+				findings = append(findings, Finding{
+					Analyzer: "lintignore",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("unused //lint:ignore directive for %s: nothing was suppressed", strings.Join(d.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	used      bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// directives scans the package's comments for //lint:ignore lines. It
+// returns the well-formed directives and, separately, findings for malformed
+// ones (missing analyzer list or missing reason).
+func directives(fset *token.FileSet, files []*ast.File) ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "lintignore",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore analyzer[,analyzer] reason`",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:       pos,
+					analyzers: strings.Split(names, ","),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a finding from analyzer at pos is covered by a
+// directive, marking the directive used if so. A directive covers its own
+// line and the next line of the same file.
+func suppressed(dirs []*directive, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.pos.Filename != pos.Filename {
+			continue
+		}
+		if pos.Line != d.pos.Line && pos.Line != d.pos.Line+1 {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirectives(t *testing.T, src string) ([]*directive, []Finding, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs, bad := directives(fset, []*ast.File{f})
+	return dirs, bad, fset
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `package p
+
+//lint:ignore detrand seeded upstream by the session constructor
+var a int
+
+//lint:ignore detrand,maprange both rules checked by hand here
+var b int
+
+//lint:ignore detrand
+var c int
+
+//lint:ignore
+var d int
+`
+	dirs, bad, _ := parseDirectives(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d well-formed directives, want 2", len(dirs))
+	}
+	if got := strings.Join(dirs[1].analyzers, "+"); got != "detrand+maprange" {
+		t.Errorf("second directive analyzers = %q, want detrand+maprange", got)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2 (missing reason, missing everything)", len(bad))
+	}
+	for _, f := range bad {
+		if f.Analyzer != "lintignore" || !strings.Contains(f.Message, "malformed") {
+			t.Errorf("malformed finding = %v", f)
+		}
+	}
+}
+
+func TestSuppressionWindow(t *testing.T) {
+	src := `package p
+
+//lint:ignore detrand reason enough
+var a int
+`
+	dirs, _, _ := parseDirectives(t, src)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	d := dirs[0]
+	at := func(line int) token.Position {
+		return token.Position{Filename: "x.go", Line: line}
+	}
+	if !suppressed(dirs, "detrand", at(d.pos.Line)) {
+		t.Error("finding on the directive's own line should be suppressed")
+	}
+	if !suppressed(dirs, "detrand", at(d.pos.Line+1)) {
+		t.Error("finding on the next line should be suppressed")
+	}
+	if suppressed(dirs, "detrand", at(d.pos.Line+2)) {
+		t.Error("finding two lines down should NOT be suppressed")
+	}
+	if suppressed(dirs, "maprange", at(d.pos.Line+1)) {
+		t.Error("finding from an unnamed analyzer should NOT be suppressed")
+	}
+	if suppressed(dirs, "detrand", token.Position{Filename: "y.go", Line: d.pos.Line + 1}) {
+		t.Error("finding in another file should NOT be suppressed")
+	}
+	if !d.used {
+		t.Error("directive should be marked used after suppressing")
+	}
+}
+
+func TestAnalyzersRegistry(t *testing.T) {
+	want := []string{"actorconfine", "detrand", "guardedby", "maprange", "pkgdoc"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has empty Doc", a.Name)
+		}
+	}
+}
+
+// TestTreeIsClean runs the full suite over the real tree and requires zero
+// findings: every invariant holds, or carries a justified suppression. This
+// is the same property CI enforces via cmd/gdrlint; having it here means a
+// plain `go test ./...` catches regressions too. Skipped under -short since
+// it shells out to `go list -export` for the whole module.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped under -short")
+	}
+	findings, err := Run("../..", []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,172 @@
+// Package load lists, parses and type-checks the packages gdrlint
+// analyzes. It shells out to `go list -deps -export` for build-system facts
+// (pattern expansion, build-tag file selection, and compiled export data
+// for every dependency) and then type-checks only the target packages from
+// source: dependencies are imported from the compiler's export data instead
+// of being re-checked, which keeps a whole-tree run cheap and avoids any
+// dependency on golang.org/x/tools.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	// PkgPath is the package's import path ("gdr/internal/core").
+	PkgPath string
+	// Fset positions the package's syntax (shared across one Packages call).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by filename, with
+	// comments attached.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records the checker's expression facts for Files.
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Packages loads every package matching patterns, resolved relative to dir
+// (the module the patterns address must be rooted at or above dir). Test
+// files are not loaded: gdrlint checks the invariants of shipped code, and
+// tests get to break them (fixed clocks, unsorted fixtures) on purpose.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportData compiles the named packages (typically standard-library
+// imports of test fixtures) and returns the export-data file of each
+// package in their transitive dependency closure.
+func ExportData(patterns ...string) (map[string]string, error) {
+	listed, err := goList("", patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -export -json` over the patterns and decodes
+// the package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outData, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(outData))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// check parses and type-checks one target package from source.
+func check(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	names := append([]string(nil), t.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   t.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/analysistest"
+	"gdr/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maprange.Analyzer, "a")
+}

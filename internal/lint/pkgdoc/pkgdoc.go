@@ -1,0 +1,47 @@
+// Package pkgdoc implements the gdrlint analyzer that requires every
+// non-main package to carry a godoc package comment of the canonical
+// "Package <name> ..." form. ARCHITECTURE.md's package map leans on these
+// comments; this analyzer replaces the shell grep that used to enforce them
+// in CI only, so the check now also runs locally and covers any future
+// package, not just internal/*.
+package pkgdoc
+
+import (
+	"strings"
+
+	"gdr/internal/lint/analysis"
+)
+
+// Analyzer is the pkgdoc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc: "require a godoc package comment (\"Package <name> ...\") on every " +
+		"non-main package, so the package map in ARCHITECTURE.md and `go doc` " +
+		"always have a summary to show",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	documented := false
+	for _, f := range pass.Files {
+		if f.Doc == nil {
+			continue
+		}
+		if strings.HasPrefix(f.Doc.Text(), "Package "+pass.Pkg.Name()+" ") {
+			documented = true
+		} else {
+			pass.Reportf(f.Doc.Pos(),
+				"package comment should be of the form \"Package %s ...\"", pass.Pkg.Name())
+			documented = true // malformed, but present: one finding is enough
+		}
+	}
+	if !documented && len(pass.Files) > 0 {
+		// Files are sorted by name, so the anchor is deterministic.
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package %s has no godoc package comment", pass.Pkg.Name())
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/analysistest"
+	"gdr/internal/lint/pkgdoc"
+)
+
+func TestPkgdoc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pkgdoc.Analyzer,
+		"withdoc", "nodoc", "baddoc", "mainpkg")
+}

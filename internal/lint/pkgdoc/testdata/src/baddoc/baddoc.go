@@ -1,0 +1,5 @@
+// This comment exists but skips the canonical form. // want `package comment should be of the form "Package baddoc \.\.\."`
+package baddoc
+
+// V keeps the package non-empty.
+var V int

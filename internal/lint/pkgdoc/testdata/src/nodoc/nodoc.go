@@ -1,0 +1,4 @@
+package nodoc // want `package nodoc has no godoc package comment`
+
+// V keeps the package non-empty.
+var V int

@@ -1,0 +1,5 @@
+// Package withdoc documents itself the canonical way.
+package withdoc
+
+// V keeps the package non-empty.
+var V int

@@ -60,11 +60,13 @@ var DefaultLatencyBuckets = []float64{
 // Histogram accumulates observations into cumulative buckets, Prometheus
 // style: counts[i] tallies observations ≤ uppers[i], plus a +Inf overflow.
 type Histogram struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// uppers is immutable after construction (Observe reads it without the
+	// lock), so it is deliberately not guarded.
 	uppers []float64
-	counts []uint64 // len(uppers)+1; last is +Inf
-	sum    float64
-	total  uint64
+	counts []uint64 // len(uppers)+1; last is +Inf; gdr:guarded-by mu
+	sum    float64  // gdr:guarded-by mu
+	total  uint64   // gdr:guarded-by mu
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds;
@@ -137,10 +139,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Registry is a named collection of metrics with a stable text exposition.
 type Registry struct {
 	mu     sync.Mutex
-	names  []string
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	names  []string              // gdr:guarded-by mu
+	counts map[string]*Counter   // gdr:guarded-by mu
+	gauges map[string]*Gauge     // gdr:guarded-by mu
+	hists  map[string]*Histogram // gdr:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.

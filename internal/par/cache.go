@@ -22,7 +22,7 @@ type Cache[K comparable, V any] struct {
 
 type cacheShard[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[K]V
+	m  map[K]V // gdr:guarded-by mu
 }
 
 // NewCache builds a cache holding at most roughly capacity entries.

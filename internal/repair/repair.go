@@ -113,7 +113,7 @@ type Generator struct {
 	// makes first-use builds safe under concurrent Suggest calls (readers
 	// share the lock, so steady-state lookups don't contend).
 	indexMu sync.RWMutex
-	indexes map[string]*cooccur
+	indexes map[string]*cooccur // gdr:guarded-by indexMu
 }
 
 // maxSimMemo bounds the similarity cache.

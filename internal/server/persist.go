@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -203,19 +204,10 @@ func (s *Store) restoreFile(token, path string) (*entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("restoring session: %w", err)
 	}
-	now := s.now()
-	e := &entry{
-		id:       token,
-		name:     name,
-		created:  now,
-		lastUsed: now,
-		attrs:    append([]string(nil), sess.DB().Schema.Attrs...),
-		tuples:   sess.DB().N(),
-		rules:    len(sess.Engine().Rules()),
-		actor:    newActor(sess, s.budget, st.Config.Workers, &s.acquireMu),
-		etagSalt: newETagSalt(),
-	}
+	e := s.newEntry(sess, token, name, st.Config.Workers)
 	// The on-disk state is exactly what we restored: durable at mutation 0.
+	// The entry is unpublished, so the watermark write needs no lock.
+	//lint:ignore guardedby pre-publication write: no other goroutine can hold a reference to e yet
 	e.hasDurable = true
 	return e, nil
 }
@@ -238,6 +230,9 @@ func (s *Store) flusher() {
 				}
 			}
 			s.mu.Unlock()
+			// The dirty set was harvested in map order; checkpoint in id
+			// order so the flush sequence is reproducible.
+			sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 			for _, e := range dirty {
 				if err := s.Checkpoint(context.Background(), e); err != nil {
 					s.logff("gdrd: periodic checkpoint of session %s failed: %v", e.id, err)

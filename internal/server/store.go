@@ -44,8 +44,8 @@ type Store struct {
 	acquireMu sync.Mutex
 
 	mu      sync.Mutex
-	entries map[string]*entry
-	closed  bool
+	entries map[string]*entry // gdr:guarded-by mu
+	closed  bool              // gdr:guarded-by mu
 
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
@@ -84,11 +84,32 @@ type entry struct {
 	mutSeq atomic.Uint64
 
 	ckptMu     sync.Mutex
-	durableMut uint64
-	hasDurable bool
+	durableMut uint64 // gdr:guarded-by ckptMu
+	hasDurable bool   // gdr:guarded-by ckptMu
 
 	mu       sync.Mutex
-	lastUsed time.Time
+	lastUsed time.Time // gdr:guarded-by mu
+}
+
+// newEntry wraps a freshly built session in its entry: the metadata
+// snapshot, the actor that owns the session from here on, and the ETag
+// salt. Taking the session as a parameter keeps the reads here inside the
+// actor-confinement rule: only a caller that legitimately holds the
+// freshly built session can hand it in.
+func (s *Store) newEntry(sess *core.Session, token, name string, workers int) *entry {
+	db, nrules := sess.DB(), len(sess.Engine().Rules())
+	now := s.now()
+	return &entry{
+		id:       token,
+		name:     name,
+		created:  now,
+		lastUsed: now,
+		attrs:    append([]string(nil), db.Schema.Attrs...),
+		tuples:   db.N(),
+		rules:    nrules,
+		actor:    newActor(sess, s.budget, workers, &s.acquireMu),
+		etagSalt: newETagSalt(),
+	}
 }
 
 // isDirty reports whether the session has state not yet captured by an
@@ -201,6 +222,9 @@ func (s *Store) evictIdle() {
 	}
 	s.setLiveLocked()
 	s.mu.Unlock()
+	// Victims were harvested in map order; evict oldest-idle first so the
+	// teardown sequence (and its log/metric trail) is reproducible.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, e := range victims {
 		e.actor.close()
 		s.removeSnapshot(e.id)
@@ -314,18 +338,8 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 		return SessionInfo{}, core.Stats{}, ctx.Err()
 	}
 
-	now := s.now()
-	e := &entry{
-		id:       token,
-		name:     name,
-		created:  now,
-		lastUsed: now,
-		attrs:    append([]string(nil), sess.DB().Schema.Attrs...),
-		tuples:   sess.DB().N(),
-		rules:    len(sess.Engine().Rules()),
-		actor:    newActor(sess, s.budget, workers, &s.acquireMu),
-		etagSalt: newETagSalt(),
-	}
+	e := s.newEntry(sess, token, name, workers)
+	//lint:ignore actorconfine construction-time read: the actor was just created and has processed nothing, so the session is still quiescent
 	st := sess.Stats()
 	s.mu.Lock()
 	if s.closed {
@@ -534,6 +548,9 @@ func (s *Store) Close() {
 	}
 	s.setLiveLocked()
 	s.mu.Unlock()
+	// Map-order harvest; sort so the final-checkpoint and shutdown sequence
+	// is reproducible across runs.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	close(s.janitorStop)
 	s.janitorWG.Wait()
 	if s.dir != "" {

@@ -91,7 +91,8 @@ curl -fsS "$sess/export" -o "$workdir/repaired.csv"
 head -1 "$workdir/repaired.csv" | grep -q ','
 
 echo "== metrics expose the traffic"
-curl -fsS "$base/metrics" | grep -q '^gdrd_sessions_live 1'
+curl -fsS "$base/metrics" -o "$workdir/metrics.txt"
+grep -q '^gdrd_sessions_live 1' "$workdir/metrics.txt"
 
 echo "== gdrload bench-smoke against the live daemon"
 "$workdir/gdrload" -addr "$base" -sessions 4 -users 4 -rounds 4 -n 150 -seed 11 \
@@ -101,7 +102,8 @@ echo "== restart the daemon mid-run; the session must survive"
 stop_gdrd
 boot_gdrd
 sess="$base/v1/sessions/$id"
-curl -fsS "$base/metrics" | grep -q '^gdrd_sessions_restored_total 1'
+curl -fsS "$base/metrics" -o "$workdir/metrics.txt"
+grep -q '^gdrd_sessions_restored_total 1' "$workdir/metrics.txt"
 curl -fsS "$sess/status" | jq -e '.stats.applied >= 1' >/dev/null
 curl -fsS "$sess/export" -o "$workdir/repaired-after-restart.csv"
 cmp "$workdir/repaired.csv" "$workdir/repaired-after-restart.csv"
