@@ -11,10 +11,21 @@
 // every live session, and a restarted daemon restores all sessions under
 // their original tokens — tenants resume exactly where they left off.
 //
+// With -keyfile set, the daemon is authenticated multi-tenant serving:
+// every /v1 request must present one of the file's bearer keys, sessions
+// belong to the tenant that created them, and each tenant's rate/in-flight
+// quotas (from the keyfile) shed the excess with 429 + Retry-After. CPU is
+// scheduled fairly across tenants either way, -deadline bounds each request
+// end to end, and -queue-depth bounds each session's command backlog.
+//
 // With -pprof PORT, net/http/pprof is served on 127.0.0.1:PORT — loopback
 // only, segregated from the service listener — so a live daemon can be
 // profiled (CPU, heap, goroutines) without exposing the endpoints to
 // tenants.
+//
+// -chaos injects faults for development and soak testing (checkpoint
+// write/fsync/rename failures, slow actors); it is loud on startup and must
+// never be set in production.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests and
 // session commands finish, checkpoints flush, then the process exits.
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"gdr/internal/faultfs"
 	"gdr/internal/server"
 )
 
@@ -49,6 +61,11 @@ type options struct {
 	dataDir     string
 	checkpoint  time.Duration
 	pprofPort   int
+	keyfile     string
+	deadline    time.Duration
+	queueDepth  int
+	chaos       string
+	chaosSeed   int64
 }
 
 func main() {
@@ -62,6 +79,11 @@ func main() {
 	flag.StringVar(&opts.dataDir, "data-dir", "", "directory for durable session snapshots (empty = sessions die with the process)")
 	flag.DurationVar(&opts.checkpoint, "checkpoint", 30*time.Second, "periodic checkpoint-retry cadence (with -data-dir)")
 	flag.IntVar(&opts.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 = disabled)")
+	flag.StringVar(&opts.keyfile, "keyfile", "", "tenant keyfile enabling auth + per-tenant quotas (empty = open mode)")
+	flag.DurationVar(&opts.deadline, "deadline", time.Minute, "per-request deadline, propagated through the actor queue (0 = none)")
+	flag.IntVar(&opts.queueDepth, "queue-depth", 64, "per-session command queue bound; the excess is shed with 503")
+	flag.StringVar(&opts.chaos, "chaos", "", "DEV ONLY: fault-injection spec, e.g. write=0.3,sync=0.2,rename=0.1,actor=1:25ms")
+	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 1, "seed for -chaos fault rolls (reproducible runs)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -85,6 +107,21 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 		}
 		defer stopProfiler()
 	}
+	var tenants []server.TenantConfig
+	if opts.keyfile != "" {
+		var err error
+		if tenants, err = server.LoadKeyfile(opts.keyfile); err != nil {
+			return fmt.Errorf("keyfile: %w", err)
+		}
+	}
+	var faults *faultfs.Injector
+	if opts.chaos != "" {
+		var err error
+		if faults, err = faultfs.ParseSpec(opts.chaos, opts.chaosSeed); err != nil {
+			return err
+		}
+		log.Printf("gdrd: *** CHAOS MODE: injecting faults (%s, seed %d) — never run production like this ***", opts.chaos, opts.chaosSeed)
+	}
 	srv := server.New(server.Config{
 		MaxSessions:     opts.maxSessions,
 		TTL:             opts.ttl,
@@ -92,6 +129,10 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 		Logf:            logf,
 		DataDir:         opts.dataDir,
 		CheckpointEvery: opts.checkpoint,
+		Tenants:         tenants,
+		RequestTimeout:  opts.deadline,
+		QueueDepth:      opts.queueDepth,
+		Faults:          faults,
 	})
 	defer srv.Close()
 
@@ -99,12 +140,25 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	// Slow-client timeouts: a stalled peer must release its connection
+	// goroutine instead of holding server state hostage. The write timeout
+	// sits above the request deadline so it only fires for clients that
+	// stop reading the response, not for slow repairs.
+	writeTimeout := 2 * opts.deadline
+	if opts.deadline <= 0 {
+		writeTimeout = 0
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d data-dir=%q sessions=%d)",
-		ln.Addr(), opts.maxSessions, opts.ttl, opts.workers, opts.dataDir, srv.Store().Len())
+	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d data-dir=%q tenants=%d deadline=%s sessions=%d)",
+		ln.Addr(), opts.maxSessions, opts.ttl, opts.workers, opts.dataDir, len(tenants), opts.deadline, srv.Store().Len())
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

@@ -19,11 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -44,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 7, "base seed; session i uploads seed+i")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "server worker budget (selfhost only)")
 		sweep    = flag.Bool("sweep", false, "ask for a learner sweep with every feedback round")
+		key      = flag.String("key", "", "bearer API key for an authenticated gdrd (-keyfile mode)")
 	)
 	flag.Parse()
 	if *addr == "" && !*selfhost {
@@ -51,7 +54,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *selfhost, *sessions, *users, *rounds, *n, *ds, *seed, *workers, *sweep, os.Stdout); err != nil {
+	if err := run(*addr, *key, *selfhost, *sessions, *users, *rounds, *n, *ds, *seed, *workers, *sweep, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gdrload:", err)
 		os.Exit(1)
 	}
@@ -68,6 +71,9 @@ type Report struct {
 	Stale       int                `json:"feedback_stale"`
 	Learner     int                `json:"learner_decisions"`
 	Groups304   int                `json:"groups_not_modified"`
+	Sheds429    int                `json:"sheds_429"`
+	Sheds503    int                `json:"sheds_503"`
+	Retries     int                `json:"retries"`
 	Throughput  ThroughputStats    `json:"throughput"`
 	Latency     map[string]LatSumm `json:"latency_seconds"`
 	Sessions    []SessionOutcome   `json:"sessions"`
@@ -167,7 +173,7 @@ type counters struct {
 	groups304 int
 }
 
-func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed int64, workers int, sweep bool, out io.Writer) error {
+func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, seed int64, workers int, sweep bool, out io.Writer) error {
 	if sessions < 1 || users < 1 {
 		return fmt.Errorf("need at least one session and one user")
 	}
@@ -184,7 +190,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 		addr = "http://" + ln.Addr().String()
 	}
 	addr = strings.TrimRight(addr, "/")
-	client := &http.Client{Timeout: 2 * time.Minute}
+	lc := newLoadClient(&http.Client{Timeout: 2 * time.Minute}, key, seed)
 
 	// Upload phase: one workload per session, distinct seeds. Uploads fan
 	// out concurrently — the server builds sessions in parallel up to its
@@ -217,7 +223,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 				rules.WriteString(r.String() + "\n")
 			}
 			var created server.CreateSessionResponse
-			code, err := doJSON(client, "POST", addr+"/v1/sessions", server.CreateSessionRequest{
+			code, err := lc.doJSON("POST", addr+"/v1/sessions", server.CreateSessionRequest{
 				Name:  fmt.Sprintf("load-%d", i),
 				CSV:   csvBuf.String(),
 				Rules: rules.String(),
@@ -253,7 +259,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 		go func(u int) {
 			defer wg.Done()
 			tn := tenants[u%sessions]
-			if err := drive(client, addr, tn.id, tn.truth, u, rounds, sweep, lats, &cnt); err != nil {
+			if err := drive(lc, addr, tn.id, tn.truth, u, rounds, sweep, lats, &cnt); err != nil {
 				errc <- fmt.Errorf("user %d: %w", u, err)
 			}
 		}(u)
@@ -269,7 +275,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 	outcomes := make([]SessionOutcome, sessions)
 	for i, tn := range tenants {
 		var st server.StatusResponse
-		code, err := doJSON(client, "GET", addr+"/v1/sessions/"+tn.id+"/status", nil, &st)
+		code, err := lc.doJSON("GET", addr+"/v1/sessions/"+tn.id+"/status", nil, &st)
 		if err != nil || code != 200 {
 			return fmt.Errorf("status of session %d: code %d err %v", i, code, err)
 		}
@@ -281,11 +287,12 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 			Pending:      st.Stats.Pending,
 			CleanedPct:   st.Stats.CleanedPct,
 		}
-		if code, err := doJSON(client, "DELETE", addr+"/v1/sessions/"+tn.id, nil, nil); err != nil || code != 200 {
+		if code, err := lc.doJSON("DELETE", addr+"/v1/sessions/"+tn.id, nil, nil); err != nil || code != 200 {
 			return fmt.Errorf("deleting session %d: code %d err %v", i, code, err)
 		}
 	}
 
+	sheds429, sheds503, retries := lc.counts()
 	rep := Report{
 		Config: ReportConfig{
 			Target: addr, Sessions: sessions, Users: users, Rounds: rounds,
@@ -299,6 +306,9 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 		Stale:       cnt.stale,
 		Learner:     cnt.learner,
 		Groups304:   cnt.groups304,
+		Sheds429:    sheds429,
+		Sheds503:    sheds503,
+		Retries:     retries,
 		Throughput: ThroughputStats{
 			ItemsPerSec:  float64(cnt.items) / wall,
 			RoundsPerSec: float64(cnt.rounds) / wall,
@@ -313,7 +323,7 @@ func run(addr string, selfhost bool, sessions, users, rounds, n, ds int, seed in
 
 // drive is one simulated user: the interactive loop of Procedure 1 against
 // one served session, answers from the ground truth.
-func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, sweep bool, lats *latRecorder, cnt *counters) error {
+func drive(lc *loadClient, addr, id string, truth *gdr.DB, u, rounds int, sweep bool, lats *latRecorder, cnt *counters) error {
 	base := addr + "/v1/sessions/" + id
 	// Conditional polling state: the last groups listing and its validator.
 	// The server answers an unchanged ranking with a bodyless 304, so a user
@@ -323,7 +333,7 @@ func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, s
 	var groupsTag string
 	for r := 0; r < rounds; r++ {
 		start := time.Now()
-		code, tag, err := getJSONCond(client, base+"/groups?order=voi&limit=4", groupsTag, &groups)
+		code, tag, err := lc.getJSONCond(base+"/groups?order=voi&limit=4", groupsTag, &groups)
 		switch {
 		case err != nil:
 			return fmt.Errorf("groups: %v", err)
@@ -344,7 +354,7 @@ func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, s
 
 		start = time.Now()
 		var ups server.UpdatesResponse
-		code, err = doJSON(client, "GET", base+"/groups/"+g.Key+"/updates", nil, &ups)
+		code, err = lc.doJSON("GET", base+"/groups/"+g.Key+"/updates", nil, &ups)
 		if err != nil {
 			return fmt.Errorf("updates: %v", err)
 		}
@@ -370,7 +380,7 @@ func drive(client *http.Client, addr, id string, truth *gdr.DB, u, rounds int, s
 		}
 		start = time.Now()
 		var fb server.FeedbackResponse
-		code, err = doJSON(client, "POST", base+"/feedback", server.FeedbackRequest{Items: items, Sweep: sweep}, &fb)
+		code, err = lc.doJSON("POST", base+"/feedback", server.FeedbackRequest{Items: items, Sweep: sweep}, &fb)
 		if err != nil || code != 200 {
 			return fmt.Errorf("feedback: code %d err %v", code, err)
 		}
@@ -408,25 +418,127 @@ func workload(ds, n int, seed int64) (*gdr.Data, error) {
 	}
 }
 
+// Retry policy for shed (429/503) responses.
+const (
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 5 * time.Second
+	retryAttempts = 8 // retries after the first try
+)
+
+// loadClient wraps the HTTP client with bearer auth and overload-aware
+// retries: a 429 or 503 is counted as a shed and retried with jittered
+// exponential backoff, never sooner than the server's Retry-After hint.
+// Other statuses pass straight through to the caller.
+type loadClient struct {
+	hc  *http.Client
+	key string // bearer API key ("" = no auth header)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sheds429 int
+	sheds503 int
+	retries  int
+}
+
+func newLoadClient(hc *http.Client, key string, seed int64) *loadClient {
+	return &loadClient{hc: hc, key: key, rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoffDelay computes the wait before retry number attempt (0-based):
+// exponential in attempt with half the span jittered (jitter ∈ [0,1)), and
+// never below the server's Retry-After hint — the server knows its own
+// pressure better than our curve does.
+func backoffDelay(attempt int, retryAfter time.Duration, jitter float64) time.Duration {
+	d := retryBase << uint(attempt)
+	if d > retryCap || d <= 0 {
+		d = retryCap
+	}
+	d = d/2 + time.Duration(jitter*float64(d/2))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads the integer-seconds form of a Retry-After header
+// (the only form gdrd emits); anything else means no hint.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// shed records one shed response and reports whether the caller should
+// retry (budget permitting).
+func (c *loadClient) shed(status, attempt int) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if status == http.StatusTooManyRequests {
+		c.sheds429++
+	} else {
+		c.sheds503++
+	}
+	if attempt >= retryAttempts {
+		return 0, false
+	}
+	c.retries++
+	return time.Duration(c.rng.Int63()), true // raw entropy; shaped by caller
+}
+
+// do issues one request, replaying through the retry policy. newReq must
+// build a fresh request per attempt (bodies are consumed by a send).
+func (c *loadClient) do(newReq func() (*http.Request, error)) (*http.Response, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := newReq()
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.key != "" {
+			req.Header.Set("Authorization", "Bearer "+c.key)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return resp, nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			entropy, again := c.shed(resp.StatusCode, attempt)
+			if again {
+				jitter := float64(entropy%1000) / 1000
+				time.Sleep(backoffDelay(attempt, parseRetryAfter(resp.Header.Get("Retry-After")), jitter))
+				continue
+			}
+		}
+		return resp, data, nil
+	}
+}
+
+// counts snapshots the shed/retry totals for the report.
+func (c *loadClient) counts() (sheds429, sheds503, retries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sheds429, c.sheds503, c.retries
+}
+
 // getJSONCond issues a conditional GET: etag (if any) travels as
 // If-None-Match. On 200 the body is decoded into out and the fresh ETag
 // returned; on 304 out is left holding the caller's cached value.
-func getJSONCond(client *http.Client, url, etag string, out any) (int, string, error) {
-	req, err := http.NewRequest("GET", url, nil)
+func (c *loadClient) getJSONCond(url, etag string, out any) (int, string, error) {
+	resp, data, err := c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest("GET", url, nil)
+		if err == nil && etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		return req, err
+	})
 	if err != nil {
 		return 0, "", err
-	}
-	if etag != "" {
-		req.Header.Set("If-None-Match", etag)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, "", err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, "", err
 	}
 	if resp.StatusCode == http.StatusOK && out != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -437,30 +549,28 @@ func getJSONCond(client *http.Client, url, etag string, out any) (int, string, e
 }
 
 // doJSON issues one JSON request; out may be nil.
-func doJSON(client *http.Client, method, url string, body any, out any) (int, error) {
-	var rd io.Reader
+func (c *loadClient) doJSON(method, url string, body any, out any) (int, error) {
+	var buf []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return 0, err
 		}
-		rd = bytes.NewReader(b)
+		buf = b
 	}
-	req, err := http.NewRequest(method, url, rd)
+	resp, data, err := c.do(func() (*http.Request, error) {
+		var rd io.Reader
+		if buf != nil {
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err == nil && buf != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, err
+	})
 	if err != nil {
 		return 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, err
 	}
 	if out != nil && len(data) > 0 && resp.StatusCode < 300 {
 		if err := json.Unmarshal(data, out); err != nil {

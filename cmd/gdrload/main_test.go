@@ -4,13 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // TestSelfHostedLoadRun boots an in-process server and replays a small
 // multi-session load against it — the CI bench-smoke path.
 func TestSelfHostedLoadRun(t *testing.T) {
 	var out bytes.Buffer
-	err := run("", true /*selfhost*/, 3 /*sessions*/, 6 /*users*/, 6, /*rounds*/
+	err := run("", "" /*key*/, true /*selfhost*/, 3 /*sessions*/, 6 /*users*/, 6, /*rounds*/
 		120 /*n*/, 1 /*dataset*/, 42 /*seed*/, 2 /*workers*/, true /*sweep*/, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -46,10 +47,56 @@ func TestSelfHostedLoadRun(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("", true, 0, 1, 1, 50, 1, 1, 1, false, &out); err == nil {
+	if err := run("", "", true, 0, 1, 1, 50, 1, 1, 1, false, &out); err == nil {
 		t.Fatal("zero sessions accepted")
 	}
-	if err := run("", true, 1, 1, 1, 50, 3, 1, 1, false, &out); err == nil {
+	if err := run("", "", true, 1, 1, 1, 50, 3, 1, 1, false, &out); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	// No jitter, no hint: half the exponential span.
+	if d := backoffDelay(0, 0, 0); d != retryBase/2 {
+		t.Fatalf("attempt 0: %s, want %s", d, retryBase/2)
+	}
+	if d := backoffDelay(3, 0, 0); d != (retryBase<<3)/2 {
+		t.Fatalf("attempt 3: %s, want %s", d, (retryBase<<3)/2)
+	}
+	// Full jitter stays inside the span.
+	if d := backoffDelay(0, 0, 0.999); d <= retryBase/2 || d >= retryBase {
+		t.Fatalf("jittered attempt 0: %s, want in (%s, %s)", d, retryBase/2, retryBase)
+	}
+	// Deep attempts cap (including the shift-overflow regime).
+	for _, attempt := range []int{10, 40, 80} {
+		if d := backoffDelay(attempt, 0, 0); d != retryCap/2 {
+			t.Fatalf("attempt %d: %s, want capped %s", attempt, d, retryCap/2)
+		}
+		if d := backoffDelay(attempt, 0, 0.999); d > retryCap {
+			t.Fatalf("attempt %d jittered: %s exceeds cap %s", attempt, d, retryCap)
+		}
+	}
+	// The server's Retry-After hint is a floor.
+	if d := backoffDelay(0, 2*time.Second, 0.5); d != 2*time.Second {
+		t.Fatalf("Retry-After floor: %s, want 2s", d)
+	}
+	// ...but a longer computed backoff is kept.
+	if d := backoffDelay(40, time.Second, 0); d != retryCap/2 {
+		t.Fatalf("hint below curve: %s, want %s", d, retryCap/2)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"1":    time.Second,
+		" 3 ":  3 * time.Second,
+		"":     0,
+		"soon": 0,
+		"-2":   0,
+		"1.5":  0,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", h, got, want)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,32 +138,86 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Registry is a named collection of metrics with a stable text exposition.
+// Counters may carry label pairs (LabeledCounter); all series of one family
+// share a single # TYPE line and are grouped together in the exposition,
+// each family in first-registration order.
 type Registry struct {
-	mu     sync.Mutex
-	names  []string              // gdr:guarded-by mu
-	counts map[string]*Counter   // gdr:guarded-by mu
-	gauges map[string]*Gauge     // gdr:guarded-by mu
-	hists  map[string]*Histogram // gdr:guarded-by mu
+	mu       sync.Mutex
+	families []string              // gdr:guarded-by mu
+	series   map[string][]string   // gdr:guarded-by mu — family → series keys
+	counts   map[string]*Counter   // gdr:guarded-by mu — keyed by series
+	gauges   map[string]*Gauge     // gdr:guarded-by mu
+	hists    map[string]*Histogram // gdr:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
+		series: make(map[string][]string),
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 	}
 }
 
+// registerLocked records a series under its family, keeping both orders.
+func (r *Registry) registerLocked(family, key string) {
+	if _, ok := r.series[family]; !ok {
+		r.families = append(r.families, family)
+	}
+	r.series[family] = append(r.series[family], key)
+}
+
+// seriesKey renders a family name plus label pairs (k1, v1, k2, v2, ...)
+// as the canonical Prometheus series string. Labels are sorted by key so
+// the same logical series always maps to the same entry, whatever order
+// the caller listed the pairs in.
+func seriesKey(family string, labels []string) string {
+	if len(labels) == 0 {
+		return family
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b []byte
+	b = append(b, family...)
+	b = append(b, '{')
+	for i, p := range pairs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, p.k...)
+		b = append(b, '=', '"')
+		b = append(b, labelEscaper.Replace(p.v)...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// labelEscaper escapes label values per the Prometheus text format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // Counter returns (registering on first use) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	return r.LabeledCounter(name)
+}
+
+// LabeledCounter returns (registering on first use) the counter for the
+// family with the given label pairs, e.g.
+// LabeledCounter("gdrd_shed_total", "reason", "rate", "tenant", "acme").
+func (r *Registry) LabeledCounter(name string, labels ...string) *Counter {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counts[name]
+	c, ok := r.counts[key]
 	if !ok {
 		c = &Counter{}
-		r.counts[name] = c
-		r.names = append(r.names, name)
+		r.counts[key] = c
+		r.registerLocked(name, key)
 	}
 	return c
 }
@@ -175,7 +230,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
-		r.names = append(r.names, name)
+		r.registerLocked(name, name)
 	}
 	return g
 }
@@ -189,32 +244,58 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = NewHistogram(nil)
 		r.hists[name] = h
-		r.names = append(r.names, name)
+		r.registerLocked(name, name)
 	}
 	return h
 }
 
 // WriteProm writes every registered metric in the Prometheus text format,
-// in registration order (stable across scrapes once the server is warm).
+// families in registration order, one # TYPE line per family with its
+// series grouped beneath it (stable across scrapes once the server is
+// warm).
 func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
-	names := append([]string(nil), r.names...)
+	families := append([]string(nil), r.families...)
+	keysOf := make(map[string][]string, len(families))
+	for _, f := range families {
+		keysOf[f] = append([]string(nil), r.series[f]...)
+	}
 	r.mu.Unlock()
-	for _, name := range names {
-		r.mu.Lock()
-		c, g, h := r.counts[name], r.gauges[name], r.hists[name]
-		r.mu.Unlock()
-		var err error
-		switch {
-		case c != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
-		case g != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
-		case h != nil:
-			err = h.writeProm(w, name)
-		}
-		if err != nil {
-			return err
+	for _, family := range families {
+		typed := false
+		for _, key := range keysOf[family] {
+			r.mu.Lock()
+			c, g, h := r.counts[key], r.gauges[key], r.hists[key]
+			r.mu.Unlock()
+			var kind string
+			switch {
+			case c != nil:
+				kind = "counter"
+			case g != nil:
+				kind = "gauge"
+			case h != nil:
+				kind = "histogram"
+			default:
+				continue
+			}
+			if !typed {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind); err != nil {
+					return err
+				}
+				typed = true
+			}
+			var err error
+			switch {
+			case c != nil:
+				_, err = fmt.Fprintf(w, "%s %d\n", key, c.Value())
+			case g != nil:
+				_, err = fmt.Fprintf(w, "%s %d\n", key, g.Value())
+			case h != nil:
+				err = h.writeProm(w, key)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -226,9 +307,6 @@ func (h *Histogram) writeProm(w io.Writer, name string) error {
 	counts := append([]uint64(nil), h.counts...)
 	sum, total := h.sum, h.total
 	h.mu.Unlock()
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
-	}
 	var cum uint64
 	for i, up := range uppers {
 		cum += counts[i]

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 
 	"gdr/internal/core"
+	"gdr/internal/faultfs"
+	"gdr/internal/metrics"
 )
 
 // ErrSessionClosed is returned for requests against a deleted or evicted
@@ -16,95 +18,68 @@ var ErrSessionClosed = errors.New("server: session closed")
 
 // actor wraps one core.Session — which is single-writer by design — in a
 // command loop: one goroutine owns the session and executes closures from a
-// queue, so any number of concurrent HTTP handlers can touch the session
-// without locks on the hot paths. CPU time across all actors is budgeted by
-// a shared slot semaphore sized from the server's Workers knob: a command
-// holds as many slots as its session's worker fan-out while it runs, so M
-// live sessions make progress in parallel up to the budget, and queued
-// commands of one session never block another session's loop.
+// bounded queue, so any number of concurrent HTTP handlers can touch the
+// session without locks on the hot paths. CPU time across all actors is
+// budgeted by the store's fair slot scheduler: a command holds as many
+// slots as its session's worker fan-out while it runs, charged to the
+// session's tenant, so M live sessions make progress in parallel up to the
+// budget and no tenant can monopolize it.
+//
+// Overload never blocks: a full queue sheds the command immediately
+// (ErrOverloaded → 503 + Retry-After), and a command whose request context
+// expires while it waits — in the queue or for CPU slots — is dropped
+// before it spends any, with the same deterministic 503.
 type actor struct {
-	sess *core.Session
-	cmds chan *command
-	done chan struct{}
-	once sync.Once
-	wg   sync.WaitGroup
-
-	// slots is how many budget slots one command of this session occupies —
-	// its configured intra-session worker fan-out — so a session that
-	// parallelizes VOI scoring over 4 workers accounts for 4 CPUs, and the
-	// sum of running fan-outs never overshoots the server budget. acqMu is
-	// shared store-wide: multi-slot acquisition must be serialized or two
-	// actors could each hold half the budget and deadlock.
-	slots  int
-	budget chan struct{}
-	acqMu  *sync.Mutex
+	sess   *core.Session
+	cmds   chan *command
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	slots  int // slots one command occupies: the session's worker fan-out
+	tenant string
+	sched  *sched
+	reg    *metrics.Registry
+	faults *faultfs.Injector
 }
 
 // command is one queued unit of session work. state is the handshake
 // between the caller (which may abandon a command it no longer waits for)
-// and the loop (which claims it before running).
+// and the loop (which claims it before running). The loop reports back by
+// either running run (which finishes the command) or calling drop with the
+// reason it refused to.
 type command struct {
 	state atomic.Int32
-	fn    func()
+	ctx   context.Context
+	run   func()
+	drop  func(error)
 }
 
 // Command lifecycle states.
 const (
 	cmdPending   = iota // queued, not yet picked up
-	cmdRunning          // the loop owns it; it will run to completion
+	cmdRunning          // the loop owns it; run or drop will resolve it
 	cmdAbandoned        // the caller gave up first; the loop must skip it
 )
 
-// actorQueueDepth bounds how many commands one session may have waiting;
-// beyond it, do blocks (applying backpressure to that session's clients
-// only).
-const actorQueueDepth = 64
+// defaultQueueDepth bounds how many commands one session may have waiting
+// when Config.QueueDepth is unset. Beyond it the command is shed, not
+// queued — backpressure must reach the client as Retry-After, not stall
+// the handler goroutine.
+const defaultQueueDepth = 64
 
-// clampSlots bounds a requested fan-out to what the budget can ever hold.
-func clampSlots(budget chan struct{}, n int) int {
-	if n < 1 {
-		return 1
+func newActor(sess *core.Session, sch *sched, slots int, tenant string, queueDepth int, reg *metrics.Registry, faults *faultfs.Injector) *actor {
+	if queueDepth < 1 {
+		queueDepth = defaultQueueDepth
 	}
-	if n > cap(budget) {
-		return cap(budget)
-	}
-	return n
-}
-
-// acquireSlots takes n slots from budget. mu serializes multi-slot waits
-// across all acquirers — without it two acquirers could each hold half the
-// budget and deadlock; release never needs mu, so a waiter always drains.
-// A ctx cancellation mid-acquisition returns the slots already taken.
-func acquireSlots(ctx context.Context, mu *sync.Mutex, budget chan struct{}, n int) error {
-	mu.Lock()
-	for got := 0; got < n; got++ {
-		select {
-		case budget <- struct{}{}:
-		case <-ctx.Done():
-			mu.Unlock()
-			releaseSlots(budget, got)
-			return ctx.Err()
-		}
-	}
-	mu.Unlock()
-	return nil
-}
-
-// releaseSlots returns n slots to budget.
-func releaseSlots(budget chan struct{}, n int) {
-	for i := 0; i < n; i++ {
-		<-budget
-	}
-}
-
-func newActor(sess *core.Session, budget chan struct{}, slots int, acqMu *sync.Mutex) *actor {
 	a := &actor{
 		sess:   sess,
-		cmds:   make(chan *command, actorQueueDepth),
+		cmds:   make(chan *command, queueDepth),
 		done:   make(chan struct{}),
-		slots:  clampSlots(budget, slots),
-		budget: budget,
-		acqMu:  acqMu,
+		slots:  sch.clampSlots(slots),
+		tenant: tenant,
+		sched:  sch,
+		reg:    reg,
+		faults: faults,
 	}
 	a.wg.Add(1)
 	go func() {
@@ -112,14 +87,28 @@ func newActor(sess *core.Session, budget chan struct{}, slots int, acqMu *sync.M
 		for {
 			select {
 			case c := <-a.cmds:
+				a.queueGauge().Add(-1)
 				// Claim before spending shared CPU slots: an abandoned
 				// command must not delay live sessions' work.
 				if !c.state.CompareAndSwap(cmdPending, cmdRunning) {
 					continue
 				}
-				_ = acquireSlots(context.Background(), a.acqMu, a.budget, a.slots)
-				c.fn()
-				releaseSlots(a.budget, a.slots)
+				// A command whose deadline budget was spent in the queue is
+				// dropped before it costs anything; likewise one whose
+				// budget runs out while waiting for CPU slots.
+				if c.ctx.Err() != nil {
+					a.shed("deadline")
+					c.drop(errExpiredQueued())
+					continue
+				}
+				if err := a.sched.acquire(c.ctx, a.tenant, a.slots); err != nil {
+					a.shed("deadline")
+					c.drop(errExpiredQueued())
+					continue
+				}
+				a.faults.Fault(faultfs.Actor) // chaos: slow actor, slots held
+				c.run()
+				a.sched.release(a.tenant, a.slots)
 			case <-a.done:
 				return
 			}
@@ -128,13 +117,32 @@ func newActor(sess *core.Session, budget chan struct{}, slots int, acqMu *sync.M
 	return a
 }
 
+func (a *actor) queueGauge() *metrics.Gauge {
+	return a.reg.Gauge("gdrd_actor_queue_depth")
+}
+
+func (a *actor) shed(reason string) {
+	a.reg.LabeledCounter("gdrd_shed_total", "reason", reason, "tenant", metricTenant(a.tenant)).Inc()
+}
+
+// metricTenant renders a tenant ownership tag for metric labels; unowned
+// (open-mode) sessions report as the implicit default tenant.
+func metricTenant(tenant string) string {
+	if tenant == "" {
+		return defaultTenantName
+	}
+	return tenant
+}
+
 // do runs fn on the actor goroutine with exclusive access to the session
-// and waits for it to finish. A command whose caller gives up first — the
-// session closes or the context expires while it is still queued — is
-// abandoned and never runs, so an errored request can be safely retried.
-// Once fn has started it always runs to completion (the session must never
-// be left mid-command); a caller whose context expires mid-run waits it out
-// and still gets nil, because the decision was applied.
+// and waits for it to finish. Admission is shed-early: a full queue fails
+// immediately with ErrOverloaded (the caller maps it to 503 +
+// Retry-After), and a command whose context expires while it is still
+// queued — on either side of the handshake — resolves to the same
+// deterministic overload error. Once fn has started it always runs to
+// completion (the session must never be left mid-command); a caller whose
+// context expires mid-run waits it out and still gets nil, because the
+// decision was applied.
 //
 // A panic inside fn is contained to this one command: in a multi-tenant
 // daemon, one session tripping an edge case must not unwind the actor
@@ -143,38 +151,54 @@ func newActor(sess *core.Session, budget chan struct{}, slots int, acqMu *sync.M
 // whether to keep using it).
 func (a *actor) do(ctx context.Context, fn func(sess *core.Session)) error {
 	ran := make(chan struct{})
-	var panicked error
-	c := &command{fn: func() {
+	// cmdErr is written by whichever side resolves the command, always
+	// before close(ran), and read only after <-ran.
+	var cmdErr error
+	c := &command{ctx: ctx}
+	c.run = func() {
 		defer close(ran)
 		defer func() {
 			if p := recover(); p != nil {
-				panicked = fmt.Errorf("server: session command panicked: %v", p)
+				cmdErr = fmt.Errorf("server: session command panicked: %v", p)
 			}
 		}()
 		fn(a.sess)
-	}}
+	}
+	c.drop = func(err error) {
+		cmdErr = err
+		close(ran)
+	}
 	select {
-	case a.cmds <- c:
 	case <-a.done:
 		return ErrSessionClosed
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+	}
+	select {
+	case a.cmds <- c:
+		a.queueGauge().Add(1)
+	default:
+		// Queue saturated: shed now, never block the handler. The client
+		// retries after backoff; blocking here would pile goroutines up
+		// behind a session that is already drowning.
+		a.shed("queue")
+		return errQueueFull()
 	}
 	select {
 	case <-ran:
-		return panicked
+		return cmdErr
 	case <-a.done:
 		if c.state.CompareAndSwap(cmdPending, cmdAbandoned) {
 			return ErrSessionClosed
 		}
 		<-ran // mid-flight; close() waits for the loop, so this resolves
-		return panicked
+		return cmdErr
 	case <-ctx.Done():
 		if c.state.CompareAndSwap(cmdPending, cmdAbandoned) {
-			return ctx.Err()
+			a.shed("deadline")
+			return errExpiredQueued()
 		}
 		<-ran
-		return panicked
+		return cmdErr
 	}
 }
 

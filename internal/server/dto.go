@@ -48,6 +48,7 @@ type CreateSessionRequest struct {
 type SessionInfo struct {
 	ID        string    `json:"id"`
 	Name      string    `json:"name,omitempty"`
+	Tenant    string    `json:"tenant,omitempty"`
 	Tuples    int       `json:"tuples"`
 	Attrs     []string  `json:"attrs"`
 	Rules     int       `json:"rules"`

@@ -24,7 +24,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	info, st, err := s.store.Create(r.Context(), req)
+	info, st, err := s.store.CreateAs(r.Context(), requestOwner(r), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -106,12 +106,23 @@ func formPart(r *http.Request, name string) (string, error) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, SessionList{Sessions: s.store.List()})
+	writeJSON(w, http.StatusOK, SessionList{Sessions: s.store.ListFor(requestOwner(r))})
 }
 
-// session resolves the {id} path value; a miss writes the 404 itself.
+// requestOwner is the ownership tag of the request's authenticated tenant
+// ("" in open mode): sessions it creates carry the tag, and lookups only
+// see sessions with a matching (or empty) one.
+func requestOwner(r *http.Request) string {
+	if t := tenantFrom(r.Context()); t != nil {
+		return t.owner()
+	}
+	return ""
+}
+
+// session resolves the {id} path value against the caller's tenant; a miss
+// — including another tenant's session — writes the 404 itself.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*entry, bool) {
-	e, ok := s.store.Get(r.PathValue("id"))
+	e, ok := s.store.GetFor(r.PathValue("id"), requestOwner(r))
 	if !ok {
 		writeNotFound(w, "session")
 	}
@@ -475,7 +486,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Delete(r.PathValue("id")) {
+	if !s.store.DeleteFor(r.PathValue("id"), requestOwner(r)) {
 		writeNotFound(w, "session")
 		return
 	}

@@ -10,14 +10,28 @@ import (
 	"time"
 
 	"gdr/internal/core"
+	"gdr/internal/faultfs"
 	"gdr/internal/snapshot"
 )
 
 // snapSuffix names the per-session snapshot files in the data directory.
 const snapSuffix = ".snap"
 
-func (s *Store) snapshotPath(id string) string {
-	return filepath.Join(s.dir, id+snapSuffix)
+// ownerSep separates the owning tenant from the token in a snapshot file
+// name. Neither side can contain it: tokens are hex and tenant names match
+// tenantNameRE, so the encoding is unambiguous.
+const ownerSep = "@"
+
+// snapshotPath places a session's snapshot in the data directory. Unowned
+// sessions are plain <token>.snap; owned ones carry their tenant as a
+// <tenant>@<token>.snap prefix, so ownership survives a restart without
+// changing the snapshot byte format.
+func (s *Store) snapshotPath(e *entry) string {
+	base := e.id + snapSuffix
+	if e.tenant != "" {
+		base = e.tenant + ownerSep + base
+	}
+	return filepath.Join(s.dir, base)
 }
 
 // logff logs through the store's sink when one is configured.
@@ -42,7 +56,10 @@ func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
 	if s.dir != "" {
 		if err := s.persist(e, data, mut); err != nil {
 			s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+			e.ckptFailed(s.now(), s.ckptEvery)
 			s.logff("gdrd: persisting snapshot of session %s: %v", e.id, err)
+		} else {
+			e.ckptSucceeded()
 		}
 	}
 	return data, nil
@@ -51,7 +68,9 @@ func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
 // Checkpoint makes the session durable: encode on the actor, write to a
 // temp file, fsync, rename. A no-op without a data directory. Concurrent
 // checkpoints of one session are safe — snapshots are sequence-stamped in
-// session-mutation order and a stale one never overwrites a newer file.
+// session-mutation order and a stale one never overwrites a newer file. A
+// failure leaves the entry dirty (the flusher retries with backoff) but
+// never corrupts the previous on-disk snapshot.
 func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
 	if s.dir == "" {
 		return nil
@@ -60,12 +79,15 @@ func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
 	data, mut, err := s.encode(ctx, e)
 	if err != nil {
 		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+		e.ckptFailed(s.now(), s.ckptEvery)
 		return err
 	}
 	if err := s.persist(e, data, mut); err != nil {
 		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
+		e.ckptFailed(s.now(), s.ckptEvery)
 		return err
 	}
+	e.ckptSucceeded()
 	s.reg.Counter("gdrd_checkpoints_total").Inc()
 	s.reg.Histogram("gdrd_checkpoint_seconds").ObserveSince(start)
 	return nil
@@ -99,7 +121,7 @@ func (s *Store) persist(e *entry, data []byte, mut uint64) error {
 	if e.hasDurable && mut <= e.durableMut {
 		return nil
 	}
-	if err := writeAtomic(s.snapshotPath(e.id), data); err != nil {
+	if err := writeAtomic(s.snapshotPath(e), data, s.faults); err != nil {
 		return err
 	}
 	e.durableMut = mut
@@ -109,23 +131,32 @@ func (s *Store) persist(e *entry, data []byte, mut uint64) error {
 
 // writeAtomic lands data at path via temp-file + fsync + rename, so a crash
 // at any moment leaves either the old snapshot or the new one — never a
-// torn file.
-func writeAtomic(path string, data []byte) error {
+// torn file. faults (possibly nil) injects write/fsync/rename failures at
+// the same decision points a real disk fails at; an injected failure takes
+// the same cleanup path, which is how the chaos tests prove a failing disk
+// can never corrupt the previous snapshot.
+func writeAtomic(path string, data []byte, faults *faultfs.Injector) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	_, err = f.Write(data)
+	if err = faults.Fault(faultfs.Write); err == nil {
+		_, err = f.Write(data)
+	}
 	if err == nil {
-		err = f.Sync()
+		if err = faults.Fault(faultfs.Sync); err == nil {
+			err = f.Sync()
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		if err = faults.Fault(faultfs.Rename); err == nil {
+			err = os.Rename(tmp, path)
+		}
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -137,20 +168,21 @@ func writeAtomic(path string, data []byte) error {
 // removeSnapshot drops a session's durable state; called when the session
 // itself is deliberately removed (explicit delete, TTL eviction), so the
 // data directory always mirrors the live session set.
-func (s *Store) removeSnapshot(id string) {
+func (s *Store) removeSnapshot(e *entry) {
 	if s.dir == "" {
 		return
 	}
-	if err := os.Remove(s.snapshotPath(id)); err != nil && !os.IsNotExist(err) {
-		s.logff("gdrd: removing snapshot of session %s: %v", id, err)
+	if err := os.Remove(s.snapshotPath(e)); err != nil && !os.IsNotExist(err) {
+		s.logff("gdrd: removing snapshot of session %s: %v", e.id, err)
 	}
 }
 
 // restoreDir loads every *.snap file in the data directory and registers
-// the sessions under their original tokens (the file names). It runs during
-// store construction, before any traffic. Unreadable or corrupt snapshots
-// are skipped with a log line — one bad file must not take the daemon down
-// — and left in place for operator inspection.
+// the sessions under their original tokens and owners (both encoded in the
+// file names). It runs during store construction, before any traffic.
+// Unreadable or corrupt snapshots are skipped with a log line — one bad
+// file must not take the daemon down — and left in place for operator
+// inspection.
 func (s *Store) restoreDir() {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		s.logff("gdrd: creating data dir %s: %v", s.dir, err)
@@ -168,12 +200,16 @@ func (s *Store) restoreDir() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, path := range names {
-		token := strings.TrimSuffix(filepath.Base(path), snapSuffix)
+		base := strings.TrimSuffix(filepath.Base(path), snapSuffix)
+		tenant, token, owned := strings.Cut(base, ownerSep)
+		if !owned {
+			tenant, token = "", base
+		}
 		if s.maxLive > 0 && len(s.entries) >= s.maxLive {
 			s.logff("gdrd: session cap %d reached; not restoring %s", s.maxLive, path)
 			break
 		}
-		e, err := s.restoreFile(token, path)
+		e, err := s.restoreFile(token, tenant, path)
 		if err != nil {
 			s.logff("gdrd: skipping snapshot %s: %v", path, err)
 			continue
@@ -189,7 +225,7 @@ func (s *Store) restoreDir() {
 }
 
 // restoreFile rebuilds one session from its snapshot file.
-func (s *Store) restoreFile(token, path string) (*entry, error) {
+func (s *Store) restoreFile(token, tenant, path string) (*entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -199,12 +235,12 @@ func (s *Store) restoreFile(token, path string) (*entry, error) {
 		return nil, err
 	}
 	// The snapshot may come from a server with a larger worker budget.
-	st.Config.Workers = clampSlots(s.budget, st.Config.Workers)
+	st.Config.Workers = s.sched.clampSlots(st.Config.Workers)
 	sess, err := core.RestoreSession(st)
 	if err != nil {
 		return nil, fmt.Errorf("restoring session: %w", err)
 	}
-	e := s.newEntry(sess, token, name, st.Config.Workers)
+	e := s.newEntry(sess, token, name, tenant, st.Config.Workers)
 	// The on-disk state is exactly what we restored: durable at mutation 0.
 	// The entry is unpublished, so the watermark write needs no lock.
 	//lint:ignore guardedby pre-publication write: no other goroutine can hold a reference to e yet
@@ -214,7 +250,9 @@ func (s *Store) restoreFile(token, path string) (*entry, error) {
 
 // flusher periodically re-checkpoints sessions whose synchronous write
 // failed (the dirty flag survives a failed Checkpoint), so a transient
-// disk error does not leave a session undurable forever.
+// disk error does not leave a session undurable forever. Repeatedly
+// failing sessions back off exponentially (see entry.ckptFailed) instead
+// of hammering a sick disk every tick.
 func (s *Store) flusher() {
 	defer s.flushWG.Done()
 	tick := time.NewTicker(s.ckptEvery)
@@ -222,10 +260,11 @@ func (s *Store) flusher() {
 	for {
 		select {
 		case <-tick.C:
+			now := s.now()
 			s.mu.Lock()
 			dirty := make([]*entry, 0, len(s.entries))
 			for _, e := range s.entries {
-				if e != nil && e.isDirty() {
+				if e != nil && e.isDirty() && e.retryDue(now) {
 					dirty = append(dirty, e)
 				}
 			}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gdr/internal/core"
+	"gdr/internal/faultfs"
+)
+
+// faultedServer boots a durable server wired to a fresh injector.
+func faultedServer(t *testing.T, dir string, cfg Config) (*faultfs.Injector, *Server, *httptest.Server) {
+	t.Helper()
+	faults := faultfs.New(1)
+	cfg.Faults = faults
+	cfg.DataDir = dir
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Session.Workers == 0 {
+		cfg.Session = core.Config{Workers: 1}
+	}
+	srv, ts := newTestServer(t, cfg)
+	return faults, srv, ts
+}
+
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestCheckpointFaultsNeverCorruptSnapshot: an injected failure at any of
+// the three checkpoint decision points — temp-file write (disk full),
+// fsync, rename — leaves the previous on-disk snapshot byte-identical,
+// leaves no temp litter behind, keeps the entry dirty, and heals fully once
+// the fault clears.
+func TestCheckpointFaultsNeverCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	faults, srv, ts := faultedServer(t, dir, Config{})
+	id := createFigure1Session(t, ts).Session.ID
+	path := filepath.Join(dir, id+snapSuffix)
+	healthy, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no snapshot after create: %v", err)
+	}
+	e, ok := srv.Store().Get(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+
+	points := []struct {
+		p   faultfs.Point
+		err error
+	}{
+		{faultfs.Write, faultfs.ErrDiskFull},
+		{faultfs.Sync, faultfs.ErrInjected},
+		{faultfs.Rename, faultfs.ErrInjected},
+	}
+	for _, pt := range points {
+		faults.Set(pt.p, faultfs.Rule{P: 1, Err: pt.err})
+		e.markUndurable()
+		if err := srv.Store().Checkpoint(context.Background(), e); err == nil {
+			t.Fatalf("%s: injected fault did not surface", pt.p)
+		}
+		if !e.isDirty() {
+			t.Fatalf("%s: entry marked durable after a failed checkpoint", pt.p)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: previous snapshot gone: %v", pt.p, err)
+		}
+		if !bytes.Equal(got, healthy) {
+			t.Fatalf("%s: failed checkpoint corrupted the previous snapshot", pt.p)
+		}
+		faults.Clear()
+	}
+	if got := srv.Registry().Counter("gdrd_checkpoint_failures_total").Value(); got != int64(len(points)) {
+		t.Fatalf("checkpoint failures counted %d, want %d", got, len(points))
+	}
+	// The cleanup path must not strand temp files: only the snapshot remains.
+	if files := snapFiles(t, dir); len(files) != 1 {
+		t.Fatalf("data dir littered after failed checkpoints: %v", files)
+	}
+
+	// Healed: the next checkpoint lands and the entry is clean again.
+	if err := srv.Store().Checkpoint(context.Background(), e); err != nil {
+		t.Fatalf("checkpoint after heal: %v", err)
+	}
+	if e.isDirty() {
+		t.Fatal("entry still dirty after a landed checkpoint")
+	}
+}
+
+// TestFlusherHealsAfterFaultsClear: with the disk failing from the start,
+// the session is created but undurable; once the fault clears, the periodic
+// flusher lands the missing checkpoint without any new traffic.
+func TestFlusherHealsAfterFaultsClear(t *testing.T) {
+	dir := t.TempDir()
+	faults, srv, ts := faultedServer(t, dir, Config{CheckpointEvery: 10 * time.Millisecond})
+	faults.Set(faultfs.Sync, faultfs.Rule{P: 1, Err: faultfs.ErrInjected})
+	id := createFigure1Session(t, ts).Session.ID
+	path := filepath.Join(dir, id+snapSuffix)
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("snapshot landed despite a failing fsync")
+	}
+	e, ok := srv.Store().Get(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if !e.isDirty() {
+		t.Fatal("entry not dirty after failed initial checkpoint")
+	}
+
+	faults.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.isDirty() {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never healed the session after faults cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("flusher reported durable but no snapshot on disk: %v", err)
+	}
+}
+
+// TestCheckpointRetryBackoff: consecutive failures space the flusher's
+// retries out exponentially (capped at 32× the base), and one success
+// resets the schedule.
+func TestCheckpointRetryBackoff(t *testing.T) {
+	e := &entry{}
+	t0 := time.Unix(1000, 0)
+	base := time.Second
+
+	e.ckptFailed(t0, base)
+	if e.retryDue(t0) {
+		t.Fatal("retry due immediately after a failure")
+	}
+	if !e.retryDue(t0.Add(base)) {
+		t.Fatal("first retry must come after one base interval")
+	}
+	e.ckptFailed(t0, base)
+	if e.retryDue(t0.Add(base)) {
+		t.Fatal("second failure did not double the spacing")
+	}
+	if !e.retryDue(t0.Add(2 * base)) {
+		t.Fatal("second retry must come after two base intervals")
+	}
+	for i := 0; i < 20; i++ {
+		e.ckptFailed(t0, base)
+	}
+	if e.retryDue(t0.Add(31 * base)) {
+		t.Fatal("backoff below the 32x cap after many failures")
+	}
+	if !e.retryDue(t0.Add(32 * base)) {
+		t.Fatal("backoff exceeded the 32x cap")
+	}
+	e.ckptSucceeded()
+	if !e.retryDue(t0) {
+		t.Fatal("success did not reset the retry schedule")
+	}
+}
+
+// TestTenantOwnershipSurvivesRestart: ownership rides the snapshot file
+// name, so after a reboot the restored session is still invisible to other
+// tenants.
+func TestTenantOwnershipSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	tenants := []TenantConfig{
+		{Name: "alice", Key: "alicekey123"},
+		{Name: "bob", Key: "bobkey45678"},
+	}
+	srvA := New(Config{Workers: 2, Session: core.Config{Workers: 1}, DataDir: dir, Tenants: tenants})
+	info, _, err := srvA.Store().CreateAs(context.Background(), "alice",
+		CreateSessionRequest{Name: "fig1", CSV: figure1CSV, Rules: figure1Rules, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA.Close()
+	want := filepath.Join(dir, "alice"+ownerSep+info.ID+snapSuffix)
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("owned snapshot not at %s: %v", want, err)
+	}
+
+	srvB := New(Config{Workers: 2, Session: core.Config{Workers: 1}, DataDir: dir, Tenants: tenants})
+	defer srvB.Close()
+	e, ok := srvB.Store().GetFor(info.ID, "alice")
+	if !ok {
+		t.Fatal("owner cannot see the restored session")
+	}
+	if e.tenant != "alice" {
+		t.Fatalf("restored tenant tag %q, want alice", e.tenant)
+	}
+	if _, ok := srvB.Store().GetFor(info.ID, "bob"); ok {
+		t.Fatal("restored session visible across tenants")
+	}
+}

@@ -23,9 +23,16 @@
 //
 // With Config.DataDir set, sessions are durable: every feedback round is
 // checkpointed to disk (temp-file + rename, so a crash never leaves a torn
-// snapshot), a periodic flusher retries failed writes, shutdown flushes a
-// final checkpoint of every live session, and a restarting server restores
-// all sessions under their original tokens.
+// snapshot), a periodic flusher retries failed writes with backoff, shutdown
+// flushes a final checkpoint of every live session, and a restarting server
+// restores all sessions under their original tokens.
+//
+// With Config.Tenants set, the server is multi-tenant: requests authenticate
+// with per-tenant bearer keys, sessions are owned by (and visible to only)
+// their tenant, and each tenant is admission-controlled by a token-bucket
+// request rate and an in-flight cap. Overload is shed early — 429/503 with
+// Retry-After, never a blocked accept loop — and CPU slots are granted
+// fairly across tenants so one hot tenant cannot starve the rest.
 package server
 
 import (
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"gdr/internal/core"
+	"gdr/internal/faultfs"
 	"gdr/internal/metrics"
 )
 
@@ -50,6 +58,10 @@ var (
 	ErrBadRequest = errors.New("server: bad request")
 	// ErrTooManySessions is returned when the live-session cap is reached.
 	ErrTooManySessions = errors.New("server: too many live sessions")
+	// ErrOverloaded is the sentinel every load-shedding error matches
+	// (errors.Is); the concrete errors carry the HTTP status and Retry-After
+	// hint.
+	ErrOverloaded = errors.New("server: overloaded")
 )
 
 // Config tunes a Server. The zero value serves with sane defaults.
@@ -59,7 +71,8 @@ type Config struct {
 	// TTL evicts sessions idle for longer (default 30m).
 	TTL time.Duration
 	// Workers is the CPU slot budget shared by all session actors and
-	// session creation (default GOMAXPROCS).
+	// session creation (default GOMAXPROCS). Slots are granted fairly
+	// across tenants.
 	Workers int
 	// Session provides per-session defaults; uploads override Seed and
 	// (clamped) Workers. Session.Workers defaults to 1 — the server scales
@@ -78,6 +91,24 @@ type Config struct {
 	// only meaningful with DataDir set). Feedback itself checkpoints
 	// synchronously — the flusher is the safety net, not the main path.
 	CheckpointEvery time.Duration
+	// Tenants enables authentication and per-tenant admission control: every
+	// /v1 request must present one of these bearer keys, sessions belong to
+	// the tenant that created them, and each tenant's rate/in-flight limits
+	// are enforced before any session work happens. Empty = open mode (no
+	// auth, one implicit unlimited tenant).
+	Tenants []TenantConfig
+	// RequestTimeout bounds each request end to end; the deadline rides the
+	// request context through the actor queue, so a command that waited past
+	// it is dropped (503 + Retry-After) before it spends CPU slots. 0
+	// disables the server-side deadline.
+	RequestTimeout time.Duration
+	// QueueDepth bounds each session actor's command queue (default 64);
+	// commands beyond it are shed with 503 + Retry-After instead of queued.
+	QueueDepth int
+	// Faults, when set, injects failures/delays at named points (checkpoint
+	// write/fsync/rename, actor execution) for tests and gdrd's -chaos dev
+	// mode. nil = no injection.
+	Faults *faultfs.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -102,16 +133,21 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 30 * time.Second
 	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = defaultQueueDepth
+	}
 	return c
 }
 
 // Server is the gdrd HTTP service.
 type Server struct {
-	cfg     Config
-	store   *Store
-	reg     *metrics.Registry
-	handler http.Handler
-	started time.Time
+	cfg           Config
+	store         *Store
+	reg           *metrics.Registry
+	handler       http.Handler
+	started       time.Time
+	tenants       map[string]*tenantState // by bearer key; empty = open mode
+	defaultTenant *tenantState            // the implicit tenant of open mode
 }
 
 // New builds a Server ready to serve via Handler.
@@ -121,10 +157,13 @@ func New(cfg Config) *Server {
 	// Pre-register the metrics the dashboards scrape, so a fresh server
 	// exposes zeros instead of an empty page.
 	reg.Gauge("gdrd_sessions_live")
+	reg.Gauge("gdrd_actor_queue_depth")
 	reg.Counter("gdrd_sessions_created_total")
 	reg.Counter("gdrd_sessions_evicted_total")
 	reg.Counter("gdrd_http_requests_total")
 	reg.Counter("gdrd_http_errors_total")
+	reg.Counter("gdrd_auth_failures_total")
+	reg.Counter("gdrd_shed_total")
 	reg.Counter("gdrd_feedback_total")
 	reg.Counter("gdrd_feedback_stale_total")
 	reg.Counter("gdrd_feedback_invalid_total")
@@ -137,11 +176,22 @@ func New(cfg Config) *Server {
 	reg.Histogram("gdrd_suggest_seconds")
 	reg.Histogram("gdrd_feedback_seconds")
 	reg.Histogram("gdrd_checkpoint_seconds")
+	reg.Histogram("gdrd_slot_wait_seconds")
 	s := &Server{
 		cfg:     cfg,
 		store:   NewStore(cfg, reg),
 		reg:     reg,
 		started: time.Now(),
+		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
+		defaultTenant: &tenantState{
+			cfg: TenantConfig{Name: defaultTenantName},
+		},
+	}
+	for _, tc := range cfg.Tenants {
+		s.tenants[tc.Key] = &tenantState{
+			cfg:    tc,
+			bucket: newTokenBucket(tc.RatePerSec, tc.Burst),
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -155,7 +205,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.handler = s.instrument(mux)
+	s.handler = s.instrument(s.admit(s.withDeadline(mux)))
 	return s
 }
 
@@ -192,7 +242,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps the mux with body limiting, request logging and the
+// exemptPath reports whether a path skips auth, admission and deadlines:
+// the probes must answer even when every tenant is over quota, or the
+// orchestrator would restart a healthy overloaded server.
+func exemptPath(p string) bool {
+	return p == "/healthz" || p == "/metrics"
+}
+
+// instrument wraps the stack with body limiting, request logging and the
 // request counter/latency metrics.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -202,10 +259,11 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
 		s.reg.Counter("gdrd_http_requests_total").Inc()
-		// Only server faults count as errors: 4xx is client misuse and 499
-		// a client abort — alerting on either would page for impatient
-		// clients.
-		if rec.status >= 500 {
+		// Only server faults count as errors: 4xx is client misuse, and a
+		// 503 shed (Retry-After present) is the server protecting itself —
+		// sheds have their own counter, and alerting on them would page for
+		// an abusive client.
+		if rec.status >= 500 && rec.Header().Get("Retry-After") == "" {
 			s.reg.Counter("gdrd_http_errors_total").Inc()
 		}
 		s.reg.Histogram("gdrd_request_seconds").Observe(elapsed.Seconds())
@@ -213,6 +271,108 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			s.cfg.Logf("%s %s %d %s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
 		}
 	})
+}
+
+// admit is the admission-control middleware: authenticate, then enforce the
+// tenant's token-bucket rate and in-flight cap, shedding the excess with
+// 429 + Retry-After before it can touch a session. Everything it admits
+// carries its *tenantState in the request context.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t, err := s.authenticate(r)
+		if err != nil {
+			s.reg.Counter("gdrd_auth_failures_total").Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="gdrd"`)
+			writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: err.Error()})
+			return
+		}
+		if t.bucket != nil {
+			if wait := t.bucket.take(time.Now()); wait > 0 {
+				s.shed(t, "rate")
+				writeError(w, &shedError{
+					status:     http.StatusTooManyRequests,
+					retryAfter: wait,
+					msg:        fmt.Sprintf("server: tenant %s over request rate", t.cfg.Name),
+				})
+				return
+			}
+		}
+		if max := int64(t.cfg.MaxInFlight); max > 0 {
+			if t.inflight.Add(1) > max {
+				t.inflight.Add(-1)
+				s.shed(t, "inflight")
+				writeError(w, &shedError{
+					status:     http.StatusTooManyRequests,
+					retryAfter: time.Second,
+					msg:        fmt.Sprintf("server: tenant %s over in-flight cap", t.cfg.Name),
+				})
+				return
+			}
+			defer t.inflight.Add(-1)
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+	})
+}
+
+// withDeadline bounds each admitted request with Config.RequestTimeout. The
+// deadline travels in the request context through the actor queue, so work
+// whose budget was spent waiting is dropped before it costs CPU.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// shed counts one shed request against a tenant.
+func (s *Server) shed(t *tenantState, reason string) {
+	s.reg.LabeledCounter("gdrd_shed_total", "reason", reason, "tenant", metricTenant(t.cfg.Name)).Inc()
+}
+
+// shedError is a load-shedding refusal: the request was turned away to
+// protect the service, with a hint for when to retry. It matches
+// ErrOverloaded via errors.Is.
+type shedError struct {
+	status     int           // 429 (per-tenant quota) or 503 (server pressure)
+	retryAfter time.Duration // rendered as the Retry-After header, min 1s
+	msg        string
+}
+
+func (e *shedError) Error() string        { return e.msg }
+func (e *shedError) Is(target error) bool { return target == ErrOverloaded }
+
+// errQueueFull sheds a command because its session's queue is saturated.
+func errQueueFull() error {
+	return &shedError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: time.Second,
+		msg:        "server: session queue full",
+	}
+}
+
+// errExpiredQueued is the single deterministic mapping for "the request
+// context expired while the command waited its turn" — whether it was still
+// in the actor queue, waiting for CPU slots, or abandoned by the handler.
+// It is a 503: the server was too slow to reach the command in time, and
+// the client should retry after backoff.
+func errExpiredQueued() error {
+	return &shedError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: time.Second,
+		msg:        "server: request deadline expired while queued",
+	}
 }
 
 // writeJSON sends one response body.
@@ -224,12 +384,26 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-// statusClientClosedRequest is nginx's convention for a request abandoned
-// by its own client; there is no net/http constant for it.
-const statusClientClosedRequest = 499
+// retryAfterValue renders a Retry-After duration as whole seconds, rounded
+// up, minimum 1 — the header's integer form.
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
 
-// writeError maps an error to its HTTP status and JSON body.
+// writeError maps an error to its HTTP status and JSON body. Shed errors
+// additionally carry a Retry-After header so clients back off instead of
+// hammering an overloaded server.
 func writeError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", retryAfterValue(shed.retryAfter))
+		writeJSON(w, shed.status, ErrorBody{Error: shed.msg})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadUpload), errors.Is(err, ErrBadRequest):
@@ -239,9 +413,10 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrSessionClosed):
 		status = http.StatusConflict
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The request context expired while the command was queued — the
-		// client went away or ran out of patience; not a server fault.
-		status = statusClientClosedRequest
+		// The request's budget ran out mid-command; same deterministic
+		// contract as expiring in the queue — 503, retry after backoff.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	}
 	var maxBytes *http.MaxBytesError
 	if errors.As(err, &maxBytes) {

@@ -13,6 +13,7 @@ import (
 
 	"gdr/internal/cfd"
 	"gdr/internal/core"
+	"gdr/internal/faultfs"
 	"gdr/internal/metrics"
 	"gdr/internal/relation"
 	"gdr/internal/snapshot"
@@ -21,27 +22,28 @@ import (
 // Store owns the live sessions of one server: creation from an uploaded
 // instance (or an imported snapshot), token lookup, a cap on concurrently
 // live sessions, and TTL-based eviction of idle ones (touched on every
-// lookup). All session work after creation goes through each entry's actor.
-// With a data directory configured, the store is also the persistence tier:
-// it checkpoints sessions to disk, restores them on construction, and
-// flushes a final checkpoint of every live session on Close.
+// lookup). All session work after creation goes through each entry's actor,
+// with CPU slots granted tenant-fairly by the shared scheduler. Sessions
+// created by an authenticated tenant are owned by it: other tenants cannot
+// see or touch them. With a data directory configured, the store is also
+// the persistence tier: it checkpoints sessions to disk, restores them on
+// construction, and flushes a final checkpoint of every live session on
+// Close.
 type Store struct {
-	ttl     time.Duration
-	maxLive int
-	session core.Config // per-session defaults (Seed/Workers overridable per request)
-	budget  chan struct{}
-	reg     *metrics.Registry
-	now     func() time.Time
+	ttl        time.Duration
+	maxLive    int
+	session    core.Config // per-session defaults (Seed/Workers overridable per request)
+	sched      *sched      // tenant-fair CPU slot scheduler
+	queueDepth int
+	faults     *faultfs.Injector
+	reg        *metrics.Registry
+	now        func() time.Time
 
 	// dir is the snapshot directory ("" disables persistence); ckptEvery
 	// the periodic flusher cadence; logf the store's log sink (may be nil).
 	dir       string
 	ckptEvery time.Duration
 	logf      func(format string, args ...any)
-
-	// acquireMu serializes multi-slot budget acquisition across actors
-	// (see actor.acquire).
-	acquireMu sync.Mutex
 
 	mu      sync.Mutex
 	entries map[string]*entry // gdr:guarded-by mu
@@ -58,6 +60,7 @@ type Store struct {
 type entry struct {
 	id      string
 	name    string
+	tenant  string // owning tenant; "" = unowned (open mode), visible to all
 	created time.Time
 	attrs   []string
 	tuples  int
@@ -87,6 +90,12 @@ type entry struct {
 	durableMut uint64 // gdr:guarded-by ckptMu
 	hasDurable bool   // gdr:guarded-by ckptMu
 
+	// Checkpoint retry backoff, consulted only by the periodic flusher: a
+	// session whose disk keeps failing is retried with exponentially growing
+	// spacing instead of hammering the sick disk every tick.
+	ckptFails int       // gdr:guarded-by ckptMu — consecutive failures
+	nextCkpt  time.Time // gdr:guarded-by ckptMu — flusher holds off until then
+
 	mu       sync.Mutex
 	lastUsed time.Time // gdr:guarded-by mu
 }
@@ -96,20 +105,29 @@ type entry struct {
 // salt. Taking the session as a parameter keeps the reads here inside the
 // actor-confinement rule: only a caller that legitimately holds the
 // freshly built session can hand it in.
-func (s *Store) newEntry(sess *core.Session, token, name string, workers int) *entry {
+func (s *Store) newEntry(sess *core.Session, token, name, tenant string, workers int) *entry {
 	db, nrules := sess.DB(), len(sess.Engine().Rules())
 	now := s.now()
 	return &entry{
 		id:       token,
 		name:     name,
+		tenant:   tenant,
 		created:  now,
 		lastUsed: now,
 		attrs:    append([]string(nil), db.Schema.Attrs...),
 		tuples:   db.N(),
 		rules:    nrules,
-		actor:    newActor(sess, s.budget, workers, &s.acquireMu),
+		actor:    newActor(sess, s.sched, workers, tenant, s.queueDepth, s.reg, s.faults),
 		etagSalt: newETagSalt(),
 	}
+}
+
+// visibleTo reports whether a caller with the given ownership tag may see
+// this entry. Unowned entries (open mode, or restored from before auth was
+// enabled) are visible to everyone; an empty caller tag — open mode — sees
+// everything, because there is no one to hide it from.
+func (e *entry) visibleTo(owner string) bool {
+	return e.tenant == "" || owner == "" || e.tenant == owner
 }
 
 // isDirty reports whether the session has state not yet captured by an
@@ -126,6 +144,34 @@ func (e *entry) markUndurable() {
 	e.ckptMu.Lock()
 	e.hasDurable = false
 	e.ckptMu.Unlock()
+}
+
+// ckptFailed records one failed checkpoint and schedules the flusher's next
+// attempt: base spacing doubles per consecutive failure, capped at 32×.
+func (e *entry) ckptFailed(now time.Time, base time.Duration) {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	shift := e.ckptFails
+	if shift > 5 {
+		shift = 5
+	}
+	e.ckptFails++
+	e.nextCkpt = now.Add(base << shift)
+}
+
+// ckptSucceeded resets the retry backoff after a landed checkpoint.
+func (e *entry) ckptSucceeded() {
+	e.ckptMu.Lock()
+	e.ckptFails = 0
+	e.nextCkpt = time.Time{}
+	e.ckptMu.Unlock()
+}
+
+// retryDue reports whether the flusher should attempt this entry yet.
+func (e *entry) retryDue(now time.Time) bool {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return !now.Before(e.nextCkpt)
 }
 
 func (e *entry) touch(now time.Time) {
@@ -146,6 +192,7 @@ func (e *entry) info(ttl time.Duration) SessionInfo {
 	return SessionInfo{
 		ID:        e.id,
 		Name:      e.name,
+		Tenant:    e.tenant,
 		Tuples:    e.tuples,
 		Attrs:     e.attrs,
 		Rules:     e.rules,
@@ -168,7 +215,9 @@ func NewStore(cfg Config, reg *metrics.Registry) *Store {
 		ttl:         cfg.TTL,
 		maxLive:     cfg.MaxSessions,
 		session:     cfg.Session,
-		budget:      make(chan struct{}, workers),
+		sched:       newSched(workers, reg.Histogram("gdrd_slot_wait_seconds")),
+		queueDepth:  cfg.QueueDepth,
+		faults:      cfg.Faults,
 		reg:         reg,
 		now:         time.Now,
 		dir:         cfg.DataDir,
@@ -227,7 +276,7 @@ func (s *Store) evictIdle() {
 	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, e := range victims {
 		e.actor.close()
-		s.removeSnapshot(e.id)
+		s.removeSnapshot(e)
 		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
 	}
 }
@@ -265,15 +314,23 @@ func newETagSalt() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Create builds and registers a session under a fresh token, from either an
-// uploaded CSV instance plus rule set, or an exported snapshot (restore-on-
-// create). Construction holds CPU slots matching the session's fan-out: the
-// upload path runs the initial suggestion pass, the snapshot path rebuilds
-// the violation engine and retrains committees. It fails with
-// ErrTooManySessions when the live cap is reached, and honors ctx while
-// waiting for a CPU slot — a caller that gives up does not leave an orphan
-// session pinning the cap.
+// Create builds a session owned by nobody — the open-mode path and the
+// compatibility entry point for embedders; see CreateAs.
 func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionInfo, core.Stats, error) {
+	return s.CreateAs(ctx, "", req)
+}
+
+// CreateAs builds and registers a session under a fresh token, owned by the
+// given tenant tag ("" = unowned), from either an uploaded CSV instance
+// plus rule set, or an exported snapshot (restore-on-create). Construction
+// holds CPU slots matching the session's fan-out — acquired fairly against
+// the owning tenant, so one tenant's create burst cannot freeze everyone's
+// feedback — with the upload path running the initial suggestion pass and
+// the snapshot path rebuilding the violation engine and retraining
+// committees. It fails with ErrTooManySessions when the live cap is
+// reached, and honors ctx while waiting for CPU slots — a caller that gives
+// up does not leave an orphan session pinning the cap.
+func (s *Store) CreateAs(ctx context.Context, tenant string, req CreateSessionRequest) (SessionInfo, core.Stats, error) {
 	var build func() (*core.Session, error)
 	var workers int
 	name := req.Name
@@ -321,12 +378,12 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 	// Construction runs with workers-way fan-out, so it must hold that many
 	// slots — the same accounting the actors enforce — or concurrent builds
 	// would overshoot the CPU budget and starve live sessions' commands.
-	if err := acquireSlots(ctx, &s.acquireMu, s.budget, workers); err != nil {
+	if err := s.sched.acquire(ctx, tenant, workers); err != nil {
 		rollback()
-		return SessionInfo{}, core.Stats{}, err
+		return SessionInfo{}, core.Stats{}, errExpiredQueued()
 	}
 	sess, err := build()
-	releaseSlots(s.budget, workers)
+	s.sched.release(tenant, workers)
 	if err != nil {
 		rollback()
 		return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: %v", ErrBadUpload, err)
@@ -338,7 +395,7 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 		return SessionInfo{}, core.Stats{}, ctx.Err()
 	}
 
-	e := s.newEntry(sess, token, name, workers)
+	e := s.newEntry(sess, token, name, tenant, workers)
 	//lint:ignore actorconfine construction-time read: the actor was just created and has processed nothing, so the session is still quiescent
 	st := sess.Stats()
 	s.mu.Lock()
@@ -388,7 +445,7 @@ func (s *Store) uploadBuild(req CreateSessionRequest) (build func() (*core.Sessi
 	}
 	// Clamp the session's actual fan-out, not just its slot accounting:
 	// a session must never run wider than the budget it can hold.
-	cfg.Workers = clampSlots(s.budget, cfg.Workers)
+	cfg.Workers = s.sched.clampSlots(cfg.Workers)
 	return func() (*core.Session, error) { return core.NewSession(db, rules, cfg) }, cfg.Workers, nil
 }
 
@@ -414,7 +471,7 @@ func (s *Store) importBuild(req CreateSessionRequest) (build func() (*core.Sessi
 	if req.Workers > 0 {
 		st.Config.Workers = req.Workers
 	}
-	st.Config.Workers = clampSlots(s.budget, st.Config.Workers)
+	st.Config.Workers = s.sched.clampSlots(st.Config.Workers)
 	return func() (*core.Session, error) { return core.RestoreSession(st) }, st.Config.Workers, name, nil
 }
 
@@ -451,12 +508,25 @@ func validateImportConfig(c core.Config) error {
 	return nil
 }
 
-// Get returns the live entry for a token, refreshing its idle clock. An
-// entry past its TTL is evicted on the spot, whatever the janitor's phase.
+// Get returns the live entry for a token, refreshing its idle clock — with
+// no ownership check; see GetFor.
 func (s *Store) Get(id string) (*entry, bool) {
+	return s.GetFor(id, "")
+}
+
+// GetFor returns the live entry for a token if it is visible to the caller
+// (the entry is unowned, or owned by the caller's tenant), refreshing its
+// idle clock. An invisible entry is indistinguishable from a missing one —
+// tokens are secrets, and a 403 would confirm one exists. An entry past
+// its TTL is evicted on the spot, whatever the janitor's phase.
+func (s *Store) GetFor(id, owner string) (*entry, bool) {
 	s.mu.Lock()
 	e, ok := s.entries[id]
 	if !ok || e == nil { // unknown, or still being built
+		s.mu.Unlock()
+		return nil, false
+	}
+	if !e.visibleTo(owner) {
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -466,7 +536,7 @@ func (s *Store) Get(id string) (*entry, bool) {
 		s.setLiveLocked()
 		s.mu.Unlock()
 		e.actor.close()
-		s.removeSnapshot(e.id)
+		s.removeSnapshot(e)
 		s.reg.Counter("gdrd_sessions_evicted_total").Inc()
 		return nil, false
 	}
@@ -478,12 +548,18 @@ func (s *Store) Get(id string) (*entry, bool) {
 	return e, true
 }
 
-// Delete removes a session and stops its actor; it reports whether the
-// token was live.
+// Delete removes a session with no ownership check; see DeleteFor.
 func (s *Store) Delete(id string) bool {
+	return s.DeleteFor(id, "")
+}
+
+// DeleteFor removes a session visible to the caller and stops its actor; it
+// reports whether such a session was live (an invisible one reads as
+// missing, like GetFor).
+func (s *Store) DeleteFor(id, owner string) bool {
 	s.mu.Lock()
 	e, ok := s.entries[id]
-	if !ok || e == nil {
+	if !ok || e == nil || !e.visibleTo(owner) {
 		s.mu.Unlock()
 		return false
 	}
@@ -491,16 +567,22 @@ func (s *Store) Delete(id string) bool {
 	s.setLiveLocked()
 	s.mu.Unlock()
 	e.actor.close()
-	s.removeSnapshot(e.id)
+	s.removeSnapshot(e)
 	return true
 }
 
-// List snapshots every live session, ordered by creation time then token.
+// List snapshots every live session with no ownership filter; see ListFor.
 func (s *Store) List() []SessionInfo {
+	return s.ListFor("")
+}
+
+// ListFor snapshots every live session visible to the caller, ordered by
+// creation time then token.
+func (s *Store) ListFor(owner string) []SessionInfo {
 	s.mu.Lock()
 	out := make([]SessionInfo, 0, len(s.entries))
 	for _, e := range s.entries {
-		if e == nil {
+		if e == nil || !e.visibleTo(owner) {
 			continue
 		}
 		out = append(out, e.info(s.ttl))

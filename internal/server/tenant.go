@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantConfig is one tenant's identity and admission policy, normally
+// loaded from a keyfile (see ParseKeyfile). Zero-valued limits mean
+// unlimited.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics, logs and session ownership.
+	// It must match [A-Za-z0-9_.-]+ (it is embedded in snapshot file
+	// names).
+	Name string
+	// Key is the static bearer token the tenant authenticates with.
+	Key string
+	// RatePerSec refills the tenant's request token bucket (≤0 =
+	// unlimited).
+	RatePerSec float64
+	// Burst is the bucket capacity — how many requests may arrive back to
+	// back before the rate applies (default: ceil(RatePerSec), min 1).
+	Burst int
+	// MaxInFlight caps the tenant's concurrently executing requests (≤0 =
+	// unlimited); the excess is shed with 429 before touching any session.
+	MaxInFlight int
+}
+
+// defaultTenantName labels the implicit tenant of an open-mode server (no
+// keyfile) in metrics and sheds.
+const defaultTenantName = "default"
+
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9_.-]+$`)
+
+// ParseKeyfile reads the gdrd tenant keyfile: one tenant per line,
+//
+//	<key> <name> [rate=N] [burst=N] [inflight=N]
+//
+// with '#' comments and blank lines ignored. Keys and names must be
+// unique; names must be filename-safe ([A-Za-z0-9_.-]+).
+func ParseKeyfile(r io.Reader) ([]TenantConfig, error) {
+	var out []TenantConfig
+	seenKey := make(map[string]bool)
+	seenName := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("keyfile line %d: want <key> <name> [rate=N] [burst=N] [inflight=N]", line)
+		}
+		tc := TenantConfig{Key: fields[0], Name: fields[1]}
+		if !tenantNameRE.MatchString(tc.Name) {
+			return nil, fmt.Errorf("keyfile line %d: tenant name %q must match %s", line, tc.Name, tenantNameRE)
+		}
+		if len(tc.Key) < 8 {
+			return nil, fmt.Errorf("keyfile line %d: key shorter than 8 characters", line)
+		}
+		if seenKey[tc.Key] {
+			return nil, fmt.Errorf("keyfile line %d: duplicate key", line)
+		}
+		if seenName[tc.Name] {
+			return nil, fmt.Errorf("keyfile line %d: duplicate tenant name %q", line, tc.Name)
+		}
+		seenKey[tc.Key], seenName[tc.Name] = true, true
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("keyfile line %d: option %q: want key=value", line, opt)
+			}
+			switch k {
+			case "rate":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 {
+					return nil, fmt.Errorf("keyfile line %d: rate %q", line, v)
+				}
+				tc.RatePerSec = f
+			case "burst":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("keyfile line %d: burst %q", line, v)
+				}
+				tc.Burst = n
+			case "inflight":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("keyfile line %d: inflight %q", line, v)
+				}
+				tc.MaxInFlight = n
+			default:
+				return nil, fmt.Errorf("keyfile line %d: unknown option %q", line, k)
+			}
+		}
+		out = append(out, tc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadKeyfile reads and parses a keyfile from disk.
+func LoadKeyfile(path string) ([]TenantConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tenants, err := ParseKeyfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tenants, nil
+}
+
+// tokenBucket is a standard token-bucket rate limiter; time is passed in
+// so tests control it.
+type tokenBucket struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64   // gdr:guarded-by mu
+	last   time.Time // gdr:guarded-by mu
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil // unlimited
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+		b = float64(int(b + 0.999999))
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// take removes one token. It returns 0 when admitted, otherwise the time
+// until a token accrues — the Retry-After hint.
+func (b *tokenBucket) take(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// tenantState is one tenant's runtime admission state.
+type tenantState struct {
+	cfg      TenantConfig
+	bucket   *tokenBucket // nil = unlimited
+	inflight atomic.Int64
+}
+
+// owner is the ownership tag this tenant stamps on sessions it creates:
+// empty in open mode (sessions are unowned), the tenant name with auth on.
+func (t *tenantState) owner() string {
+	if t.cfg.Key == "" {
+		return ""
+	}
+	return t.cfg.Name
+}
+
+// tenantCtxKey carries the authenticated *tenantState through a request's
+// context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the request's authenticated tenant; the admission
+// middleware guarantees one is present on every /v1 request.
+func tenantFrom(ctx context.Context) *tenantState {
+	t, _ := ctx.Value(tenantCtxKey{}).(*tenantState)
+	return t
+}
+
+// authenticate resolves the request's tenant. In open mode (no keyfile)
+// every request maps to the implicit default tenant; with auth enabled the
+// Authorization header must carry a known bearer key.
+func (s *Server) authenticate(r *http.Request) (*tenantState, error) {
+	if len(s.tenants) == 0 {
+		return s.defaultTenant, nil
+	}
+	h := r.Header.Get("Authorization")
+	scheme, key, ok := strings.Cut(h, " ")
+	if !ok || !strings.EqualFold(scheme, "Bearer") {
+		return nil, fmt.Errorf("server: missing bearer token")
+	}
+	t, ok := s.tenants[strings.TrimSpace(key)]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown API key")
+	}
+	return t, nil
+}

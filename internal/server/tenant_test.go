@@ -1,0 +1,95 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseKeyfile(t *testing.T) {
+	const good = `
+# tenants for the staging box
+alicekey123 alice rate=10 burst=20 inflight=4
+bobkey45678 bob            # unlimited
+carolkey999 carol rate=0.5
+`
+	tenants, err := ParseKeyfile(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(tenants))
+	}
+	a := tenants[0]
+	if a.Name != "alice" || a.Key != "alicekey123" || a.RatePerSec != 10 || a.Burst != 20 || a.MaxInFlight != 4 {
+		t.Fatalf("alice: %+v", a)
+	}
+	if b := tenants[1]; b.RatePerSec != 0 || b.MaxInFlight != 0 {
+		t.Fatalf("bob should be unlimited: %+v", b)
+	}
+	if c := tenants[2]; c.RatePerSec != 0.5 {
+		t.Fatalf("carol: %+v", c)
+	}
+
+	for name, bad := range map[string]string{
+		"missing name":    "alicekey123",
+		"short key":       "short alice",
+		"duplicate key":   "alicekey123 alice\nalicekey123 bob",
+		"duplicate name":  "alicekey123 alice\nbobkey45678 alice",
+		"bad tenant name": "alicekey123 al/ice",
+		"unknown option":  "alicekey123 alice turbo=1",
+		"bad rate":        "alicekey123 alice rate=-1",
+		"bad burst":       "alicekey123 alice burst=x",
+		"bare option":     "alicekey123 alice rate",
+	} {
+		if _, err := ParseKeyfile(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: keyfile %q accepted", name, bad)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	if b := newTokenBucket(0, 0); b != nil {
+		t.Fatal("rate 0 must mean unlimited (nil bucket)")
+	}
+	b := newTokenBucket(10, 2)
+	now := time.UnixMilli(0)
+	if w := b.take(now); w != 0 {
+		t.Fatalf("first take: wait %s", w)
+	}
+	if w := b.take(now); w != 0 {
+		t.Fatalf("second take (burst): wait %s", w)
+	}
+	w := b.take(now)
+	if w <= 0 {
+		t.Fatal("bucket empty but take admitted")
+	}
+	// At 10/s a token accrues in 100ms; the hint must be in that ballpark.
+	if w > 150*time.Millisecond {
+		t.Fatalf("retry hint %s too pessimistic for rate 10/s", w)
+	}
+	// Advancing past the accrual admits again, and the bucket never grows
+	// beyond its burst.
+	now = now.Add(10 * time.Second)
+	if w := b.take(now); w != 0 {
+		t.Fatalf("take after refill: wait %s", w)
+	}
+	if w := b.take(now); w != 0 {
+		t.Fatalf("burst after refill: wait %s", w)
+	}
+	if w := b.take(now); w <= 0 {
+		t.Fatal("bucket must cap at burst after a long idle gap")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	// Burst defaults to ceil(rate), min 1.
+	b := newTokenBucket(0.5, 0)
+	if b.burst != 1 {
+		t.Fatalf("burst for rate 0.5 = %v, want 1", b.burst)
+	}
+	b = newTokenBucket(2.3, 0)
+	if b.burst != 3 {
+		t.Fatalf("burst for rate 2.3 = %v, want 3", b.burst)
+	}
+}

@@ -23,11 +23,11 @@ go run ./cmd/gdrgen -dataset 1 -n 300 -seed 5 -dir "$workdir"
 
 # boot_gdrd: start the daemon on a random port with the shared data dir and
 # wait for it to report healthy. Binding :0 and parsing the kernel-assigned
-# port from the startup log avoids racing other listeners. Sets $pid and
-# $base.
+# port from the startup log avoids racing other listeners. Extra arguments
+# pass through to the daemon. Sets $pid and $base.
 boot_gdrd() {
   : >"$workdir/gdrd.log"
-  "$workdir/gdrd" -addr 127.0.0.1:0 -quiet -data-dir "$workdir/data" 2>"$workdir/gdrd.log" &
+  "$workdir/gdrd" -addr 127.0.0.1:0 -quiet -data-dir "$workdir/data" "$@" 2>"$workdir/gdrd.log" &
   pid=$!
   base=""
   for _ in $(seq 1 100); do
@@ -122,6 +122,46 @@ if [ -e "$workdir/data/$id.snap" ]; then
   echo "deleted session left its snapshot behind" >&2
   exit 1
 fi
+
+echo "== overload smoke: quota sheds carry Retry-After, healthy tenant unaffected"
+stop_gdrd
+cat >"$workdir/keys.txt" <<'KEYS'
+# smoke tenants: one unlimited, one throttled to 1 req/s
+goodkey12345 good
+tightkey1234 tight rate=1 burst=1
+KEYS
+boot_gdrd -keyfile "$workdir/keys.txt"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/sessions")
+if [ "$code" != 401 ]; then
+  echo "unauthenticated request got $code, want 401" >&2
+  exit 1
+fi
+saw429=0
+for _ in $(seq 1 10); do
+  curl -s -D "$workdir/shed-headers.txt" -o /dev/null \
+    -H 'Authorization: Bearer tightkey1234' "$base/v1/sessions"
+  code=$(awk 'NR==1{print $2}' "$workdir/shed-headers.txt")
+  if [ "$code" = 429 ]; then
+    saw429=1
+    if ! grep -qi '^retry-after:' "$workdir/shed-headers.txt"; then
+      echo "429 shed without a Retry-After header" >&2
+      exit 1
+    fi
+  fi
+done
+if [ "$saw429" != 1 ]; then
+  echo "burst past a 1/s quota was never shed" >&2
+  exit 1
+fi
+id2=$(curl -fsS -H 'Authorization: Bearer goodkey12345' \
+  -F csv=@"$workdir/dirty.csv" -F rules=@"$workdir/rules.txt" -F seed=5 \
+  "$base/v1/sessions" | jq -re '.session.id')
+curl -fsS -H 'Authorization: Bearer goodkey12345' \
+  "$base/v1/sessions/$id2/groups?order=voi&limit=1" \
+  | jq -e '.groups | length >= 1' >/dev/null
+curl -fsS "$base/metrics" | grep -q 'gdrd_shed_total{reason="rate",tenant="tight"}'
+curl -fsS -X DELETE -H 'Authorization: Bearer goodkey12345' \
+  "$base/v1/sessions/$id2" >/dev/null
 
 echo "== graceful drain on SIGTERM"
 stop_gdrd
