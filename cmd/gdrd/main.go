@@ -18,10 +18,19 @@
 // scheduled fairly across tenants either way, -deadline bounds each request
 // end to end, and -queue-depth bounds each session's command backlog.
 //
-// With -pprof PORT, net/http/pprof is served on 127.0.0.1:PORT — loopback
-// only, segregated from the service listener — so a live daemon can be
-// profiled (CPU, heap, goroutines) without exposing the endpoints to
-// tenants.
+// Observability: every request is traced end to end (W3C traceparent
+// accepted and echoed; the response carries a Server-Timing stage
+// breakdown), logs are structured (-log-format text|json, -log-level,
+// every request line tagged with its trace_id), and completed traces are
+// browsable at GET /debug/traces — served loopback-only on the main
+// listener, and also mounted on the -pprof debug port. -trace sizes the
+// retained ring (-1 disables tracing), -slow-request escalates slow
+// requests to warn-level log lines.
+//
+// With -pprof PORT, net/http/pprof (plus /debug/traces) is served on
+// 127.0.0.1:PORT — loopback only, segregated from the service listener — so
+// a live daemon can be profiled (CPU, heap, goroutines) without exposing
+// the endpoints to tenants.
 //
 // -chaos injects faults for development and soak testing (checkpoint
 // write/fsync/rename failures, slow actors); it is loud on startup and must
@@ -36,7 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"gdr/internal/faultfs"
+	"gdr/internal/obs"
 	"gdr/internal/server"
 )
 
@@ -66,6 +76,10 @@ type options struct {
 	queueDepth  int
 	chaos       string
 	chaosSeed   int64
+	logFormat   string
+	logLevel    string
+	traceCap    int
+	slowReq     time.Duration
 }
 
 func main() {
@@ -75,15 +89,19 @@ func main() {
 	flag.DurationVar(&opts.ttl, "ttl", 30*time.Minute, "idle session time-to-live")
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "CPU slots shared by all session actors")
 	flag.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful shutdown timeout")
-	flag.BoolVar(&opts.quiet, "quiet", false, "disable request logging")
+	flag.BoolVar(&opts.quiet, "quiet", false, "suppress per-request log lines (warnings still log)")
 	flag.StringVar(&opts.dataDir, "data-dir", "", "directory for durable session snapshots (empty = sessions die with the process)")
 	flag.DurationVar(&opts.checkpoint, "checkpoint", 30*time.Second, "periodic checkpoint-retry cadence (with -data-dir)")
-	flag.IntVar(&opts.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 = disabled)")
+	flag.IntVar(&opts.pprofPort, "pprof", 0, "serve net/http/pprof and /debug/traces on 127.0.0.1:PORT (0 = disabled)")
 	flag.StringVar(&opts.keyfile, "keyfile", "", "tenant keyfile enabling auth + per-tenant quotas (empty = open mode)")
 	flag.DurationVar(&opts.deadline, "deadline", time.Minute, "per-request deadline, propagated through the actor queue (0 = none)")
 	flag.IntVar(&opts.queueDepth, "queue-depth", 64, "per-session command queue bound; the excess is shed with 503")
 	flag.StringVar(&opts.chaos, "chaos", "", "DEV ONLY: fault-injection spec, e.g. write=0.3,sync=0.2,rename=0.1,actor=1:25ms")
 	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 1, "seed for -chaos fault rolls (reproducible runs)")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log output format: text|json")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
+	flag.IntVar(&opts.traceCap, "trace", 256, "completed-trace ring size served at /debug/traces (-1 = disable tracing)")
+	flag.DurationVar(&opts.slowReq, "slow-request", time.Second, "log requests at least this slow at warn level (0 = disabled)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,48 +111,72 @@ func main() {
 	}
 }
 
+// minLevelHandler raises the minimum level of an inner slog handler —
+// -quiet keeps the daemon's own lifecycle logs but silences the per-request
+// info lines by handing the server a warn-floored view of the same logger.
+type minLevelHandler struct {
+	slog.Handler
+	min slog.Level
+}
+
+func (h minLevelHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return l >= h.min && h.Handler.Enabled(ctx, l)
+}
+
+func (h minLevelHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return minLevelHandler{h.Handler.WithAttrs(attrs), h.min}
+}
+
+func (h minLevelHandler) WithGroup(name string) slog.Handler {
+	return minLevelHandler{h.Handler.WithGroup(name), h.min}
+}
+
 // run serves until ctx is cancelled, then drains. ready (optional) receives
 // the bound address once listening — tests bind :0 and need the real port.
 func run(ctx context.Context, opts options, ready chan<- string) error {
-	logf := log.Printf
-	if opts.quiet {
-		logf = nil
+	logger, err := obs.NewLogger(os.Stderr, opts.logFormat, opts.logLevel)
+	if err != nil {
+		return err
 	}
-	if opts.pprofPort != 0 {
-		stopProfiler, err := startProfiler(opts.pprofPort)
-		if err != nil {
-			return err
-		}
-		defer stopProfiler()
+	serverLog := logger
+	if opts.quiet {
+		serverLog = slog.New(minLevelHandler{logger.Handler(), slog.LevelWarn})
 	}
 	var tenants []server.TenantConfig
 	if opts.keyfile != "" {
-		var err error
 		if tenants, err = server.LoadKeyfile(opts.keyfile); err != nil {
 			return fmt.Errorf("keyfile: %w", err)
 		}
 	}
 	var faults *faultfs.Injector
 	if opts.chaos != "" {
-		var err error
 		if faults, err = faultfs.ParseSpec(opts.chaos, opts.chaosSeed); err != nil {
 			return err
 		}
-		log.Printf("gdrd: *** CHAOS MODE: injecting faults (%s, seed %d) — never run production like this ***", opts.chaos, opts.chaosSeed)
+		logger.Warn(fmt.Sprintf("gdrd: *** CHAOS MODE: injecting faults (%s, seed %d) — never run production like this ***", opts.chaos, opts.chaosSeed))
 	}
 	srv := server.New(server.Config{
 		MaxSessions:     opts.maxSessions,
 		TTL:             opts.ttl,
 		Workers:         opts.workers,
-		Logf:            logf,
+		Logger:          serverLog,
 		DataDir:         opts.dataDir,
 		CheckpointEvery: opts.checkpoint,
 		Tenants:         tenants,
 		RequestTimeout:  opts.deadline,
 		QueueDepth:      opts.queueDepth,
 		Faults:          faults,
+		Trace:           obs.Config{Capacity: opts.traceCap},
+		SlowRequest:     opts.slowReq,
 	})
 	defer srv.Close()
+	if opts.pprofPort != 0 {
+		stopDebug, err := startDebug(opts.pprofPort, srv, logger)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+	}
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -157,8 +199,10 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	log.Printf("gdrd: serving on %s (max-sessions=%d ttl=%s workers=%d data-dir=%q tenants=%d deadline=%s sessions=%d)",
-		ln.Addr(), opts.maxSessions, opts.ttl, opts.workers, opts.dataDir, len(tenants), opts.deadline, srv.Store().Len())
+	logger.Info(fmt.Sprintf("gdrd: serving on %s", ln.Addr()),
+		"max_sessions", opts.maxSessions, "ttl", opts.ttl, "workers", opts.workers,
+		"data_dir", opts.dataDir, "tenants", len(tenants), "deadline", opts.deadline,
+		"sessions", srv.Store().Len(), "trace", opts.traceCap, "log_format", opts.logFormat)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -167,7 +211,7 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("gdrd: draining (timeout %s)...", opts.drain)
+	logger.Info("gdrd: draining", "timeout", opts.drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -177,30 +221,31 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 		return err
 	}
 	srv.Close() // stop actors only after in-flight requests completed; flushes final checkpoints
-	log.Printf("gdrd: drained, bye")
+	logger.Info("gdrd: drained, bye")
 	return nil
 }
 
-// startProfiler mounts net/http/pprof on a loopback-only port, segregated
-// from the service listener so profiling endpoints are never reachable
-// through whatever exposure -addr has. The explicit mux avoids the package's
-// DefaultServeMux registrations leaking into anything else. It returns a
-// stop function closing the listener.
-func startProfiler(port int) (func(), error) {
+// startDebug mounts net/http/pprof and the trace browser on a loopback-only
+// port, segregated from the service listener so debug endpoints are never
+// reachable through whatever exposure -addr has. The explicit mux avoids the
+// pprof package's DefaultServeMux registrations leaking into anything else.
+// It returns a stop function closing the listener.
+func startDebug(port int, srv *server.Server, logger *slog.Logger) (func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", srv.TracesHandler())
 	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
 	if err != nil {
 		return nil, fmt.Errorf("pprof listener: %w", err)
 	}
-	log.Printf("gdrd: pprof on http://%s/debug/pprof/", ln.Addr())
+	logger.Info(fmt.Sprintf("gdrd: debug endpoints on http://%s/debug/", ln.Addr()))
 	go func() {
 		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
-			log.Printf("gdrd: pprof server: %v", err)
+			logger.Warn("gdrd: debug server failed", "err", err)
 		}
 	}()
 	return func() { _ = ln.Close() }, nil

@@ -76,7 +76,12 @@ type Report struct {
 	Retries     int                `json:"retries"`
 	Throughput  ThroughputStats    `json:"throughput"`
 	Latency     map[string]LatSumm `json:"latency_seconds"`
-	Sessions    []SessionOutcome   `json:"sessions"`
+	// ServerStages is the server-side stage breakdown (admit, queue, slot,
+	// exec, persist), sourced from the Server-Timing header of every
+	// response — where each request actually spent its time inside gdrd, as
+	// opposed to the client-observed Latency above.
+	ServerStages map[string]LatSumm `json:"server_stage_seconds"`
+	Sessions     []SessionOutcome   `json:"sessions"`
 }
 
 // ReportConfig echoes the knobs that shaped the run.
@@ -313,8 +318,9 @@ func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, se
 			ItemsPerSec:  float64(cnt.items) / wall,
 			RoundsPerSec: float64(cnt.rounds) / wall,
 		},
-		Latency:  lats.summarize(),
-		Sessions: outcomes,
+		Latency:      lats.summarize(),
+		ServerStages: lc.stages.summarize(),
+		Sessions:     outcomes,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -433,6 +439,10 @@ type loadClient struct {
 	hc  *http.Client
 	key string // bearer API key ("" = no auth header)
 
+	// stages accumulates the per-stage server-side durations parsed from
+	// every response's Server-Timing header.
+	stages *latRecorder
+
 	mu       sync.Mutex
 	rng      *rand.Rand
 	sheds429 int
@@ -441,7 +451,51 @@ type loadClient struct {
 }
 
 func newLoadClient(hc *http.Client, key string, seed int64) *loadClient {
-	return &loadClient{hc: hc, key: key, rng: rand.New(rand.NewSource(seed))}
+	return &loadClient{
+		hc:     hc,
+		key:    key,
+		stages: &latRecorder{byOp: make(map[string][]float64)},
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// parseServerTiming extracts the stage durations from a Server-Timing
+// header value ("queue;dur=0.312, exec;dur=4.821" — durations in
+// milliseconds per the spec) as stage → seconds. Entries without a dur
+// parameter, and anything malformed, are skipped.
+func parseServerTiming(h string) map[string]float64 {
+	if h == "" {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, entry := range strings.Split(h, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ";")
+		if parts[0] == "" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || k != "dur" {
+				continue
+			}
+			ms, err := strconv.ParseFloat(strings.Trim(v, `"`), 64)
+			if err != nil {
+				continue
+			}
+			out[parts[0]] = ms / 1e3
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// recordServerTiming files one response's stage breakdown.
+func (c *loadClient) recordServerTiming(h string) {
+	for stage, secs := range parseServerTiming(h) {
+		c.stages.observe(stage, time.Duration(secs*float64(time.Second)))
+	}
 }
 
 // backoffDelay computes the wait before retry number attempt (0-based):
@@ -515,6 +569,7 @@ func (c *loadClient) do(newReq func() (*http.Request, error)) (*http.Response, [
 				continue
 			}
 		}
+		c.recordServerTiming(resp.Header.Get("Server-Timing"))
 		return resp, data, nil
 	}
 }

@@ -100,3 +100,45 @@ func TestParseRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming(`admit;dur=0.120, queue;dur=3.5;desc="actor queue", exec;dur="12.25"`)
+	want := map[string]float64{"admit": 0.000120, "queue": 0.0035, "exec": 0.01225}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for stage, secs := range want {
+		if d := got[stage] - secs; d > 1e-12 || d < -1e-12 {
+			t.Errorf("%s = %v, want %v", stage, got[stage], secs)
+		}
+	}
+	for name, h := range map[string]string{
+		"empty":       "",
+		"no dur":      `cache;desc="hit", cpu`,
+		"garbage dur": "db;dur=fast",
+		"only commas": ", ,",
+	} {
+		if got := parseServerTiming(h); got != nil {
+			t.Errorf("%s: parseServerTiming(%q) = %v, want nil", name, h, got)
+		}
+	}
+	// A malformed entry must not poison the valid ones around it.
+	got = parseServerTiming("bad;dur=x, good;dur=1000")
+	if len(got) != 1 || got["good"] != 1.0 {
+		t.Errorf("mixed header parsed to %v", got)
+	}
+}
+
+func TestRecordServerTiming(t *testing.T) {
+	lc := newLoadClient(nil, "", 1)
+	lc.recordServerTiming("queue;dur=2.0, exec;dur=8.0")
+	lc.recordServerTiming("queue;dur=4.0")
+	lc.recordServerTiming("") // no header: nothing recorded
+	summ := lc.stages.summarize()
+	if q, ok := summ["queue"]; !ok || q.Count != 2 {
+		t.Fatalf("queue summary = %+v", summ)
+	}
+	if e, ok := summ["exec"]; !ok || e.Count != 1 {
+		t.Fatalf("exec summary = %+v", summ)
+	}
+}

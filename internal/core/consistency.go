@@ -94,7 +94,12 @@ func (s *Session) revisit(tids []int) {
 			dirty = append(dirty, tid)
 		}
 	}
-	for _, nu := range s.gen.SuggestBatch(dirty) {
+	done := s.phase(PhaseSuggest)
+	batch := s.gen.SuggestBatch(dirty)
+	if done != nil {
+		done()
+	}
+	for _, nu := range batch {
 		s.index.Set(nu)
 	}
 }

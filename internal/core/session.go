@@ -150,6 +150,12 @@ type Session struct {
 
 	initialDirty int
 
+	// phaseHook, when set (see SetPhaseHook), observes the expensive engine
+	// phases. It is injected, unserialized observer state: the deterministic
+	// core never reads clocks itself, so stage timing lives in the closure
+	// the serving tier supplies.
+	phaseHook PhaseHook
+
 	// Applied counts cell changes written to the database (user confirms,
 	// learner confirms and forced constant-rule fixes).
 	Applied int
@@ -196,6 +202,38 @@ func NewSession(db *relation.DB, rules []*cfd.CFD, cfg Config) (*Session, error)
 		s.index.Set(u)
 	}
 	return s, nil
+}
+
+// PhaseHook observes named engine phases (PhaseSuggest, PhaseRerank,
+// PhaseRetrain). It is called when a phase begins and returns the function
+// to call when it ends (nil to skip this occurrence). Hooks must not mutate
+// session state — they exist so the serving tier can attribute latency
+// without the deterministic core reading clocks.
+type PhaseHook func(phase string) (done func())
+
+// Engine phase names passed to a PhaseHook.
+const (
+	// PhaseSuggest is one SuggestBatch regeneration of pending updates for
+	// tuples the consistency manager revisited.
+	PhaseSuggest = "suggest"
+	// PhaseRerank is the incremental VOI re-rank behind Groups(OrderVOI).
+	PhaseRerank = "rerank"
+	// PhaseRetrain is one lazy committee retrain inside Predict.
+	PhaseRetrain = "retrain"
+)
+
+// SetPhaseHook installs the phase observer (nil disables). The hook is not
+// part of the session's serialized state; a restored session starts with
+// none.
+func (s *Session) SetPhaseHook(h PhaseHook) { s.phaseHook = h }
+
+// phase begins a named phase, returning the end function (nil when no hook
+// is installed or the hook declines).
+func (s *Session) phase(name string) func() {
+	if s.phaseHook == nil {
+		return nil
+	}
+	return s.phaseHook(name)
 }
 
 // DB returns the instance under repair.
@@ -265,9 +303,13 @@ func (s *Session) RankingVersion() uint64 { return s.index.Version() }
 func (s *Session) Groups(order Order, rng *rand.Rand) []*group.Group {
 	switch order {
 	case OrderVOI:
+		done := s.phase(PhaseRerank)
 		s.refreshStaleAttrs()
 		gs, _ := s.index.Rank(s.staleKey, s.scoreGroups)
 		s.recordAttrSigs()
+		if done != nil {
+			done()
+		}
 		return gs
 	case OrderGreedy:
 		gs := s.index.Partition()
@@ -494,7 +536,21 @@ func (s *Session) Predict(u repair.Update) (learn.Label, learn.Votes, bool) {
 		return v.label, v.votes, v.ok
 	}
 	cats, sim := s.Features(u)
-	label, votes, ok := m.Predict(cats, sim)
+	var label learn.Label
+	var votes learn.Votes
+	var ok bool
+	if m.NeedsRetrain() {
+		// The retrain is the expensive part of this Predict; the phase span
+		// covers the whole call so the committee growth is attributed, not
+		// the cheap vote.
+		done := s.phase(PhaseRetrain)
+		label, votes, ok = m.Predict(cats, sim)
+		if done != nil {
+			done()
+		}
+	} else {
+		label, votes, ok = m.Predict(cats, sim)
+	}
 	if len(s.predCache) >= maxPredCache {
 		s.predCache = make(map[predKey]predVal)
 	}

@@ -201,6 +201,13 @@ func (m *Model) Gen() int64 { return int64(len(m.examples)) }
 // Ready reports whether the model has enough feedback to predict.
 func (m *Model) Ready() bool { return len(m.examples) >= m.minTrain }
 
+// NeedsRetrain reports whether the next Predict will grow a fresh forest —
+// the committee-retrain event observability layers want to time without
+// reaching into the lazy-training internals.
+func (m *Model) NeedsRetrain() bool {
+	return m.Ready() && (m.stale || m.forest == nil)
+}
+
 // Predict classifies a feature vector, retraining first if new examples
 // arrived. ok is false while the model is not Ready; callers should treat
 // such updates as maximally uncertain.

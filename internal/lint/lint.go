@@ -26,6 +26,7 @@ import (
 	"gdr/internal/lint/load"
 	"gdr/internal/lint/maprange"
 	"gdr/internal/lint/pkgdoc"
+	"gdr/internal/lint/rawlog"
 )
 
 // Analyzers returns the full gdrlint suite in display order.
@@ -36,6 +37,7 @@ func Analyzers() []*analysis.Analyzer {
 		guardedby.Analyzer,
 		maprange.Analyzer,
 		pkgdoc.Analyzer,
+		rawlog.Analyzer,
 	}
 }
 

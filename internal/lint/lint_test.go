@@ -86,7 +86,7 @@ var a int
 }
 
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"actorconfine", "detrand", "guardedby", "maprange", "pkgdoc"}
+	want := []string{"actorconfine", "detrand", "guardedby", "maprange", "pkgdoc", "rawlog"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,12 @@
+package rawlog_test
+
+import (
+	"testing"
+
+	"gdr/internal/lint/analysistest"
+	"gdr/internal/lint/rawlog"
+)
+
+func TestRawlog(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawlog.Analyzer, "a", "mainpkg")
+}

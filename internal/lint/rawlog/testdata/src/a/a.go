@@ -1,0 +1,38 @@
+// Package a is a rawlog fixture: a library package, so raw stdout/stderr
+// logging must flag while explicit-sink and pure-formatting calls stay clean.
+package a
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// Bad logs through ambient process-global sinks.
+func Bad(err error) {
+	log.Printf("boom: %v", err)  // want `call to log\.Printf in package a: raw default-logger output bypasses the daemon's structured logging`
+	log.Println("done")          // want `call to log\.Println in package a`
+	log.Print("hi")              // want `call to log\.Print in package a`
+	fmt.Println("progress", err) // want `call to fmt\.Println in package a: writing to ambient stdout from a library corrupts structured log streams`
+	fmt.Printf("%v\n", err)      // want `call to fmt\.Printf in package a`
+	fmt.Print("x")               // want `call to fmt\.Print in package a`
+}
+
+// Fatal exits through the default logger, which also hides the daemon's
+// drain path — doubly forbidden in a library.
+func Fatal(err error) {
+	log.Fatalf("fatal: %v", err) // want `call to log\.Fatalf in package a`
+	log.Fatal(err)               // want `call to log\.Fatal in package a`
+	log.Panicln(err)             // want `call to log\.Panicln in package a`
+}
+
+// Good renders through explicit sinks and injected loggers.
+func Good(w io.Writer, logger *slog.Logger, custom *log.Logger, err error) string {
+	fmt.Fprintf(w, "boom: %v\n", err)       // explicit writer: fine
+	fmt.Fprintln(os.Stderr, "boot warning") // still explicit, caller's choice
+	logger.Warn("boom", "err", err)         // the sanctioned path
+	custom.Printf("boom: %v", err)          // method on an injected *log.Logger
+	return fmt.Sprintf("boom: %v", err)     // pure formatting, no output
+}

@@ -1,0 +1,15 @@
+// Command mainpkg is a rawlog fixture: package main owns the terminal, so
+// raw log and fmt output is allowed here.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("usage: mainpkg [flags]")
+	fmt.Printf("pid %d\n", 1)
+	log.Printf("starting up")
+	log.Println("ready")
+}

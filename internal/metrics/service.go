@@ -50,6 +50,19 @@ func (g *Gauge) Add(d int64) { g.n.Add(d) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.n.Load() }
 
+// FloatGauge is a gauge holding a float64 (e.g. cumulative GC pause seconds
+// re-exported from runtime counters). The value is stored as its IEEE bits
+// in one atomic word, so Set and Value never tear.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // DefaultLatencyBuckets spans 100µs–10s in roughly 3×-ish steps — wide
 // enough for both the sub-millisecond status reads and multi-second
 // session-creation uploads of a repair service.
@@ -143,20 +156,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 // each family in first-registration order.
 type Registry struct {
 	mu       sync.Mutex
-	families []string              // gdr:guarded-by mu
-	series   map[string][]string   // gdr:guarded-by mu — family → series keys
-	counts   map[string]*Counter   // gdr:guarded-by mu — keyed by series
-	gauges   map[string]*Gauge     // gdr:guarded-by mu
-	hists    map[string]*Histogram // gdr:guarded-by mu
+	families []string               // gdr:guarded-by mu
+	series   map[string][]string    // gdr:guarded-by mu — family → series keys
+	counts   map[string]*Counter    // gdr:guarded-by mu — keyed by series
+	gauges   map[string]*Gauge      // gdr:guarded-by mu
+	fgauges  map[string]*FloatGauge // gdr:guarded-by mu
+	hists    map[string]*Histogram  // gdr:guarded-by mu
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		series: make(map[string][]string),
-		counts: make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
+		series:  make(map[string][]string),
+		counts:  make(map[string]*Counter),
+		gauges:  make(map[string]*Gauge),
+		fgauges: make(map[string]*FloatGauge),
+		hists:   make(map[string]*Histogram),
 	}
 }
 
@@ -224,12 +239,33 @@ func (r *Registry) LabeledCounter(name string, labels ...string) *Counter {
 
 // Gauge returns (registering on first use) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.LabeledGauge(name)
+}
+
+// LabeledGauge returns (registering on first use) the gauge for the family
+// with the given label pairs, e.g.
+// LabeledGauge("gdrd_build_info", "go_version", "go1.24.0").
+func (r *Registry) LabeledGauge(name string, labels ...string) *Gauge {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
+		r.registerLocked(name, key)
+	}
+	return g
+}
+
+// FloatGauge returns (registering on first use) the named float gauge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
 		r.registerLocked(name, name)
 	}
 	return g
@@ -238,13 +274,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns (registering on first use) the named histogram over
 // DefaultLatencyBuckets.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.LabeledHistogram(name)
+}
+
+// LabeledHistogram returns (registering on first use) the histogram for the
+// family with the given label pairs, e.g.
+// LabeledHistogram("gdrd_stage_seconds", "stage", "exec", "route", "feedback").
+// All series of one family share the DefaultLatencyBuckets bounds.
+func (r *Registry) LabeledHistogram(name string, labels ...string) *Histogram {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	h, ok := r.hists[key]
 	if !ok {
 		h = NewHistogram(nil)
-		r.hists[name] = h
-		r.registerLocked(name, name)
+		r.hists[key] = h
+		r.registerLocked(name, key)
 	}
 	return h
 }
@@ -265,13 +310,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		typed := false
 		for _, key := range keysOf[family] {
 			r.mu.Lock()
-			c, g, h := r.counts[key], r.gauges[key], r.hists[key]
+			c, g, fg, h := r.counts[key], r.gauges[key], r.fgauges[key], r.hists[key]
 			r.mu.Unlock()
 			var kind string
 			switch {
 			case c != nil:
 				kind = "counter"
-			case g != nil:
+			case g != nil, fg != nil:
 				kind = "gauge"
 			case h != nil:
 				kind = "histogram"
@@ -290,6 +335,8 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s %d\n", key, c.Value())
 			case g != nil:
 				_, err = fmt.Fprintf(w, "%s %d\n", key, g.Value())
+			case fg != nil:
+				_, err = fmt.Fprintf(w, "%s %g\n", key, fg.Value())
 			case h != nil:
 				err = h.writeProm(w, key)
 			}
@@ -301,23 +348,46 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-func (h *Histogram) writeProm(w io.Writer, name string) error {
+func (h *Histogram) writeProm(w io.Writer, key string) error {
 	h.mu.Lock()
 	uppers := h.uppers
 	counts := append([]uint64(nil), h.counts...)
 	sum, total := h.sum, h.total
 	h.mu.Unlock()
+	// A labeled series key arrives as family{a="b"}; the histogram's
+	// per-line suffixes (_bucket, _sum, _count) attach to the family, with
+	// the labels re-spliced inside each line's brace set.
+	family, labels := splitSeriesKey(key)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i, up := range uppers {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(up), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", family, labels, sep, trimFloat(up), cum); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(counts)-1]
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-		name, cum, name, sum, name, total)
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			family, cum, family, sum, family, total)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n%s_sum{%s} %g\n%s_count{%s} %d\n",
+		family, labels, cum, family, labels, sum, family, labels, total)
 	return err
+}
+
+// splitSeriesKey recovers the family name and the rendered label pairs
+// (without braces) from a seriesKey result.
+func splitSeriesKey(key string) (family, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1 : len(key)-1]
 }
 
 func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -107,3 +107,32 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("histogram count = %d", r.Histogram("h").Count())
 	}
 }
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	// Every observation past the last bucket: any quantile can only say
+	// "worse than the largest bound", i.e. +Inf — never a finite bound the
+	// data provably exceeded.
+	h := NewHistogram([]float64{0.01, 0.1})
+	for i := 0; i < 10; i++ {
+		h.Observe(99)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsInf(got, 1) {
+			t.Errorf("Quantile(%v) = %v, want +Inf with all mass in overflow", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// One finite bucket holding everything: every quantile collapses to its
+	// upper bound, including q=0 (rank clamps to 1, never to index -1).
+	h := NewHistogram([]float64{0.25})
+	for i := 0; i < 7; i++ {
+		h.Observe(0.2)
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 1} {
+		if got := h.Quantile(q); got != 0.25 {
+			t.Errorf("Quantile(%v) = %v, want 0.25", q, got)
+		}
+	}
+}

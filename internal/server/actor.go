@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gdr/internal/core"
 	"gdr/internal/faultfs"
 	"gdr/internal/metrics"
+	"gdr/internal/obs"
 )
 
 // ErrSessionClosed is returned for requests against a deleted or evicted
@@ -40,6 +43,13 @@ type actor struct {
 	sched  *sched
 	reg    *metrics.Registry
 	faults *faultfs.Injector
+
+	// cur is the trace of the command being executed right now. It is
+	// written and read only on the actor goroutine (set before run, cleared
+	// after), which is also where the session's phase hook fires — so engine
+	// phases can attach spans to the request that triggered them without any
+	// synchronization.
+	cur *obs.Trace
 }
 
 // command is one queued unit of session work. state is the handshake
@@ -50,6 +60,8 @@ type actor struct {
 type command struct {
 	state atomic.Int32
 	ctx   context.Context
+	name  string    // short verb for pprof labels and traces ("feedback", "encode", …)
+	enq   time.Time // when the command entered the queue, for the queue-wait span
 	run   func()
 	drop  func(error)
 }
@@ -81,6 +93,17 @@ func newActor(sess *core.Session, sch *sched, slots int, tenant string, queueDep
 		reg:    reg,
 		faults: faults,
 	}
+	// The phase hook lets the repair engine attribute its internal phases
+	// (suggest/rerank/retrain) to the request being executed. It fires on
+	// the actor goroutine, inside c.run, so reading a.cur needs no lock.
+	sess.SetPhaseHook(func(phase string) func() {
+		t := a.cur
+		if t == nil {
+			return nil
+		}
+		h := t.StartChild("exec", phase)
+		return h.End
+	})
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
@@ -101,13 +124,18 @@ func newActor(sess *core.Session, sch *sched, slots int, tenant string, queueDep
 					c.drop(errExpiredQueued())
 					continue
 				}
+				t := obs.FromContext(c.ctx)
+				parent := obs.SpanParent(c.ctx)
+				t.RecordSince("queue", parent, c.enq)
+				slotStart := time.Now()
 				if err := a.sched.acquire(c.ctx, a.tenant, a.slots); err != nil {
 					a.shed("deadline")
 					c.drop(errExpiredQueued())
 					continue
 				}
+				t.RecordSince("slot", parent, slotStart)
 				a.faults.Fault(faultfs.Actor) // chaos: slow actor, slots held
-				c.run()
+				a.runLabeled(t, parent, c)
 				a.sched.release(a.tenant, a.slots)
 			case <-a.done:
 				return
@@ -115,6 +143,23 @@ func newActor(sess *core.Session, sch *sched, slots int, tenant string, queueDep
 		}
 	}()
 	return a
+}
+
+// runLabeled executes one claimed command under an exec span and pprof
+// labels (tenant, route, cmd), so CPU profiles attribute actor work to the
+// traffic that caused it.
+func (a *actor) runLabeled(t *obs.Trace, parent string, c *command) {
+	h := t.StartChild(parent, "exec")
+	a.cur = t
+	route := t.Route()
+	if route == "" {
+		route = "none"
+	}
+	pprof.Do(c.ctx, pprof.Labels("tenant", metricTenant(a.tenant), "route", route, "cmd", c.name), func(context.Context) {
+		c.run()
+	})
+	a.cur = nil
+	h.End()
 }
 
 func (a *actor) queueGauge() *metrics.Gauge {
@@ -149,12 +194,12 @@ func metricTenant(tenant string) string {
 // goroutine and take every other tenant down. The panic comes back as this
 // call's error (the session may be mid-mutation — the caller decides
 // whether to keep using it).
-func (a *actor) do(ctx context.Context, fn func(sess *core.Session)) error {
+func (a *actor) do(ctx context.Context, name string, fn func(sess *core.Session)) error {
 	ran := make(chan struct{})
 	// cmdErr is written by whichever side resolves the command, always
 	// before close(ran), and read only after <-ran.
 	var cmdErr error
-	c := &command{ctx: ctx}
+	c := &command{ctx: ctx, name: name, enq: time.Now()}
 	c.run = func() {
 		defer close(ran)
 		defer func() {

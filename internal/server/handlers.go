@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"gdr/internal/core"
 	"gdr/internal/group"
+	"gdr/internal/obs"
 	"gdr/internal/repair"
 	"gdr/internal/snapshot"
 )
@@ -29,6 +31,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	obs.FromContext(r.Context()).SetSession(info.ID)
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{Session: info, Stats: statsBody(st)})
 }
 
@@ -125,7 +128,9 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*entry, bool) 
 	e, ok := s.store.GetFor(r.PathValue("id"), requestOwner(r))
 	if !ok {
 		writeNotFound(w, "session")
+		return e, ok
 	}
+	obs.FromContext(r.Context()).SetSession(e.id)
 	return e, ok
 }
 
@@ -200,7 +205,7 @@ func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 	var resp GroupsResponse
 	var etag string
 	var notModified bool
-	err = e.actor.do(r.Context(), func(sess *core.Session) {
+	err = e.actor.do(r.Context(), "groups", func(sess *core.Session) {
 		gs := sess.Groups(order, nil)
 		etag = groupsETag(e.etagSalt, orderName, limit, sess.RankingVersion())
 		if etagMatches(inm, etag) {
@@ -269,7 +274,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var resp UpdatesResponse
 	var empty bool
-	err = e.actor.do(r.Context(), func(sess *core.Session) {
+	err = e.actor.do(r.Context(), "updates", func(sess *core.Session) {
 		ups := sess.GroupUpdates(key)
 		if len(ups) == 0 {
 			empty = true
@@ -329,7 +334,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var resp FeedbackResponse
-	err := e.actor.do(r.Context(), func(sess *core.Session) {
+	err := e.actor.do(r.Context(), "feedback", func(sess *core.Session) {
 		resp = applyFeedbackBatch(sess, req)
 		// Bump on the actor, with the mutation it stamps: a snapshot
 		// encoded later on this goroutine always pairs a state with the
@@ -346,7 +351,8 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	// watermark stays behind) — the in-memory decision already happened, so
 	// the response still reports it.
 	if err := s.store.Checkpoint(r.Context(), e); err != nil {
-		s.logf("gdrd: checkpoint of session %s after feedback failed: %v", e.id, err)
+		s.log.Warn("checkpoint after feedback failed",
+			"session", e.id, "trace_id", obs.FromContext(r.Context()).ID(), "err", err)
 	}
 	s.reg.Histogram("gdrd_feedback_seconds").ObserveSince(start)
 	// Count per-item outcomes separately: stale is the multi-client
@@ -421,7 +427,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp StatusResponse
-	err := e.actor.do(r.Context(), func(sess *core.Session) {
+	err := e.actor.do(r.Context(), "status", func(sess *core.Session) {
 		resp.Stats = statsBody(sess.Stats())
 		ms := sess.ModelStats()
 		resp.Models = make([]ModelStatBody, len(ms))
@@ -452,7 +458,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var buf bytes.Buffer
-	err := e.actor.do(r.Context(), func(sess *core.Session) {
+	err := e.actor.do(r.Context(), "export", func(sess *core.Session) {
 		_ = sess.DB().WriteCSV(&buf)
 	})
 	if err != nil {
@@ -502,6 +508,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.collectRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.reg.WriteProm(w)
+}
+
+// collectRuntime refreshes the Go runtime gauges at scrape time — sampling
+// on demand keeps the daemon from paying ReadMemStats on any hot path.
+func (s *Server) collectRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("gdrd_goroutines").Set(int64(runtime.NumGoroutine()))
+	s.reg.Gauge("gdrd_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	s.reg.Gauge("gdrd_heap_objects").Set(int64(ms.HeapObjects))
+	s.reg.Gauge("gdrd_gc_cycles_total").Set(int64(ms.NumGC))
+	s.reg.FloatGauge("gdrd_gc_pause_seconds_total").Set(float64(ms.PauseTotalNs) / 1e9)
 }

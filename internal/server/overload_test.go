@@ -64,7 +64,7 @@ func jam(t *testing.T, e *entry) (release func()) {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		_ = e.actor.do(context.Background(), func(*core.Session) {
+		_ = e.actor.do(context.Background(), "test", func(*core.Session) {
 			close(entered)
 			<-done
 		})
@@ -122,7 +122,7 @@ func TestQueueFullSheds503(t *testing.T) {
 	// Fill the single queue slot with a background command...
 	queued := make(chan error, 1)
 	go func() {
-		queued <- e.actor.do(context.Background(), func(*core.Session) {})
+		queued <- e.actor.do(context.Background(), "test", func(*core.Session) {})
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for len(e.actor.cmds) == 0 {

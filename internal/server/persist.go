@@ -11,6 +11,7 @@ import (
 
 	"gdr/internal/core"
 	"gdr/internal/faultfs"
+	"gdr/internal/obs"
 	"gdr/internal/snapshot"
 )
 
@@ -34,13 +35,6 @@ func (s *Store) snapshotPath(e *entry) string {
 	return filepath.Join(s.dir, base)
 }
 
-// logff logs through the store's sink when one is configured.
-func (s *Store) logff(format string, args ...any) {
-	if s.logf != nil {
-		s.logf(format, args...)
-	}
-}
-
 // Snapshot encodes the session's current state on its actor goroutine and
 // returns the bytes; with persistence enabled the same bytes are also
 // written through the checkpoint path, so an explicit export doubles as a
@@ -54,10 +48,14 @@ func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
 		return nil, err
 	}
 	if s.dir != "" {
-		if err := s.persist(e, data, mut); err != nil {
+		t := obs.FromContext(ctx)
+		h := t.StartSpan("persist")
+		err := s.persist(e, data, mut, t)
+		h.End()
+		if err != nil {
 			s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
 			e.ckptFailed(s.now(), s.ckptEvery)
-			s.logff("gdrd: persisting snapshot of session %s: %v", e.id, err)
+			s.log.Warn("persisting snapshot failed", "session", e.id, "err", err)
 		} else {
 			e.ckptSucceeded()
 		}
@@ -75,14 +73,20 @@ func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
 	if s.dir == "" {
 		return nil
 	}
+	// The whole checkpoint is one "persist" span; the encode rides the actor
+	// queue with this span as its parent, so its queue/slot/exec spans nest
+	// under persist instead of reading as a second request.
+	t := obs.FromContext(ctx)
+	h := t.StartSpan("persist")
+	defer h.End()
 	start := time.Now()
-	data, mut, err := s.encode(ctx, e)
+	data, mut, err := s.encode(obs.WithSpanParent(ctx, "persist"), e)
 	if err != nil {
 		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
 		e.ckptFailed(s.now(), s.ckptEvery)
 		return err
 	}
-	if err := s.persist(e, data, mut); err != nil {
+	if err := s.persist(e, data, mut, t); err != nil {
 		s.reg.Counter("gdrd_checkpoint_failures_total").Inc()
 		e.ckptFailed(s.now(), s.ckptEvery)
 		return err
@@ -97,7 +101,7 @@ func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
 // which mutation sequence the captured state corresponds to.
 func (s *Store) encode(ctx context.Context, e *entry) (data []byte, mut uint64, err error) {
 	var encErr error
-	doErr := e.actor.do(ctx, func(sess *core.Session) {
+	doErr := e.actor.do(ctx, "encode", func(sess *core.Session) {
 		mut = e.mutSeq.Load()
 		data, encErr = snapshot.Encode(e.name, sess)
 	})
@@ -115,13 +119,13 @@ func (s *Store) encode(ctx context.Context, e *entry) (data []byte, mut uint64, 
 // the watermark is skipped: the file already holds that state (or newer),
 // and advancing nothing means mutations the snapshot missed stay dirty for
 // the flusher.
-func (s *Store) persist(e *entry, data []byte, mut uint64) error {
+func (s *Store) persist(e *entry, data []byte, mut uint64, t *obs.Trace) error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	if e.hasDurable && mut <= e.durableMut {
 		return nil
 	}
-	if err := writeAtomic(s.snapshotPath(e), data, s.faults); err != nil {
+	if err := writeAtomic(s.snapshotPath(e), data, s.faults, t); err != nil {
 		return err
 	}
 	e.durableMut = mut
@@ -135,28 +139,34 @@ func (s *Store) persist(e *entry, data []byte, mut uint64) error {
 // the same decision points a real disk fails at; an injected failure takes
 // the same cleanup path, which is how the chaos tests prove a failing disk
 // can never corrupt the previous snapshot.
-func writeAtomic(path string, data []byte, faults *faultfs.Injector) error {
+func writeAtomic(path string, data []byte, faults *faultfs.Injector, t *obs.Trace) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
+	h := t.StartChild("persist", "write")
 	if err = faults.Fault(faultfs.Write); err == nil {
 		_, err = f.Write(data)
 	}
+	h.End()
 	if err == nil {
+		h = t.StartChild("persist", "fsync")
 		if err = faults.Fault(faultfs.Sync); err == nil {
 			err = f.Sync()
 		}
+		h.End()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
+		h = t.StartChild("persist", "rename")
 		if err = faults.Fault(faultfs.Rename); err == nil {
 			err = os.Rename(tmp, path)
 		}
+		h.End()
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -173,7 +183,7 @@ func (s *Store) removeSnapshot(e *entry) {
 		return
 	}
 	if err := os.Remove(s.snapshotPath(e)); err != nil && !os.IsNotExist(err) {
-		s.logff("gdrd: removing snapshot of session %s: %v", e.id, err)
+		s.log.Warn("removing snapshot failed", "session", e.id, "err", err)
 	}
 }
 
@@ -185,12 +195,12 @@ func (s *Store) removeSnapshot(e *entry) {
 // inspection.
 func (s *Store) restoreDir() {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		s.logff("gdrd: creating data dir %s: %v", s.dir, err)
+		s.log.Error("creating data dir failed", "dir", s.dir, "err", err)
 		return
 	}
 	names, err := filepath.Glob(filepath.Join(s.dir, "*"+snapSuffix))
 	if err != nil {
-		s.logff("gdrd: scanning data dir %s: %v", s.dir, err)
+		s.log.Error("scanning data dir failed", "dir", s.dir, "err", err)
 		return
 	}
 	restored := 0
@@ -206,12 +216,12 @@ func (s *Store) restoreDir() {
 			tenant, token = "", base
 		}
 		if s.maxLive > 0 && len(s.entries) >= s.maxLive {
-			s.logff("gdrd: session cap %d reached; not restoring %s", s.maxLive, path)
+			s.log.Warn("session cap reached; not restoring", "cap", s.maxLive, "path", path)
 			break
 		}
 		e, err := s.restoreFile(token, tenant, path)
 		if err != nil {
-			s.logff("gdrd: skipping snapshot %s: %v", path, err)
+			s.log.Warn("skipping snapshot "+path, "err", err)
 			continue
 		}
 		s.entries[token] = e
@@ -219,7 +229,7 @@ func (s *Store) restoreDir() {
 	}
 	s.setLiveLocked()
 	if restored > 0 || len(names) > 0 {
-		s.logff("gdrd: restored %d session(s) from %s", restored, s.dir)
+		s.log.Info("restored sessions", "count", restored, "dir", s.dir)
 	}
 	s.reg.Counter("gdrd_sessions_restored_total").Add(int64(restored))
 }
@@ -274,7 +284,7 @@ func (s *Store) flusher() {
 			sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 			for _, e := range dirty {
 				if err := s.Checkpoint(context.Background(), e); err != nil {
-					s.logff("gdrd: periodic checkpoint of session %s failed: %v", e.id, err)
+					s.log.Warn("periodic checkpoint failed", "session", e.id, "err", err)
 				}
 			}
 		case <-s.flushStop:

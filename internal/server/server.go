@@ -40,13 +40,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"gdr/internal/core"
 	"gdr/internal/faultfs"
 	"gdr/internal/metrics"
+	"gdr/internal/obs"
 )
 
 // Upload and capacity errors, mapped to HTTP statuses by the handlers.
@@ -78,8 +83,20 @@ type Config struct {
 	// (clamped) Workers. Session.Workers defaults to 1 — the server scales
 	// across sessions.
 	Session core.Config
-	// Logf receives one line per request (nil disables logging).
+	// Logger receives the server's structured logs. nil falls back to Logf
+	// (wrapped in a line-rendering slog handler); with both unset the server
+	// is silent.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style log sink, kept for embedders and
+	// tests; ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Trace tunes request tracing. The zero value traces with defaults
+	// (ring of 256, slowest 32); Capacity < 0 disables tracing entirely at
+	// zero per-request cost.
+	Trace obs.Config
+	// SlowRequest promotes requests at least this slow to warn-level log
+	// lines (0 disables the slow-request escalation).
+	SlowRequest time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// DataDir enables durable sessions: every live session is checkpointed
@@ -144,10 +161,24 @@ type Server struct {
 	cfg           Config
 	store         *Store
 	reg           *metrics.Registry
+	log           *slog.Logger
+	tracer        *obs.Tracer
 	handler       http.Handler
 	started       time.Time
 	tenants       map[string]*tenantState // by bearer key; empty = open mode
 	defaultTenant *tenantState            // the implicit tenant of open mode
+}
+
+// logger resolves the configured log sinks to one non-nil structured logger.
+func (c Config) logger() *slog.Logger {
+	switch {
+	case c.Logger != nil:
+		return c.Logger
+	case c.Logf != nil:
+		return slog.New(obs.NewLogfHandler(c.Logf))
+	default:
+		return slog.New(slog.DiscardHandler)
+	}
 }
 
 // New builds a Server ready to serve via Handler.
@@ -177,10 +208,29 @@ func New(cfg Config) *Server {
 	reg.Histogram("gdrd_feedback_seconds")
 	reg.Histogram("gdrd_checkpoint_seconds")
 	reg.Histogram("gdrd_slot_wait_seconds")
+	reg.Gauge("gdrd_goroutines")
+	reg.Gauge("gdrd_heap_alloc_bytes")
+	reg.Gauge("gdrd_heap_objects")
+	reg.Gauge("gdrd_gc_cycles_total")
+	reg.FloatGauge("gdrd_gc_pause_seconds_total")
+	reg.LabeledGauge("gdrd_build_info", "go_version", runtime.Version(), "revision", buildRevision()).Set(1)
+	tracer := obs.NewTracer(cfg.Trace)
+	if tracer != nil {
+		// Every finished trace feeds the per-stage latency histograms; the
+		// label space is bounded (fixed stage names × the routeLabel set).
+		tracer.OnFinish = func(t *obs.Trace) {
+			route := t.Route()
+			for _, sp := range t.Spans() {
+				reg.LabeledHistogram("gdrd_stage_seconds", "stage", sp.Stage, "route", route).Observe(sp.Dur.Seconds())
+			}
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   NewStore(cfg, reg),
 		reg:     reg,
+		log:     cfg.logger(),
+		tracer:  tracer,
 		started: time.Now(),
 		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
 		defaultTenant: &tenantState{
@@ -205,8 +255,25 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.handler = s.instrument(s.admit(s.withDeadline(mux)))
 	return s
+}
+
+// buildRevision is the short VCS revision baked into the binary, for the
+// gdrd_build_info metric ("unknown" outside a stamped build).
+func buildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				if len(kv.Value) > 12 {
+					return kv.Value[:12]
+				}
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // Handler returns the fully instrumented HTTP handler.
@@ -224,38 +291,108 @@ func (s *Server) Store() *Store { return s.store }
 // stopped new traffic.
 func (s *Server) Close() { s.store.Close() }
 
-// logf logs through the configured sink, if any.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-// statusRecorder captures the response code for logging and metrics.
+// statusRecorder captures the response code for logging and metrics, and
+// injects the trace's Server-Timing header at the last possible moment —
+// when the handler commits the response — so it covers every stage recorded
+// up to then.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	trace       *obs.Trace
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if r.wroteHeader {
+		return
+	}
+	r.wroteHeader = true
 	r.status = code
+	if st := r.trace.ServerTiming(); st != "" {
+		r.Header().Set("Server-Timing", st)
+	}
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write catches handlers that never call WriteHeader explicitly (the CSV
+// export streams straight into Write), so the Server-Timing injection still
+// happens before the implicit 200.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.ResponseWriter.Write(b)
 }
 
 // exemptPath reports whether a path skips auth, admission and deadlines:
 // the probes must answer even when every tenant is over quota, or the
-// orchestrator would restart a healthy overloaded server.
+// orchestrator would restart a healthy overloaded server. The trace debug
+// endpoint is loopback-guarded instead of authenticated.
 func exemptPath(p string) bool {
-	return p == "/healthz" || p == "/metrics"
+	return p == "/healthz" || p == "/metrics" || p == "/debug/traces"
 }
 
-// instrument wraps the stack with body limiting, request logging and the
-// request counter/latency metrics.
+// routeLabel maps a request to a small fixed label set for metrics and
+// traces. It is hand-rolled rather than read from the mux (the matched
+// pattern is invisible to middleware outside the mux), and must stay
+// bounded — every value becomes a Prometheus label.
+func routeLabel(method, path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/metrics":
+		return "metrics"
+	case "/debug/traces":
+		return "traces"
+	}
+	rest, ok := strings.CutPrefix(path, "/v1/sessions")
+	if !ok {
+		return "other"
+	}
+	switch {
+	case rest == "" || rest == "/":
+		if method == http.MethodPost {
+			return "create"
+		}
+		return "list"
+	case strings.HasSuffix(rest, "/updates"):
+		return "updates"
+	case strings.HasSuffix(rest, "/groups"):
+		return "groups"
+	case strings.HasSuffix(rest, "/feedback"):
+		return "feedback"
+	case strings.HasSuffix(rest, "/status"):
+		return "status"
+	case strings.HasSuffix(rest, "/export"):
+		return "export"
+	case strings.HasSuffix(rest, "/snapshot"):
+		return "snapshot"
+	case method == http.MethodDelete:
+		return "delete"
+	}
+	return "other"
+}
+
+// instrument wraps the stack with body limiting, request tracing, logging
+// and the request counter/latency metrics. Non-exempt requests get a trace:
+// its ID is adopted from an incoming W3C traceparent header (and echoed
+// back with this server's span ID), the trace rides the request context
+// through every tier, and the response carries a Server-Timing header with
+// the stage breakdown.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		route := routeLabel(r.Method, r.URL.Path)
+		var t *obs.Trace
+		if !exemptPath(r.URL.Path) {
+			t = s.tracer.Start(r.Header.Get("Traceparent"), route)
+			if tp := t.TraceParent(); tp != "" {
+				w.Header().Set("Traceparent", tp)
+			}
+			r = r.WithContext(obs.NewContext(r.Context(), t))
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK, trace: t}
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
 		s.reg.Counter("gdrd_http_requests_total").Inc()
@@ -267,10 +404,70 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			s.reg.Counter("gdrd_http_errors_total").Inc()
 		}
 		s.reg.Histogram("gdrd_request_seconds").Observe(elapsed.Seconds())
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("%s %s %d %s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
-		}
+		t.Finish(rec.status)
+		s.logRequest(r, t, route, rec.status, elapsed)
 	})
+}
+
+// logRequest emits the per-request log line; requests at or above the
+// SlowRequest threshold escalate to warn level so slow outliers surface
+// without debug scraping.
+func (s *Server) logRequest(r *http.Request, t *obs.Trace, route string, status int, elapsed time.Duration) {
+	lvl, msg := slog.LevelInfo, "request"
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		lvl, msg = slog.LevelWarn, "slow request"
+	}
+	ctx := r.Context()
+	if !s.log.Enabled(ctx, lvl) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs,
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Duration("dur", elapsed.Round(time.Microsecond)),
+	)
+	if id := t.ID(); id != "" {
+		attrs = append(attrs, slog.String("trace_id", id))
+		if tn := t.Tenant(); tn != "" {
+			attrs = append(attrs, slog.String("tenant", tn))
+		}
+		if sid := t.Session(); sid != "" {
+			attrs = append(attrs, slog.String("session", sid))
+		}
+		if qw := t.SpanDur("queue"); qw > 0 {
+			attrs = append(attrs, slog.Duration("queue_wait", qw.Round(time.Microsecond)))
+		}
+	}
+	s.log.LogAttrs(ctx, lvl, msg, attrs...)
+}
+
+// handleTraces serves the retained traces. The endpoint is deliberately
+// loopback-only — traces carry tenant names and session tokens, so it must
+// never face the open network even on a misconfigured deploy; operators on
+// the box (or through a forwarded port) are the audience.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !loopbackAddr(r.RemoteAddr) {
+		writeJSON(w, http.StatusForbidden, ErrorBody{Error: "server: /debug/traces is loopback-only"})
+		return
+	}
+	s.tracer.Handler().ServeHTTP(w, r)
+}
+
+// TracesHandler exposes the raw trace debug handler for embedders that
+// mount it on their own (already loopback-bound) debug listener.
+func (s *Server) TracesHandler() http.Handler { return s.tracer.Handler() }
+
+// loopbackAddr reports whether a RemoteAddr is a loopback peer.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // admit is the admission-control middleware: authenticate, then enforce the
@@ -283,6 +480,7 @@ func (s *Server) admit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		admitStart := time.Now()
 		t, err := s.authenticate(r)
 		if err != nil {
 			s.reg.Counter("gdrd_auth_failures_total").Inc()
@@ -313,6 +511,10 @@ func (s *Server) admit(next http.Handler) http.Handler {
 				return
 			}
 			defer t.inflight.Add(-1)
+		}
+		if tr := obs.FromContext(r.Context()); tr != nil {
+			tr.SetTenant(metricTenant(t.cfg.Name))
+			tr.RecordSince("admit", "", admitStart)
 		}
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
 	})

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -40,10 +41,10 @@ type Store struct {
 	now        func() time.Time
 
 	// dir is the snapshot directory ("" disables persistence); ckptEvery
-	// the periodic flusher cadence; logf the store's log sink (may be nil).
+	// the periodic flusher cadence; log the store's structured sink (never nil).
 	dir       string
 	ckptEvery time.Duration
-	logf      func(format string, args ...any)
+	log       *slog.Logger
 
 	mu      sync.Mutex
 	entries map[string]*entry // gdr:guarded-by mu
@@ -222,7 +223,7 @@ func NewStore(cfg Config, reg *metrics.Registry) *Store {
 		now:         time.Now,
 		dir:         cfg.DataDir,
 		ckptEvery:   cfg.CheckpointEvery,
-		logf:        cfg.Logf,
+		log:         cfg.logger(),
 		entries:     make(map[string]*entry),
 		janitorStop: make(chan struct{}),
 		flushStop:   make(chan struct{}),
@@ -414,7 +415,7 @@ func (s *Store) CreateAs(ctx context.Context, tenant string, req CreateSessionRe
 	// durability watermark, so it counts as dirty until this lands; a
 	// failure here is retried by the periodic flusher.)
 	if err := s.Checkpoint(ctx, e); err != nil {
-		s.logff("gdrd: initial checkpoint of session %s failed: %v", token, err)
+		s.log.Warn("initial checkpoint failed", "session", token, "err", err)
 	}
 	return e.info(s.ttl), st, nil
 }
@@ -644,7 +645,7 @@ func (s *Store) Close() {
 			// session is going away either way.
 			if e.isDirty() {
 				if err := s.Checkpoint(context.Background(), e); err != nil {
-					s.logff("gdrd: final checkpoint of session %s failed: %v", e.id, err)
+					s.log.Warn("final checkpoint failed", "session", e.id, "err", err)
 				}
 			}
 		}

@@ -140,7 +140,7 @@ func TestStoreCloseStopsActors(t *testing.T) {
 		t.Fatal("session missing")
 	}
 	st.Close()
-	if err := e.actor.do(context.Background(), func(*core.Session) {}); err != ErrSessionClosed {
+	if err := e.actor.do(context.Background(), "test", func(*core.Session) {}); err != ErrSessionClosed {
 		t.Fatalf("do after close: %v", err)
 	}
 	if _, _, err := st.Create(context.Background(), fig1Request()); err != ErrSessionClosed {
@@ -163,7 +163,7 @@ func TestActorSerializesCommands(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_ = e.actor.do(context.Background(), func(*core.Session) {
+			_ = e.actor.do(context.Background(), "test", func(*core.Session) {
 				order = append(order, i)
 			})
 		}(i)
@@ -184,13 +184,13 @@ func TestActorContainsPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, _ := st.Get(info.ID)
-	err = e.actor.do(context.Background(), func(*core.Session) { panic("tenant edge case") })
+	err = e.actor.do(context.Background(), "test", func(*core.Session) { panic("tenant edge case") })
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panicking command: err = %v", err)
 	}
 	// The actor must still serve subsequent commands.
 	ran := false
-	if err := e.actor.do(context.Background(), func(*core.Session) { ran = true }); err != nil || !ran {
+	if err := e.actor.do(context.Background(), "test", func(*core.Session) { ran = true }); err != nil || !ran {
 		t.Fatalf("actor dead after contained panic: err=%v ran=%v", err, ran)
 	}
 }
@@ -207,7 +207,7 @@ func TestActorContextCancellation(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
-		_ = e.actor.do(context.Background(), func(*core.Session) {
+		_ = e.actor.do(context.Background(), "test", func(*core.Session) {
 			close(entered)
 			<-release
 		})
@@ -216,7 +216,7 @@ func TestActorContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	ranLate := make(chan struct{})
-	err = e.actor.do(ctx, func(*core.Session) { close(ranLate) })
+	err = e.actor.do(ctx, "test", func(*core.Session) { close(ranLate) })
 	close(release)
 	// A context that expires while the command is queued maps to the single
 	// deterministic overload error (503 + Retry-After on the wire), not the
@@ -228,7 +228,7 @@ func TestActorContextCancellation(t *testing.T) {
 	// The abandoned command must never execute once its caller was told it
 	// failed — otherwise an errored request is not safely retryable. Flush
 	// the queue with a follow-up command and check.
-	if err := e.actor.do(context.Background(), func(*core.Session) {}); err != nil {
+	if err := e.actor.do(context.Background(), "test", func(*core.Session) {}); err != nil {
 		t.Fatalf("follow-up command: %v", err)
 	}
 	select {

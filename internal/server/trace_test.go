@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gdr/internal/obs"
+)
+
+// feedbackFirstGroup drives one full feedback round (groups → updates →
+// confirm all) against a live test server, returning the response to the
+// feedback POST itself so callers can inspect its headers.
+func feedbackFirstGroup(t *testing.T, ts *httptest.Server, sessionID, traceparent string) *http.Response {
+	t.Helper()
+	base := ts.URL + "/v1/sessions/" + sessionID
+	var groups GroupsResponse
+	if code := doJSON(t, ts.Client(), "GET", base+"/groups?order=voi", nil, &groups); code != 200 {
+		t.Fatalf("groups: status %d", code)
+	}
+	if len(groups.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	var ups UpdatesResponse
+	if code := doJSON(t, ts.Client(), "GET", base+"/groups/"+groups.Groups[0].Key+"/updates", nil, &ups); code != 200 {
+		t.Fatalf("updates: status %d", code)
+	}
+	items := make([]FeedbackItem, len(ups.Updates))
+	for i, u := range ups.Updates {
+		items[i] = FeedbackItem{Tid: u.Tid, Attr: u.Attr, Value: u.Value, Feedback: "confirm"}
+	}
+	payload, err := json.Marshal(FeedbackRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/feedback", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("Traceparent", traceparent)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != 200 {
+		t.Fatalf("feedback: status %d", resp.StatusCode)
+	}
+	return resp
+}
+
+// TestRequestTracingEndToEnd drives a feedback round with persistence on and
+// checks the full observability contract: the traceparent echo, the
+// Server-Timing stage breakdown, and the span tree at /debug/traces showing
+// the request's path through the queue, the engine and the checkpoint
+// pipeline.
+func TestRequestTracingEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		DataDir: t.TempDir(),
+		Trace:   obs.Config{Seed: 42},
+	})
+	created := createFigure1Session(t, ts)
+
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	resp := feedbackFirstGroup(t, ts, created.Session.ID, inbound)
+
+	echo := resp.Header.Get("Traceparent")
+	tid, sid, ok := obs.ParseTraceParent(echo)
+	if !ok || tid != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("traceparent echo %q: want the inbound trace ID back", echo)
+	}
+	if sid == "00f067aa0ba902b7" {
+		t.Error("traceparent echo must carry this server's span ID, not the inbound parent's")
+	}
+	st := resp.Header.Get("Server-Timing")
+	for _, stage := range []string{"queue", "exec", "persist"} {
+		if !strings.Contains(st, stage+";dur=") {
+			t.Errorf("Server-Timing %q missing stage %q", st, stage)
+		}
+	}
+
+	// The trace debug endpoint (loopback, since httptest serves on 127.0.0.1)
+	// must show the feedback trace as a span tree.
+	var body obs.TracesBody
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/debug/traces", nil, &body); code != 200 {
+		t.Fatalf("/debug/traces: status %d", code)
+	}
+	if !body.Enabled || len(body.Recent) == 0 {
+		t.Fatalf("traces body: enabled=%v recent=%d", body.Enabled, len(body.Recent))
+	}
+	tr := body.Recent[0] // newest first; /debug/traces itself is untraced
+	if tr.Route != "feedback" || tr.TraceID != tid || tr.Status != 200 {
+		t.Fatalf("newest trace: %+v", tr)
+	}
+	if tr.Session != created.Session.ID {
+		t.Errorf("trace session = %q, want %q", tr.Session, created.Session.ID)
+	}
+	roots := map[string]obs.SpanJSON{}
+	var rootSum float64
+	for _, sp := range tr.Spans {
+		roots[sp.Stage] = sp
+		rootSum += sp.Seconds
+	}
+	for _, stage := range []string{"admit", "queue", "slot", "exec", "persist"} {
+		if _, ok := roots[stage]; !ok {
+			t.Errorf("span tree missing root stage %q (have %v)", stage, tr.Spans)
+		}
+	}
+	// Root stages are sequential, so their durations must not exceed the
+	// request's total (small epsilon for float rounding in the JSON).
+	if rootSum > tr.Seconds*1.01+0.001 {
+		t.Errorf("root stages sum to %fs > request total %fs", rootSum, tr.Seconds)
+	}
+	persistChildren := map[string]bool{}
+	for _, c := range roots["persist"].Children {
+		persistChildren[c.Stage] = true
+	}
+	for _, stage := range []string{"write", "fsync", "rename"} {
+		if !persistChildren[stage] {
+			t.Errorf("persist span missing child %q (have %v)", stage, roots["persist"].Children)
+		}
+	}
+}
+
+// TestTracesLoopbackOnly pins the access rule: traces carry tenant names and
+// session tokens, so a non-loopback peer gets 403 no matter what.
+func TestTracesLoopbackOnly(t *testing.T) {
+	srv := New(Config{Trace: obs.Config{Seed: 1}})
+	defer srv.Close()
+	for addr, want := range map[string]int{
+		"192.0.2.1:1234": http.StatusForbidden,
+		"127.0.0.1:5000": http.StatusOK,
+		"[::1]:5000":     http.StatusOK,
+		"10.0.0.8:443":   http.StatusForbidden,
+		"not-an-address": http.StatusForbidden,
+	} {
+		req := httptest.NewRequest("GET", "/debug/traces", nil)
+		req.RemoteAddr = addr
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("RemoteAddr %s: status %d, want %d", addr, rec.Code, want)
+		}
+	}
+}
+
+// TestTracingDisabled runs the stack with Capacity -1: requests must work
+// unchanged with no trace headers, and /debug/traces reports disabled.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Trace: obs.Config{Capacity: -1}})
+	created := createFigure1Session(t, ts)
+	resp := feedbackFirstGroup(t, ts, created.Session.ID, "")
+	if h := resp.Header.Get("Traceparent"); h != "" {
+		t.Errorf("disabled tracing still echoed traceparent %q", h)
+	}
+	if h := resp.Header.Get("Server-Timing"); h != "" {
+		t.Errorf("disabled tracing still sent Server-Timing %q", h)
+	}
+	var body obs.TracesBody
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/debug/traces", nil, &body); code != 200 {
+		t.Fatalf("/debug/traces: status %d", code)
+	}
+	if body.Enabled {
+		t.Error("traces body should report disabled")
+	}
+}
+
+// TestRouteLabel pins the bounded route label set — every value becomes a
+// Prometheus label, so unknown shapes must collapse to "other".
+func TestRouteLabel(t *testing.T) {
+	cases := []struct {
+		method, path, want string
+	}{
+		{"GET", "/healthz", "healthz"},
+		{"GET", "/metrics", "metrics"},
+		{"GET", "/debug/traces", "traces"},
+		{"POST", "/v1/sessions", "create"},
+		{"GET", "/v1/sessions", "list"},
+		{"GET", "/v1/sessions/abc/groups", "groups"},
+		{"GET", "/v1/sessions/abc/groups/k1/updates", "updates"},
+		{"POST", "/v1/sessions/abc/feedback", "feedback"},
+		{"GET", "/v1/sessions/abc/status", "status"},
+		{"GET", "/v1/sessions/abc/export", "export"},
+		{"POST", "/v1/sessions/abc/snapshot", "snapshot"},
+		{"DELETE", "/v1/sessions/abc", "delete"},
+		{"GET", "/v1/sessions/abc", "other"},
+		{"GET", "/nope", "other"},
+	}
+	for _, c := range cases {
+		if got := routeLabel(c.method, c.path); got != c.want {
+			t.Errorf("routeLabel(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}

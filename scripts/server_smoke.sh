@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Server smoke: build gdrd, boot it on a random port with a data dir, drive
 # one full feedback round with curl (create → groups → updates → feedback →
-# status → export), replay a small gdrload bench against the same daemon,
+# status → export), check the observability surface (Server-Timing +
+# traceparent on responses, the span tree at /debug/traces, JSON log lines
+# carrying trace_ids), replay a small gdrload bench against the same daemon,
 # then restart the daemon mid-run and verify the session survived with a
 # byte-identical export, and finally check the SIGTERM drain exits cleanly.
 # Needs curl and jq.
@@ -79,12 +81,24 @@ jq -e '.updates | length > 0' >/dev/null <<<"$updates"
 
 echo "== feedback round (confirm the whole group)"
 items=$(jq '[.updates[] | {tid, attr, value, feedback: "confirm"}]' <<<"$updates")
-fb=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+fb=$(curl -fsS -D "$workdir/fb-headers.txt" -X POST -H 'Content-Type: application/json' \
   -d "{\"items\": $items, \"sweep\": true}" "$sess/feedback")
 jq -e '.applied_delta >= 1' >/dev/null <<<"$fb"
+grep -qi '^server-timing:.*exec;dur=' "$workdir/fb-headers.txt"
+grep -qi '^traceparent: 00-' "$workdir/fb-headers.txt"
 
 echo "== status reflects the round"
 curl -fsS "$sess/status" | jq -e '.stats.applied >= 1' >/dev/null
+
+echo "== /debug/traces shows the feedback trace's span tree"
+traces=$(curl -fsS "$base/debug/traces")
+jq -e '.enabled and .finished_total >= 1' >/dev/null <<<"$traces"
+fbtrace=$(jq '[.recent[] | select(.route == "feedback")][0]' <<<"$traces")
+jq -e '.trace_id | length == 32' >/dev/null <<<"$fbtrace"
+jq -e '[.spans[].stage] | (index("queue") != null) and (index("exec") != null) and (index("persist") != null)' \
+  >/dev/null <<<"$fbtrace"
+jq -e '[.spans[] | select(.stage == "persist") | .children[].stage] | index("fsync") != null' \
+  >/dev/null <<<"$fbtrace"
 
 echo "== export the repaired instance"
 curl -fsS "$sess/export" -o "$workdir/repaired.csv"
@@ -94,9 +108,12 @@ echo "== metrics expose the traffic"
 curl -fsS "$base/metrics" -o "$workdir/metrics.txt"
 grep -q '^gdrd_sessions_live 1' "$workdir/metrics.txt"
 
-echo "== gdrload bench-smoke against the live daemon"
+echo "== gdrload bench-smoke against the live daemon (incl. server-side stage breakdown)"
 "$workdir/gdrload" -addr "$base" -sessions 4 -users 4 -rounds 4 -n 150 -seed 11 \
-  | jq -e '.feedback_rounds > 0 and (.sessions | length) == 4' >/dev/null
+  >"$workdir/gdrload.json"
+jq -e '.feedback_rounds > 0 and (.sessions | length) == 4' >/dev/null "$workdir/gdrload.json"
+jq -e '.server_stage_seconds.exec.count > 0 and .server_stage_seconds.queue.count > 0' \
+  >/dev/null "$workdir/gdrload.json"
 
 echo "== restart the daemon mid-run; the session must survive"
 stop_gdrd
@@ -122,6 +139,23 @@ if [ -e "$workdir/data/$id.snap" ]; then
   echo "deleted session left its snapshot behind" >&2
   exit 1
 fi
+
+echo "== JSON structured logs: request lines parse and carry a trace_id"
+stop_gdrd
+boot_gdrd -quiet=false -log-format=json
+curl -fsS "$base/v1/sessions" >/dev/null
+reqline=""
+for _ in $(seq 1 50); do
+  reqline=$(grep '"trace_id"' "$workdir/gdrd.log" | head -1 || true)
+  [ -n "$reqline" ] && break
+  sleep 0.1
+done
+if [ -z "$reqline" ]; then
+  echo "no JSON request log line with a trace_id:" >&2
+  cat "$workdir/gdrd.log" >&2
+  exit 1
+fi
+jq -e '.msg == "request" and (.trace_id | length == 32) and .route == "list"' >/dev/null <<<"$reqline"
 
 echo "== overload smoke: quota sheds carry Retry-After, healthy tenant unaffected"
 stop_gdrd
@@ -159,7 +193,11 @@ id2=$(curl -fsS -H 'Authorization: Bearer goodkey12345' \
 curl -fsS -H 'Authorization: Bearer goodkey12345' \
   "$base/v1/sessions/$id2/groups?order=voi&limit=1" \
   | jq -e '.groups | length >= 1' >/dev/null
-curl -fsS "$base/metrics" | grep -q 'gdrd_shed_total{reason="rate",tenant="tight"}'
+curl -fsS "$base/metrics" -o "$workdir/metrics.txt"
+grep -q 'gdrd_shed_total{reason="rate",tenant="tight"}' "$workdir/metrics.txt"
+grep -q '^gdrd_stage_seconds_count{' "$workdir/metrics.txt"
+grep -q '^gdrd_build_info{' "$workdir/metrics.txt"
+grep -q '^gdrd_goroutines ' "$workdir/metrics.txt"
 curl -fsS -X DELETE -H 'Authorization: Bearer goodkey12345' \
   "$base/v1/sessions/$id2" >/dev/null
 
