@@ -80,6 +80,7 @@ type options struct {
 	logLevel    string
 	traceCap    int
 	slowReq     time.Duration
+	cluster     bool
 }
 
 func main() {
@@ -102,6 +103,7 @@ func main() {
 	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.IntVar(&opts.traceCap, "trace", 256, "completed-trace ring size served at /debug/traces (-1 = disable tracing)")
 	flag.DurationVar(&opts.slowReq, "slow-request", time.Second, "log requests at least this slow at warn level (0 = disabled)")
+	flag.BoolVar(&opts.cluster, "cluster", false, "cluster-node mode: honor the gdrproxy placement headers (bind -addr to an internal interface)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -168,6 +170,7 @@ func run(ctx context.Context, opts options, ready chan<- string) error {
 		Faults:          faults,
 		Trace:           obs.Config{Capacity: opts.traceCap},
 		SlowRequest:     opts.slowReq,
+		ClusterMode:     opts.cluster,
 	})
 	defer srv.Close()
 	if opts.pprofPort != 0 {

@@ -130,7 +130,10 @@ func TestChaosSoak(t *testing.T) {
 		go func(i int, key string) {
 			defer workWG.Done()
 			var out bytes.Buffer
-			if err := run(addr, key, false, 1, users, rounds, n, 1, 31+int64(i), 4, false, &out); err != nil {
+			if err := run(runConfig{
+				addr: addr, key: key, sessions: 1, users: users, rounds: rounds,
+				n: n, ds: 1, seed: 31 + int64(i), workers: 4,
+			}, &out); err != nil {
 				errs[i] = fmt.Errorf("tenant %d load run: %w", i, err)
 				return
 			}

@@ -11,6 +11,14 @@
 //
 //	gdrload -addr http://localhost:8080 -sessions 4 -users 8 -n 400
 //	gdrload -selfhost -sessions 4 -users 8     # in-process server, loopback HTTP
+//	gdrload -proxy 3 -kill -sessions 4 -users 8  # in-process 3-node cluster
+//
+// -proxy N boots an in-process cluster — N cluster-mode gdrd nodes with
+// durable data dirs behind a real gdrproxy ring — and drives the load
+// through the gateway; the report gains a per-node distribution (requests,
+// owned sessions, migrations). -kill additionally crashes one node
+// mid-drive: the proxy's failover must restore its sessions onto the
+// survivors and every tenant must still finish.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -31,30 +40,49 @@ import (
 	"time"
 
 	"gdr"
+	"gdr/internal/cluster"
 	"gdr/internal/server"
 )
 
+// runConfig carries the benchmark knobs from flags (or tests) into run.
+type runConfig struct {
+	addr     string // base URL of an external gdrd ("" with selfhost/proxyN)
+	key      string // bearer API key ("" = no auth)
+	selfhost bool   // boot one in-process server
+	proxyN   int    // boot an in-process N-node cluster behind a proxy
+	kill     bool   // with proxyN: crash one node mid-drive
+	sessions int
+	users    int
+	rounds   int
+	n        int
+	ds       int
+	seed     int64
+	workers  int
+	sweep    bool
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "", "base URL of a running gdrd (e.g. http://localhost:8080)")
-		selfhost = flag.Bool("selfhost", false, "boot an in-process server on a loopback port instead of -addr")
-		sessions = flag.Int("sessions", 4, "concurrent repair sessions (tenants)")
-		users    = flag.Int("users", 8, "concurrent simulated users, round-robin across sessions")
-		rounds   = flag.Int("rounds", 50, "max feedback rounds per user")
-		n        = flag.Int("n", 400, "records per uploaded instance")
-		ds       = flag.Int("dataset", 1, "workload generator: 1 = hospital, 2 = census")
-		seed     = flag.Int64("seed", 7, "base seed; session i uploads seed+i")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "server worker budget (selfhost only)")
-		sweep    = flag.Bool("sweep", false, "ask for a learner sweep with every feedback round")
-		key      = flag.String("key", "", "bearer API key for an authenticated gdrd (-keyfile mode)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running gdrd (e.g. http://localhost:8080)")
+	flag.BoolVar(&cfg.selfhost, "selfhost", false, "boot an in-process server on a loopback port instead of -addr")
+	flag.IntVar(&cfg.proxyN, "proxy", 0, "boot an in-process N-node cluster behind a gdrproxy ring and drive through the gateway")
+	flag.BoolVar(&cfg.kill, "kill", false, "with -proxy: abruptly kill one node mid-drive; failover must finish the run")
+	flag.IntVar(&cfg.sessions, "sessions", 4, "concurrent repair sessions (tenants)")
+	flag.IntVar(&cfg.users, "users", 8, "concurrent simulated users, round-robin across sessions")
+	flag.IntVar(&cfg.rounds, "rounds", 50, "max feedback rounds per user")
+	flag.IntVar(&cfg.n, "n", 400, "records per uploaded instance")
+	flag.IntVar(&cfg.ds, "dataset", 1, "workload generator: 1 = hospital, 2 = census")
+	flag.Int64Var(&cfg.seed, "seed", 7, "base seed; session i uploads seed+i")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "server worker budget (selfhost and proxy modes)")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "ask for a learner sweep with every feedback round")
+	flag.StringVar(&cfg.key, "key", "", "bearer API key for an authenticated gdrd (-keyfile mode)")
 	flag.Parse()
-	if *addr == "" && !*selfhost {
-		fmt.Fprintln(os.Stderr, "gdrload: need -addr or -selfhost")
+	if cfg.addr == "" && !cfg.selfhost && cfg.proxyN == 0 {
+		fmt.Fprintln(os.Stderr, "gdrload: need -addr, -selfhost or -proxy")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *key, *selfhost, *sessions, *users, *rounds, *n, *ds, *seed, *workers, *sweep, os.Stdout); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gdrload:", err)
 		os.Exit(1)
 	}
@@ -82,6 +110,27 @@ type Report struct {
 	// opposed to the client-observed Latency above.
 	ServerStages map[string]LatSumm `json:"server_stage_seconds"`
 	Sessions     []SessionOutcome   `json:"sessions"`
+	// Cluster is the per-node distribution, present only in -proxy mode.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
+}
+
+// ClusterReport is the -proxy mode addendum: where the load actually
+// landed across the ring, and what the membership machinery did.
+type ClusterReport struct {
+	Nodes       int        `json:"nodes"`
+	KilledNode  string     `json:"killed_node,omitempty"`
+	RingVersion uint64     `json:"ring_version"`
+	Migrations  int64      `json:"migrations"`
+	Recovered   int64      `json:"recovered_sessions"`
+	PerNode     []NodeLoad `json:"per_node"`
+}
+
+// NodeLoad is one ring member's share of the drive.
+type NodeLoad struct {
+	URL      string `json:"url"`
+	Live     bool   `json:"live"`
+	Requests int64  `json:"requests"`
+	Sessions int    `json:"sessions_owned"`
 }
 
 // ReportConfig echoes the knobs that shaped the run.
@@ -178,11 +227,29 @@ type counters struct {
 	groups304 int
 }
 
-func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, seed int64, workers int, sweep bool, out io.Writer) error {
+func run(cfg runConfig, out io.Writer) error {
+	addr, key := cfg.addr, cfg.key
+	sessions, users, rounds := cfg.sessions, cfg.users, cfg.rounds
+	n, ds, seed, workers, sweep := cfg.n, cfg.ds, cfg.seed, cfg.workers, cfg.sweep
 	if sessions < 1 || users < 1 {
 		return fmt.Errorf("need at least one session and one user")
 	}
-	if selfhost {
+	if cfg.selfhost && cfg.proxyN > 0 {
+		return fmt.Errorf("pick one of -selfhost and -proxy")
+	}
+	if cfg.kill && cfg.proxyN < 2 {
+		return fmt.Errorf("-kill needs -proxy with at least 2 nodes")
+	}
+	var rig *clusterRig
+	switch {
+	case cfg.proxyN > 0:
+		var err error
+		if rig, err = startClusterRig(cfg.proxyN, workers, sessions); err != nil {
+			return err
+		}
+		defer rig.close()
+		addr = rig.url
+	case cfg.selfhost:
 		srv := server.New(server.Config{Workers: workers, MaxSessions: sessions + 1})
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -259,6 +326,7 @@ func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, se
 	var wg sync.WaitGroup
 	errc := make(chan error, users)
 	driveStart := time.Now()
+	driveDone := make(chan struct{})
 	for u := 0; u < users; u++ {
 		wg.Add(1)
 		go func(u int) {
@@ -269,11 +337,32 @@ func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, se
 			}
 		}(u)
 	}
+	if cfg.kill && rig != nil {
+		// Crash the node owning the first tenant's session once the drive
+		// is demonstrably under way; the failover path must finish the run.
+		threshold := users / 2
+		if threshold < 2 {
+			threshold = 2
+		}
+		go rig.killWhenBusy(&cnt, threshold, tenants[0].id, driveDone)
+	}
 	wg.Wait()
+	close(driveDone)
 	wall := time.Since(driveStart).Seconds()
 	close(errc)
 	for err := range errc {
 		return err
+	}
+
+	// The cluster distribution is read before teardown deletes the
+	// sessions, while ownership is still observable.
+	var clusterRep *ClusterReport
+	if rig != nil {
+		ids := make([]string, len(tenants))
+		for i, tn := range tenants {
+			ids[i] = tn.id
+		}
+		clusterRep = rig.report(ids)
 	}
 
 	// Final per-session state, then teardown.
@@ -321,6 +410,7 @@ func run(addr, key string, selfhost bool, sessions, users, rounds, n, ds int, se
 		Latency:      lats.summarize(),
 		ServerStages: lc.stages.summarize(),
 		Sessions:     outcomes,
+		Cluster:      clusterRep,
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -421,6 +511,181 @@ func workload(ds, n int, seed int64) (*gdr.Data, error) {
 		return gdr.CensusData(cfg), nil
 	default:
 		return nil, fmt.Errorf("unknown dataset %d (want 1 or 2)", ds)
+	}
+}
+
+// clusterRig is the -proxy in-process cluster: N cluster-mode gdrd
+// servers, each with its own durable data dir, behind a real gdrproxy
+// ring listening on a loopback gateway.
+type clusterRig struct {
+	proxy *cluster.Proxy
+	gwLn  net.Listener
+	gwHS  *http.Server
+	url   string
+	urls  []string // boot order, stable for reporting
+
+	mu     sync.Mutex
+	nodes  map[string]*rigNode // gdr:guarded-by mu
+	killed string              // gdr:guarded-by mu — URL of the crashed node ("" if none)
+}
+
+// rigNode is one in-process cluster member.
+type rigNode struct {
+	url     string
+	dataDir string
+	srv     *server.Server
+	hs      *http.Server
+}
+
+// startClusterRig boots n nodes and the proxy. The nodes share the load
+// generator's worker budget evenly-ish (at least 1 each).
+func startClusterRig(n, workers, sessions int) (*clusterRig, error) {
+	rig := &clusterRig{nodes: make(map[string]*rigNode, n)}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	perNode := workers / n
+	if perNode < 1 {
+		perNode = 1
+	}
+	dataDirs := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "gdrload-node-*")
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		srv := server.New(server.Config{
+			ClusterMode: true,
+			DataDir:     dir,
+			Workers:     perNode,
+			MaxSessions: sessions + 1,
+			Logger:      quiet,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			os.RemoveAll(dir)
+			rig.close()
+			return nil, err
+		}
+		node := &rigNode{
+			url:     "http://" + ln.Addr().String(),
+			dataDir: dir,
+			srv:     srv,
+			hs:      &http.Server{Handler: srv.Handler()},
+		}
+		go func() { _ = node.hs.Serve(ln) }()
+		rig.mu.Lock()
+		rig.nodes[node.url] = node
+		rig.mu.Unlock()
+		rig.urls = append(rig.urls, node.url)
+		dataDirs[node.url] = dir
+	}
+	p, err := cluster.New(cluster.Config{
+		Nodes:       rig.urls,
+		DataDirs:    dataDirs,
+		HealthEvery: 100 * time.Millisecond,
+		FailAfter:   2,
+		Logger:      quiet,
+	})
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.proxy = p
+	p.Start()
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.gwLn = gwLn
+	rig.gwHS = &http.Server{Handler: p.Handler()}
+	go func() { _ = rig.gwHS.Serve(gwLn) }()
+	rig.url = "http://" + gwLn.Addr().String()
+	return rig, nil
+}
+
+// killWhenBusy crashes the node owning the probe session once the drive
+// has completed at least minRounds feedback rounds (or gives up when the
+// drive finishes first).
+func (r *clusterRig) killWhenBusy(cnt *counters, minRounds int, probeToken string, done <-chan struct{}) {
+	for {
+		cnt.mu.Lock()
+		busy := cnt.rounds >= minRounds
+		cnt.mu.Unlock()
+		if busy {
+			break
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	victim := r.proxy.Ring().Lookup(probeToken)
+	r.mu.Lock()
+	node := r.nodes[victim]
+	if node == nil || r.killed != "" {
+		r.mu.Unlock()
+		return
+	}
+	r.killed = victim
+	r.mu.Unlock()
+	// Abrupt: close the listener mid-flight, nothing drains — the health
+	// loop must notice and restore the node's sessions from its data dir.
+	_ = node.hs.Close()
+	node.srv.Close()
+}
+
+// report reads the post-drive distribution off the ring and the proxy's
+// own metrics.
+func (r *clusterRig) report(sessionIDs []string) *ClusterReport {
+	ring := r.proxy.Ring()
+	reg := r.proxy.Registry()
+	r.mu.Lock()
+	killed := r.killed
+	r.mu.Unlock()
+	rep := &ClusterReport{
+		Nodes:       len(r.urls),
+		KilledNode:  killed,
+		RingVersion: ring.Version(),
+		Migrations:  reg.Counter("gdrproxy_migrations_total").Value(),
+		Recovered:   reg.Counter("gdrproxy_recovered_sessions_total").Value(),
+	}
+	for _, url := range r.urls {
+		owned := 0
+		for _, id := range sessionIDs {
+			if ring.Lookup(id) == url {
+				owned++
+			}
+		}
+		rep.PerNode = append(rep.PerNode, NodeLoad{
+			URL:      url,
+			Live:     ring.Has(url),
+			Requests: reg.LabeledCounter("gdrproxy_requests_total", "node", url).Value(),
+			Sessions: owned,
+		})
+	}
+	return rep
+}
+
+// close tears the rig down and removes the node data dirs.
+func (r *clusterRig) close() {
+	if r.gwHS != nil {
+		_ = r.gwHS.Close()
+	}
+	if r.proxy != nil {
+		r.proxy.Close()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, url := range r.urls {
+		node := r.nodes[url]
+		if url != r.killed {
+			_ = node.hs.Close()
+			node.srv.Close()
+		}
+		os.RemoveAll(node.dataDir)
 	}
 }
 

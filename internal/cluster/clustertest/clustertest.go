@@ -1,0 +1,257 @@
+// Package clustertest boots a real multi-node gdrd cluster inside one test
+// process: K genuine server.Server instances (cluster mode, each with its
+// own snapshot directory) listening on loopback ports, fronted by a real
+// cluster.Proxy. Tests drive oracle repair traffic through the proxy,
+// inject ring changes (graceful drains, node crashes, fault-injected
+// migrations) mid-session, and assert that a migrated session remains
+// byte-identical to an unmigrated control at the same trace point — the
+// equivalence bar that proves live migration safe.
+package clustertest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"gdr/internal/cluster"
+	"gdr/internal/core"
+	"gdr/internal/faultfs"
+	"gdr/internal/server"
+)
+
+// Node is one booted gdrd server.
+type Node struct {
+	URL     string
+	DataDir string
+
+	srv *server.Server
+	hs  *http.Server
+	ln  net.Listener
+}
+
+// Options shapes a test cluster.
+type Options struct {
+	// N is the node count (default 3).
+	N int
+	// VNodes overrides the ring's virtual-node count (ring default if 0).
+	VNodes int
+	// Workers is each node's CPU-slot budget (default 2).
+	Workers int
+	// SessionWorkers is each session's intra-request fan-out (default 1).
+	SessionWorkers int
+	// Faults plugs a proxy-side injector into the migration machinery.
+	Faults *faultfs.Injector
+	// HealthEvery / FailAfter / SettleGrace tune the membership loop
+	// (fast test defaults: 50ms / 2 / 250ms).
+	HealthEvery time.Duration
+	FailAfter   int
+	SettleGrace time.Duration
+}
+
+// Cluster is the booted rig: nodes, proxy, and the proxy's front door.
+type Cluster struct {
+	tb      testing.TB
+	opts    Options
+	Nodes   []*Node
+	Proxy   *cluster.Proxy
+	Gateway *httptest.Server
+}
+
+// quietLogger drops everything below Error — the rig boots and kills whole
+// servers, and their routine lifecycle chatter would bury test output.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Start boots the rig and registers cleanup on tb.
+func Start(tb testing.TB, opts Options) *Cluster {
+	tb.Helper()
+	if opts.N <= 0 {
+		opts.N = 3
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.SessionWorkers <= 0 {
+		opts.SessionWorkers = 1
+	}
+	if opts.HealthEvery <= 0 {
+		opts.HealthEvery = 50 * time.Millisecond
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 2
+	}
+	if opts.SettleGrace <= 0 {
+		opts.SettleGrace = 250 * time.Millisecond
+	}
+	c := &Cluster{tb: tb, opts: opts}
+	urls := make([]string, opts.N)
+	dataDirs := make(map[string]string, opts.N)
+	for i := 0; i < opts.N; i++ {
+		n := c.bootNode(tb.TempDir())
+		c.Nodes = append(c.Nodes, n)
+		urls[i] = n.URL
+		dataDirs[n.URL] = n.DataDir
+	}
+	p, err := cluster.New(cluster.Config{
+		Nodes:       urls,
+		DataDirs:    dataDirs,
+		VNodes:      opts.VNodes,
+		HealthEvery: opts.HealthEvery,
+		FailAfter:   opts.FailAfter,
+		SettleGrace: opts.SettleGrace,
+		Logger:      quietLogger(),
+		Faults:      opts.Faults,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.Proxy = p
+	p.Start()
+	c.Gateway = httptest.NewServer(p.Handler())
+	tb.Cleanup(c.Close)
+	return c
+}
+
+// bootNode starts one real gdrd server on a loopback port.
+func (c *Cluster) bootNode(dataDir string) *Node {
+	c.tb.Helper()
+	srv := server.New(server.Config{
+		ClusterMode: true,
+		DataDir:     dataDir,
+		Workers:     c.opts.Workers,
+		TTL:         time.Hour,
+		Session:     core.Config{Workers: c.opts.SessionWorkers},
+		Logger:      quietLogger(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	n := &Node{
+		URL:     "http://" + ln.Addr().String(),
+		DataDir: dataDir,
+		srv:     srv,
+		hs:      &http.Server{Handler: srv.Handler()},
+		ln:      ln,
+	}
+	go func() {
+		if err := n.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			// The rig closes listeners on purpose; anything else is test noise
+			// worth surfacing.
+			os.Stderr.WriteString("clustertest: node serve: " + err.Error() + "\n")
+		}
+	}()
+	return n
+}
+
+// URL is the cluster's front door — clients talk only to the proxy.
+func (c *Cluster) URL() string { return c.Gateway.URL }
+
+// Client returns the gateway's HTTP client.
+func (c *Cluster) Client() *http.Client { return c.Gateway.Client() }
+
+// Kill makes node i drop off the network abruptly, like a crashed process:
+// its listener closes mid-flight and nothing drains. The node's snapshot
+// directory survives — that is what the proxy's failover restores from.
+func (c *Cluster) Kill(i int) {
+	c.tb.Helper()
+	n := c.Nodes[i]
+	if n.hs == nil {
+		return
+	}
+	_ = n.hs.Close()
+	n.srv.Close()
+	n.hs = nil
+}
+
+// Restart boots a replacement server for a killed node on the same
+// address and data dir — the "replacement node" heal path. The health loop
+// re-admits it once it answers probes.
+func (c *Cluster) Restart(i int) {
+	c.tb.Helper()
+	n := c.Nodes[i]
+	if n.hs != nil {
+		c.tb.Fatal("clustertest: Restart of a live node")
+	}
+	srv := server.New(server.Config{
+		ClusterMode: true,
+		DataDir:     n.DataDir,
+		Workers:     c.opts.Workers,
+		TTL:         time.Hour,
+		Session:     core.Config{Workers: c.opts.SessionWorkers},
+		Logger:      quietLogger(),
+	})
+	ln, err := net.Listen("tcp", n.ln.Addr().String())
+	if err != nil {
+		c.tb.Fatalf("clustertest: rebinding %s: %v", n.URL, err)
+	}
+	n.srv = srv
+	n.ln = ln
+	n.hs = &http.Server{Handler: srv.Handler()}
+	go func() { _ = n.hs.Serve(ln) }()
+}
+
+// Drain gracefully removes node i from the ring, migrating its sessions.
+func (c *Cluster) Drain(ctx context.Context, i int) error {
+	return c.Proxy.RemoveNode(ctx, c.Nodes[i].URL)
+}
+
+// AddBack re-admits a drained node and rebalances onto it.
+func (c *Cluster) AddBack(ctx context.Context, i int) error {
+	return c.Proxy.AddNode(ctx, c.Nodes[i].URL)
+}
+
+// Owner returns the index of the node currently owning a token on the
+// ring, or -1.
+func (c *Cluster) Owner(token string) int {
+	owner := c.Proxy.Ring().Lookup(token)
+	for i, n := range c.Nodes {
+		if n.URL == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// WaitRing blocks until the ring's live member count reaches want (the
+// health loop runs asynchronously) or the deadline passes.
+func (c *Cluster) WaitRing(want int, deadline time.Duration) {
+	c.tb.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		if c.Proxy.Ring().Len() == want {
+			return
+		}
+		if time.Now().After(end) {
+			c.tb.Fatalf("clustertest: ring never reached %d live nodes (have %d)", want, c.Proxy.Ring().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close tears the whole rig down.
+func (c *Cluster) Close() {
+	if c.Gateway != nil {
+		c.Gateway.Close()
+		c.Gateway = nil
+	}
+	if c.Proxy != nil {
+		c.Proxy.Close()
+		c.Proxy = nil
+	}
+	for _, n := range c.Nodes {
+		if n.hs != nil {
+			_ = n.hs.Close()
+			n.srv.Close()
+			n.hs = nil
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package clustertest
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"gdr/internal/core"
+	"gdr/internal/server"
+)
+
+// newControlServer boots a standalone single gdrd — the unmigrated control
+// the cluster session is compared against.
+func newControlServer(t testing.TB, workers, sessionWorkers int) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{
+		Workers: workers,
+		Session: core.Config{Workers: sessionWorkers},
+		Logger:  quietLogger(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// runMigrationEquivalence drives one cluster session and one standalone
+// control session in lockstep through the oracle repair loop, forces ring
+// changes mid-session (a graceful drain while the session is half
+// repaired, then the drained node's return), and asserts the migrated
+// session is byte-identical to the control at every compared trace point.
+func runMigrationEquivalence(t *testing.T, workers, sessionWorkers, n, maxRounds int) {
+	t.Helper()
+	const seed = int64(11)
+	csvText, rulesText, d := hospitalUpload(t, n, seed)
+
+	c := Start(t, Options{N: 3, Workers: workers, SessionWorkers: sessionWorkers})
+	control := newControlServer(t, workers, sessionWorkers)
+
+	clusterSess := createSession(t, c.Client(), c.URL(), csvText, rulesText, seed)
+	controlSess := createSession(t, control.Client(), control.URL, csvText, rulesText, seed)
+
+	// The proxy placed the session on its ring owner.
+	firstOwner := c.Owner(clusterSess.id)
+	if firstOwner < 0 {
+		t.Fatalf("session %s has no ring owner", clusterSess.id)
+	}
+
+	migrated := false
+	returned := false
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		clusterTrace, more := driveRound(t, clusterSess, d.Truth)
+		controlTrace, controlMore := driveRound(t, controlSess, d.Truth)
+		if more != controlMore {
+			t.Fatalf("round %d: cluster done=%v but control done=%v", rounds, !more, !controlMore)
+		}
+		if !more {
+			break
+		}
+		if !reflect.DeepEqual(clusterTrace, controlTrace) {
+			t.Fatalf("round %d diverges:\ncluster: %+v\ncontrol: %+v", rounds, clusterTrace, controlTrace)
+		}
+		switch rounds {
+		case 2:
+			// Mid-session ring change #1: gracefully drain the node that
+			// owns the session, forcing a live migration.
+			if err := c.Drain(context.Background(), firstOwner); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			newOwner := c.Owner(clusterSess.id)
+			if newOwner == firstOwner || newOwner < 0 {
+				t.Fatalf("session still owned by drained node %d", firstOwner)
+			}
+			migrated = true
+			// The moved session must be byte-identical right now, not just
+			// at the end.
+			mustEqualObservation(t, "post-migration", observe(t, clusterSess), observe(t, controlSess))
+		case 4:
+			// Ring change #2: the node returns; if the token hashes back to
+			// it, the session migrates home again.
+			if err := c.AddBack(context.Background(), firstOwner); err != nil {
+				t.Fatalf(" add back: %v", err)
+			}
+			returned = true
+			mustEqualObservation(t, "post-return", observe(t, clusterSess), observe(t, controlSess))
+		}
+	}
+	if !migrated || !returned {
+		t.Fatalf("test never exercised both ring changes (rounds=%d migrated=%v returned=%v)", rounds, migrated, returned)
+	}
+	if rounds < 5 {
+		t.Fatalf("repair finished after %d rounds — too few to cover the ring changes", rounds)
+	}
+	// Final trace point: the fully driven session, after two migrations,
+	// against the never-migrated control.
+	mustEqualObservation(t, "final", observe(t, clusterSess), observe(t, controlSess))
+
+	// The session must have actually repaired something.
+	var status map[string]any
+	if code := doJSON(t, clusterSess.client, "GET", clusterSess.url("/status"), nil, &status); code != 200 {
+		t.Fatalf("status: %d", code)
+	}
+	stats := status["stats"].(map[string]any)
+	if stats["applied"].(float64) == 0 {
+		t.Fatal("no repairs applied over the whole drive")
+	}
+}
+
+// TestClusterMigrationEquivalenceSerial is the tentpole assertion: a
+// session that lived on three different nodes over its lifetime is
+// byte-identical — groups, updates, status, export — to one that never
+// moved.
+func TestClusterMigrationEquivalenceSerial(t *testing.T) {
+	n, rounds := 150, 120
+	if testing.Short() {
+		n, rounds = 90, 80
+	}
+	runMigrationEquivalence(t, 2, 1, n, rounds)
+}
+
+// TestClusterMigrationEquivalenceWorkers4 re-runs the equivalence drive
+// with intra-session parallelism (workers=4): migration must preserve
+// byte-identity under the parallel scoring paths too.
+func TestClusterMigrationEquivalenceWorkers4(t *testing.T) {
+	n, rounds := 120, 100
+	if testing.Short() {
+		n, rounds = 80, 60
+	}
+	runMigrationEquivalence(t, 8, 4, n, rounds)
+}

@@ -1,0 +1,244 @@
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gdr/internal/dataset"
+	"gdr/internal/relation"
+	"gdr/internal/server"
+)
+
+// Test-only oracle driver: the same Procedure-1 loop the single-node
+// equivalence suite drives, generalized to any base URL so one driver can
+// run lockstep against the cluster gateway and a standalone control node.
+
+// hospitalUpload renders a generated workload in the upload formats.
+func hospitalUpload(t testing.TB, n int, seed int64) (csvText, rulesText string, d *dataset.Data) {
+	t.Helper()
+	d = dataset.Hospital(dataset.Config{N: n, Seed: seed, DirtyRate: 0.3})
+	var buf bytes.Buffer
+	if err := d.Dirty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rules strings.Builder
+	for _, r := range d.Rules {
+		rules.WriteString(r.String())
+		rules.WriteString("\n")
+	}
+	return buf.String(), rules.String(), d
+}
+
+// oracleVerb makes the paper's simulated-user decision from ground truth.
+func oracleVerb(truthVal, suggested, current string) string {
+	switch {
+	case suggested == truthVal:
+		return "confirm"
+	case current == truthVal:
+		return "retain"
+	default:
+		return "reject"
+	}
+}
+
+// roundTrace is one round's observable outcome, compared across drivers.
+type roundTrace struct {
+	GroupAttr    string
+	GroupValue   string
+	Verbs        []string
+	Applied      int
+	ForcedFixes  int
+	Pending      int
+	Dirty        int
+	LearnerMoves int
+}
+
+// sessionHandle is one driveable session behind some base URL.
+type sessionHandle struct {
+	client *http.Client
+	base   string // e.g. http://host/v1/sessions
+	id     string
+}
+
+func (h *sessionHandle) url(suffix string) string {
+	return h.base + "/" + h.id + suffix
+}
+
+// doJSON issues one request, retrying the cluster's 503 shed dialect, and
+// decodes the JSON response.
+func doJSON(t testing.TB, client *http.Client, method, url string, body any, out any) int {
+	t.Helper()
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = b
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < 50 {
+			continue // migration window; the Retry-After dialect says try again
+		}
+		if out != nil && len(data) > 0 && resp.StatusCode < 300 {
+			if err := json.Unmarshal(data, out); err != nil {
+				t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+			}
+		}
+		return resp.StatusCode
+	}
+}
+
+// getBytes fetches a URL's raw body (retrying 503s), for byte-identity
+// comparisons.
+func getBytes(t testing.TB, client *http.Client, url string) []byte {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < 50 {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+		}
+		return data
+	}
+}
+
+// createSession opens a session and returns its handle.
+func createSession(t testing.TB, client *http.Client, baseURL, csvText, rulesText string, seed int64) *sessionHandle {
+	t.Helper()
+	var created server.CreateSessionResponse
+	code := doJSON(t, client, "POST", baseURL+"/v1/sessions",
+		server.CreateSessionRequest{CSV: csvText, Rules: rulesText, Seed: seed}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	return &sessionHandle{client: client, base: baseURL + "/v1/sessions", id: created.Session.ID}
+}
+
+// driveRound plays one top-VOI feedback round. ok=false means the session
+// has no groups left — fully repaired.
+func driveRound(t testing.TB, h *sessionHandle, truth *relation.DB) (roundTrace, bool) {
+	t.Helper()
+	var groups server.GroupsResponse
+	if code := doJSON(t, h.client, "GET", h.url("/groups?order=voi"), nil, &groups); code != 200 {
+		t.Fatalf("groups: status %d", code)
+	}
+	if len(groups.Groups) == 0 {
+		return roundTrace{}, false
+	}
+	g := groups.Groups[0]
+	var ups server.UpdatesResponse
+	if code := doJSON(t, h.client, "GET", h.url("/groups/"+g.Key+"/updates"), nil, &ups); code != 200 {
+		t.Fatalf("updates: status %d", code)
+	}
+	items := make([]server.FeedbackItem, len(ups.Updates))
+	verbs := make([]string, len(ups.Updates))
+	for i, u := range ups.Updates {
+		verbs[i] = oracleVerb(truth.Get(u.Tid, u.Attr), u.Value, u.Current)
+		items[i] = server.FeedbackItem{Tid: u.Tid, Attr: u.Attr, Value: u.Value, Feedback: verbs[i]}
+	}
+	var fb server.FeedbackResponse
+	if code := doJSON(t, h.client, "POST", h.url("/feedback"),
+		server.FeedbackRequest{Items: items, Sweep: true}, &fb); code != 200 {
+		t.Fatalf("feedback: status %d", code)
+	}
+	return roundTrace{
+		GroupAttr:    g.Attr,
+		GroupValue:   g.Value,
+		Verbs:        verbs,
+		Applied:      fb.Stats.Applied,
+		ForcedFixes:  fb.Stats.ForcedFixes,
+		Pending:      fb.Stats.Pending,
+		Dirty:        fb.Stats.Dirty,
+		LearnerMoves: len(fb.LearnerDecisions),
+	}, true
+}
+
+// observe captures every byte-comparable view of a session at the current
+// trace point: the ranked groups body, the first group's updates body, the
+// status stats+models, and the CSV export.
+type observation struct {
+	groups  string
+	updates string
+	stats   string
+	models  string
+	export  string
+}
+
+func observe(t testing.TB, h *sessionHandle) observation {
+	t.Helper()
+	var o observation
+	o.groups = string(getBytes(t, h.client, h.url("/groups?order=voi")))
+	var groups server.GroupsResponse
+	if err := json.Unmarshal([]byte(o.groups), &groups); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups.Groups) > 0 {
+		o.updates = string(getBytes(t, h.client, h.url("/groups/"+groups.Groups[0].Key+"/updates")))
+	}
+	// Status carries per-instance metadata (token, timestamps); the
+	// byte-comparable parts are the stats and model assessments.
+	var status map[string]json.RawMessage
+	if err := json.Unmarshal(getBytes(t, h.client, h.url("/status")), &status); err != nil {
+		t.Fatal(err)
+	}
+	o.stats = string(status["stats"])
+	o.models = string(status["models"])
+	o.export = string(getBytes(t, h.client, h.url("/export")))
+	return o
+}
+
+// mustEqualObservation asserts two sessions are byte-identical at the same
+// trace point.
+func mustEqualObservation(t testing.TB, label string, got, want observation) {
+	t.Helper()
+	if got.groups != want.groups {
+		t.Fatalf("%s: /groups diverges:\n got: %s\nwant: %s", label, got.groups, want.groups)
+	}
+	if got.updates != want.updates {
+		t.Fatalf("%s: /updates diverges:\n got: %s\nwant: %s", label, got.updates, want.updates)
+	}
+	if got.stats != want.stats {
+		t.Fatalf("%s: status stats diverge:\n got: %s\nwant: %s", label, got.stats, want.stats)
+	}
+	if got.models != want.models {
+		t.Fatalf("%s: status models diverge:\n got: %s\nwant: %s", label, got.models, want.models)
+	}
+	if got.export != want.export {
+		t.Fatalf("%s: /export diverges (%d vs %d bytes)", label, len(got.export), len(want.export))
+	}
+}

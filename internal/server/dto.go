@@ -42,6 +42,17 @@ type CreateSessionRequest struct {
 	// session — CSV, Rules and Seed must be absent; Workers may still
 	// override the restored session's fan-out (clamped to the budget).
 	Snapshot []byte `json:"snapshot,omitempty"`
+	// Token pre-assigns the session's token instead of generating one. It
+	// is the cluster-placement hook — the routing proxy chooses tokens so
+	// they consistent-hash to the node it creates the session on, and a
+	// migrated session keeps the token its clients hold. It never travels
+	// in a body: only the X-GDR-Assign-Token header sets it, and only with
+	// Config.ClusterMode or an admin tenant (403 otherwise).
+	Token string `json:"-"`
+	// Tenant pre-assigns the session's owning tenant — the migration
+	// import path preserves ownership across nodes with it. Header-only
+	// (X-GDR-Assign-Tenant) and gated exactly like Token.
+	Tenant string `json:"-"`
 }
 
 // SessionInfo describes one live session.

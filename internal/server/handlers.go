@@ -18,6 +18,15 @@ import (
 	"gdr/internal/snapshot"
 )
 
+// Cluster placement headers: the routing proxy pre-assigns the token a new
+// session lives under (so it consistent-hashes to the node being asked) and
+// the tenant a migrated session keeps belonging to. Header-only on purpose:
+// they never round-trip through bodies a tenant composes.
+const (
+	AssignTokenHeader  = "X-Gdr-Assign-Token"
+	AssignTenantHeader = "X-Gdr-Assign-Tenant"
+)
+
 // handleCreate opens a session from a JSON body or a multipart form (file
 // parts csv and rules; value parts name, seed, workers).
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -26,13 +35,40 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	info, st, err := s.store.CreateAs(r.Context(), requestOwner(r), req)
+	owner := requestOwner(r)
+	req.Token = r.Header.Get(AssignTokenHeader)
+	req.Tenant = r.Header.Get(AssignTenantHeader)
+	if req.Token != "" || req.Tenant != "" {
+		if !s.mayAssign(r) {
+			writeError(w, fmt.Errorf("%w: session placement headers need cluster mode or an admin key", ErrForbidden))
+			return
+		}
+		if req.Tenant != "" {
+			if !tenantNameRE.MatchString(req.Tenant) {
+				writeError(w, fmt.Errorf("%w: assigned tenant %q must match %s", ErrBadUpload, req.Tenant, tenantNameRE))
+				return
+			}
+			owner = req.Tenant
+		}
+	}
+	info, st, err := s.store.CreateAs(r.Context(), owner, req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	obs.FromContext(r.Context()).SetSession(info.ID)
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{Session: info, Stats: statsBody(st)})
+}
+
+// mayAssign reports whether this request may use the placement headers: any
+// caller on a cluster-mode node (such nodes face only the proxy), or an
+// authenticated admin key.
+func (s *Server) mayAssign(r *http.Request) bool {
+	if s.cfg.ClusterMode {
+		return true
+	}
+	t := tenantFrom(r.Context())
+	return t != nil && t.cfg.Admin
 }
 
 func decodeCreateRequest(r *http.Request) (CreateSessionRequest, error) {

@@ -43,6 +43,12 @@ func (s *Store) snapshotPath(e *entry) string {
 // endpoint is for — so persist errors are logged and counted, and the
 // periodic flusher keeps retrying.
 func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
+	// The lease pins the session against TTL eviction for the whole export:
+	// the cluster proxy calls this to move a session, and the janitor
+	// harvesting the source mid-export would hand the importing node a
+	// snapshot of a session that no longer exists anywhere else.
+	e.acquireLease(s.now())
+	defer func() { e.releaseLease(s.now()) }()
 	data, mut, err := s.encode(ctx, e)
 	if err != nil {
 		return nil, err

@@ -63,6 +63,12 @@ var (
 	ErrBadRequest = errors.New("server: bad request")
 	// ErrTooManySessions is returned when the live-session cap is reached.
 	ErrTooManySessions = errors.New("server: too many live sessions")
+	// ErrTokenInUse rejects a create that pre-assigns an already-live
+	// token (mapped to 409 — the cluster proxy's duplicate detector).
+	ErrTokenInUse = errors.New("server: session token already in use")
+	// ErrForbidden rejects placement headers (X-GDR-Assign-*) from callers
+	// that may not use them (mapped to 403).
+	ErrForbidden = errors.New("server: forbidden")
 	// ErrOverloaded is the sentinel every load-shedding error matches
 	// (errors.Is); the concrete errors carry the HTTP status and Retry-After
 	// hint.
@@ -126,6 +132,13 @@ type Config struct {
 	// write/fsync/rename, actor execution) for tests and gdrd's -chaos dev
 	// mode. nil = no injection.
 	Faults *faultfs.Injector
+	// ClusterMode marks this node as a member of a proxied cluster: the
+	// X-GDR-Assign-Token and X-GDR-Assign-Tenant create headers are honored
+	// from any caller, letting the routing proxy place sessions on their
+	// ring owner and preserve token + tenant across migrations. Only enable
+	// on nodes reachable solely through the proxy (or grant the proxy an
+	// admin key instead and leave this off).
+	ClusterMode bool
 }
 
 func (c Config) withDefaults() Config {
@@ -610,9 +623,11 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadUpload), errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrForbidden):
+		status = http.StatusForbidden
 	case errors.Is(err, ErrTooManySessions):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrSessionClosed):
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrTokenInUse):
 		status = http.StatusConflict
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The request's budget ran out mid-command; same deterministic

@@ -99,6 +99,40 @@ type entry struct {
 
 	mu       sync.Mutex
 	lastUsed time.Time // gdr:guarded-by mu
+	// leases counts operations that must not lose the session mid-flight —
+	// a snapshot export the cluster proxy is streaming for a migration.
+	// While any lease is held, the janitor (and the lazy lookup-time check)
+	// treats the entry as in use: without this, a TTL tick during a slow
+	// export could evict the source session the importing node is about to
+	// take over, losing it from both.
+	leases int // gdr:guarded-by mu
+}
+
+// acquireLease pins the entry against TTL eviction; release with
+// releaseLease. Acquisition also refreshes the idle clock, so back-to-back
+// exports behave like any other use.
+func (e *entry) acquireLease(now time.Time) {
+	e.mu.Lock()
+	e.leases++
+	e.lastUsed = now
+	e.mu.Unlock()
+}
+
+// releaseLease drops one lease and restamps the idle clock — the TTL
+// countdown starts from the end of the leased operation, not its start.
+func (e *entry) releaseLease(now time.Time) {
+	e.mu.Lock()
+	e.leases--
+	e.lastUsed = now
+	e.mu.Unlock()
+}
+
+// evictable reports whether the entry may be TTL-evicted: idle past the
+// deadline and not pinned by any lease.
+func (e *entry) evictable(deadline time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leases == 0 && e.lastUsed.Before(deadline)
 }
 
 // newEntry wraps a freshly built session in its entry: the metadata
@@ -265,7 +299,7 @@ func (s *Store) evictIdle() {
 		if e == nil {
 			continue // cap reservation: a Create is mid-build
 		}
-		if e.idleSince().Before(deadline) {
+		if e.evictable(deadline) {
 			delete(s.entries, id)
 			victims = append(victims, e)
 		}
@@ -303,6 +337,22 @@ func newToken() (string, error) {
 		return "", fmt.Errorf("server: generating session token: %w", err)
 	}
 	return hex.EncodeToString(b[:]), nil
+}
+
+// validToken reports whether an assigned token has the exact shape
+// newToken produces (32 lowercase hex characters) — anything else would
+// break snapshot file naming and the proxy's hash routing.
+func validToken(t string) bool {
+	if len(t) != 32 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // newETagSalt returns a short random incarnation marker for entry.etagSalt,
@@ -355,14 +405,29 @@ func (s *Store) CreateAs(ctx context.Context, tenant string, req CreateSessionRe
 	// Reserve the slot in the cap before the expensive build, so a burst
 	// of concurrent creates cannot overshoot it; the reservation is rolled
 	// back if the build fails.
-	token, err := newToken()
-	if err != nil {
-		return SessionInfo{}, core.Stats{}, err
+	token := req.Token
+	if token != "" {
+		if !validToken(token) {
+			return SessionInfo{}, core.Stats{}, fmt.Errorf("%w: assigned token must be 32 lowercase hex characters", ErrBadUpload)
+		}
+	} else {
+		fresh, err := newToken()
+		if err != nil {
+			return SessionInfo{}, core.Stats{}, err
+		}
+		token = fresh
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return SessionInfo{}, core.Stats{}, ErrSessionClosed
+	}
+	if _, exists := s.entries[token]; exists {
+		// Random tokens never collide; a pre-assigned one may — the proxy's
+		// migration dedup depends on this conflict being reported, not
+		// silently clobbering the live session.
+		s.mu.Unlock()
+		return SessionInfo{}, core.Stats{}, ErrTokenInUse
 	}
 	if s.maxLive > 0 && len(s.entries) >= s.maxLive {
 		s.mu.Unlock()
@@ -532,7 +597,7 @@ func (s *Store) GetFor(id, owner string) (*entry, bool) {
 		return nil, false
 	}
 	now := s.now()
-	if e.idleSince().Before(now.Add(-s.ttl)) {
+	if e.evictable(now.Add(-s.ttl)) {
 		delete(s.entries, id)
 		s.setLiveLocked()
 		s.mu.Unlock()

@@ -34,6 +34,11 @@ type TenantConfig struct {
 	// MaxInFlight caps the tenant's concurrently executing requests (≤0 =
 	// unlimited); the excess is shed with 429 before touching any session.
 	MaxInFlight int
+	// Admin marks a cluster-operator key (keyfile option "admin"): it sees
+	// every tenant's sessions (the routing proxy lists them to plan
+	// migrations) and may use the X-GDR-Assign-Token/-Tenant placement
+	// headers on create. Never hand an admin key to a tenant.
+	Admin bool
 }
 
 // defaultTenantName labels the implicit tenant of an open-mode server (no
@@ -44,10 +49,11 @@ var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9_.-]+$`)
 
 // ParseKeyfile reads the gdrd tenant keyfile: one tenant per line,
 //
-//	<key> <name> [rate=N] [burst=N] [inflight=N]
+//	<key> <name> [rate=N] [burst=N] [inflight=N] [admin]
 //
 // with '#' comments and blank lines ignored. Keys and names must be
-// unique; names must be filename-safe ([A-Za-z0-9_.-]+).
+// unique; names must be filename-safe ([A-Za-z0-9_.-]+). The bare "admin"
+// option marks a cluster-operator key (see TenantConfig.Admin).
 func ParseKeyfile(r io.Reader) ([]TenantConfig, error) {
 	var out []TenantConfig
 	seenKey := make(map[string]bool)
@@ -82,6 +88,10 @@ func ParseKeyfile(r io.Reader) ([]TenantConfig, error) {
 		}
 		seenKey[tc.Key], seenName[tc.Name] = true, true
 		for _, opt := range fields[2:] {
+			if opt == "admin" {
+				tc.Admin = true
+				continue
+			}
 			k, v, ok := strings.Cut(opt, "=")
 			if !ok {
 				return nil, fmt.Errorf("keyfile line %d: option %q: want key=value", line, opt)
@@ -187,10 +197,13 @@ type tenantState struct {
 	inflight atomic.Int64
 }
 
-// owner is the ownership tag this tenant stamps on sessions it creates:
-// empty in open mode (sessions are unowned), the tenant name with auth on.
+// owner is the ownership tag this tenant stamps on sessions it creates and
+// the visibility filter on its lookups: empty in open mode (sessions are
+// unowned), the tenant name with auth on. Admin keys read as "" too — they
+// see everything, and sessions they create without an explicit
+// X-GDR-Assign-Tenant are unowned.
 func (t *tenantState) owner() string {
-	if t.cfg.Key == "" {
+	if t.cfg.Key == "" || t.cfg.Admin {
 		return ""
 	}
 	return t.cfg.Name

@@ -1,0 +1,81 @@
+# scripts/lib.sh — shared boot/wait/drive helpers for the smoke scripts.
+# Source after `set -euo pipefail`; needs curl and jq on PATH.
+
+# boot_daemon NAME LOG BIN [ARGS...]
+# Starts BIN in the background redirecting stderr to LOG, scrapes the
+# kernel-assigned listen address from its "NAME: serving on 127.0.0.1:PORT"
+# startup line (every daemon binds :0 in the smokes to avoid port races),
+# then waits for /healthz to answer. Sets $daemon_pid and $daemon_base.
+boot_daemon() {
+  local name="$1" log="$2" bin="$3"
+  shift 3
+  : >"$log"
+  "$bin" "$@" 2>"$log" &
+  daemon_pid=$!
+  daemon_base=""
+  local addr
+  for _ in $(seq 1 100); do
+    addr=$(sed -n "s/.*$name: serving on \(127\.0\.0\.1:[0-9]*\).*/\1/p" "$log" | head -1)
+    if [ -n "$addr" ]; then
+      daemon_base="http://$addr"
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$daemon_base" ]; then
+    echo "$name never reported its address:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  wait_healthz "$daemon_base"
+}
+
+# wait_healthz BASE
+# Polls BASE/healthz until it answers 200 (10s budget).
+wait_healthz() {
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "no healthy /healthz at $1" >&2
+  exit 1
+}
+
+# stop_daemon PID
+# SIGTERMs a daemon and waits for a clean graceful drain.
+stop_daemon() {
+  local p="$1"
+  kill -TERM "$p"
+  for _ in $(seq 1 100); do
+    kill -0 "$p" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$p" 2>/dev/null; then
+    echo "daemon $p did not drain in time" >&2
+    exit 1
+  fi
+  wait "$p"
+}
+
+# kill_daemon PID
+# SIGKILLs a daemon — the crash path; nothing drains, nothing flushes.
+kill_daemon() {
+  kill -9 "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+# retry_curl OUT URL [CURL_ARGS...]
+# Curls URL into OUT, retrying for up to ~10s — for windows where the
+# cluster answers 503 + Retry-After (migration or failover in flight).
+retry_curl() {
+  local out="$1" url="$2"
+  shift 2
+  for _ in $(seq 1 100); do
+    if curl -fsS "$@" "$url" -o "$out" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "request to $url never succeeded" >&2
+  exit 1
+}

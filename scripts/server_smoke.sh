@@ -9,6 +9,7 @@
 # Needs curl and jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
 
 workdir=$(mktemp -d)
 pid=""
@@ -24,43 +25,19 @@ go build -o "$workdir/gdrload" ./cmd/gdrload
 go run ./cmd/gdrgen -dataset 1 -n 300 -seed 5 -dir "$workdir"
 
 # boot_gdrd: start the daemon on a random port with the shared data dir and
-# wait for it to report healthy. Binding :0 and parsing the kernel-assigned
-# port from the startup log avoids racing other listeners. Extra arguments
-# pass through to the daemon. Sets $pid and $base.
+# wait for it to report healthy (the boot/port-scrape mechanics live in
+# scripts/lib.sh). Extra arguments pass through. Sets $pid and $base.
 boot_gdrd() {
-  : >"$workdir/gdrd.log"
-  "$workdir/gdrd" -addr 127.0.0.1:0 -quiet -data-dir "$workdir/data" "$@" 2>"$workdir/gdrd.log" &
-  pid=$!
-  base=""
-  for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*serving on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/gdrd.log" | head -1)
-    if [ -n "$addr" ]; then base="http://$addr"; break; fi
-    sleep 0.1
-  done
-  if [ -z "$base" ]; then
-    echo "gdrd never reported its address:" >&2
-    cat "$workdir/gdrd.log" >&2
-    exit 1
-  fi
-  for _ in $(seq 1 100); do
-    curl -fsS "$base/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-  done
+  boot_daemon gdrd "$workdir/gdrd.log" "$workdir/gdrd" \
+    -addr 127.0.0.1:0 -quiet -data-dir "$workdir/data" "$@"
+  pid=$daemon_pid
+  base=$daemon_base
   curl -fsS "$base/healthz" | jq -e '.status == "ok"' >/dev/null
 }
 
 # stop_gdrd: SIGTERM the daemon and wait for a clean drain.
 stop_gdrd() {
-  kill -TERM "$pid"
-  for _ in $(seq 1 100); do
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-  done
-  if kill -0 "$pid" 2>/dev/null; then
-    echo "gdrd did not drain in time" >&2
-    exit 1
-  fi
-  wait "$pid"
+  stop_daemon "$pid"
   pid=""
 }
 
