@@ -11,6 +11,17 @@
 // every live session, and a restarted daemon restores all sessions under
 // their original tokens — tenants resume exactly where they left off.
 //
+// Feedback is exactly-once: a POST …/feedback carrying an
+// X-Gdr-Request-Id is applied once, and a retry with the same id replays
+// the original response bytes (marked X-Gdr-Duplicate: true) instead of
+// mutating the session again. The dedup window rides the snapshot, so
+// the guarantee holds across restarts and migrations.
+//
+// In -cluster mode each node also exposes a replica spill store under
+// /v1/replicas: the cluster proxy pushes other nodes' session snapshots
+// there, watermarked by mutation sequence (stale writes are refused), so
+// a session survives the loss of its owner's process and disk.
+//
 // With -keyfile set, the daemon is authenticated multi-tenant serving:
 // every /v1 request must present one of the file's bearer keys, sessions
 // belong to the tenant that created them, and each tenant's rate/in-flight

@@ -145,7 +145,7 @@ func TestChaosSoak(t *testing.T) {
 		defer workWG.Done()
 		lats := &latRecorder{byOp: make(map[string][]float64)}
 		var cnt counters
-		errs[2] = drive(lc, addr, durableID, d.Truth, 0, rounds, false, lats, &cnt)
+		errs[2] = drive(lc, addr, durableID, d.Truth, 0, rounds, false, false, lats, &cnt)
 	}()
 	workWG.Wait()
 	close(stop)

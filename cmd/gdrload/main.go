@@ -16,9 +16,17 @@
 // -proxy N boots an in-process cluster — N cluster-mode gdrd nodes with
 // durable data dirs behind a real gdrproxy ring — and drives the load
 // through the gateway; the report gains a per-node distribution (requests,
-// owned sessions, migrations). -kill additionally crashes one node
-// mid-drive: the proxy's failover must restore its sessions onto the
-// survivors and every tenant must still finish.
+// owned sessions, migrations, replica pushes and promotions). -kill
+// additionally crashes one node mid-drive: the proxy's failover must
+// restore its sessions onto the survivors and every tenant must still
+// finish.
+//
+// Every feedback POST carries a stable X-Gdr-Request-Id, so a round
+// retried after a shed is applied exactly once. -dup stresses that path
+// deliberately: each round is immediately re-POSTed with its same id, and
+// the run fails unless the duplicate comes back as a replay
+// (X-Gdr-Duplicate) with identical stats instead of mutating the session
+// again. The report counts every replayed duplicate.
 package main
 
 import (
@@ -59,6 +67,7 @@ type runConfig struct {
 	seed     int64
 	workers  int
 	sweep    bool
+	dup      bool // re-POST every feedback round with its same request id
 }
 
 func main() {
@@ -75,6 +84,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 7, "base seed; session i uploads seed+i")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "server worker budget (selfhost and proxy modes)")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "ask for a learner sweep with every feedback round")
+	flag.BoolVar(&cfg.dup, "dup", false, "re-POST every feedback round with its same request id; the duplicate must replay, never re-apply")
 	flag.StringVar(&cfg.key, "key", "", "bearer API key for an authenticated gdrd (-keyfile mode)")
 	flag.Parse()
 	if cfg.addr == "" && !cfg.selfhost && cfg.proxyN == 0 {
@@ -90,20 +100,24 @@ func main() {
 
 // Report is the benchmark output document.
 type Report struct {
-	Config      ReportConfig       `json:"config"`
-	Setup       SetupStats         `json:"setup"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Rounds      int                `json:"feedback_rounds"`
-	Items       int                `json:"feedback_items"`
-	Applied     int                `json:"feedback_applied"`
-	Stale       int                `json:"feedback_stale"`
-	Learner     int                `json:"learner_decisions"`
-	Groups304   int                `json:"groups_not_modified"`
-	Sheds429    int                `json:"sheds_429"`
-	Sheds503    int                `json:"sheds_503"`
-	Retries     int                `json:"retries"`
-	Throughput  ThroughputStats    `json:"throughput"`
-	Latency     map[string]LatSumm `json:"latency_seconds"`
+	Config      ReportConfig `json:"config"`
+	Setup       SetupStats   `json:"setup"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Rounds      int          `json:"feedback_rounds"`
+	Items       int          `json:"feedback_items"`
+	Applied     int          `json:"feedback_applied"`
+	Stale       int          `json:"feedback_stale"`
+	Learner     int          `json:"learner_decisions"`
+	Groups304   int          `json:"groups_not_modified"`
+	Sheds429    int          `json:"sheds_429"`
+	Sheds503    int          `json:"sheds_503"`
+	Retries     int          `json:"retries"`
+	// DupReplays counts feedback responses the server answered from its
+	// dedup window (X-Gdr-Duplicate) — forced -dup re-POSTs plus any
+	// organic retry that would otherwise have double-applied a round.
+	DupReplays int                `json:"duplicate_replays"`
+	Throughput ThroughputStats    `json:"throughput"`
+	Latency    map[string]LatSumm `json:"latency_seconds"`
 	// ServerStages is the server-side stage breakdown (admit, queue, slot,
 	// exec, persist), sourced from the Server-Timing header of every
 	// response — where each request actually spent its time inside gdrd, as
@@ -117,12 +131,14 @@ type Report struct {
 // ClusterReport is the -proxy mode addendum: where the load actually
 // landed across the ring, and what the membership machinery did.
 type ClusterReport struct {
-	Nodes       int        `json:"nodes"`
-	KilledNode  string     `json:"killed_node,omitempty"`
-	RingVersion uint64     `json:"ring_version"`
-	Migrations  int64      `json:"migrations"`
-	Recovered   int64      `json:"recovered_sessions"`
-	PerNode     []NodeLoad `json:"per_node"`
+	Nodes         int        `json:"nodes"`
+	KilledNode    string     `json:"killed_node,omitempty"`
+	RingVersion   uint64     `json:"ring_version"`
+	Migrations    int64      `json:"migrations"`
+	Recovered     int64      `json:"recovered_sessions"`
+	ReplicaPushes int64      `json:"replica_pushes"`
+	Promotions    int64      `json:"replica_promotions"`
+	PerNode       []NodeLoad `json:"per_node"`
 }
 
 // NodeLoad is one ring member's share of the drive.
@@ -225,6 +241,7 @@ type counters struct {
 	stale     int
 	learner   int
 	groups304 int
+	dups      int
 }
 
 func run(cfg runConfig, out io.Writer) error {
@@ -332,7 +349,7 @@ func run(cfg runConfig, out io.Writer) error {
 		go func(u int) {
 			defer wg.Done()
 			tn := tenants[u%sessions]
-			if err := drive(lc, addr, tn.id, tn.truth, u, rounds, sweep, lats, &cnt); err != nil {
+			if err := drive(lc, addr, tn.id, tn.truth, u, rounds, sweep, cfg.dup, lats, &cnt); err != nil {
 				errc <- fmt.Errorf("user %d: %w", u, err)
 			}
 		}(u)
@@ -403,6 +420,7 @@ func run(cfg runConfig, out io.Writer) error {
 		Sheds429:    sheds429,
 		Sheds503:    sheds503,
 		Retries:     retries,
+		DupReplays:  cnt.dups,
 		Throughput: ThroughputStats{
 			ItemsPerSec:  float64(cnt.items) / wall,
 			RoundsPerSec: float64(cnt.rounds) / wall,
@@ -419,7 +437,7 @@ func run(cfg runConfig, out io.Writer) error {
 
 // drive is one simulated user: the interactive loop of Procedure 1 against
 // one served session, answers from the ground truth.
-func drive(lc *loadClient, addr, id string, truth *gdr.DB, u, rounds int, sweep bool, lats *latRecorder, cnt *counters) error {
+func drive(lc *loadClient, addr, id string, truth *gdr.DB, u, rounds int, sweep, dup bool, lats *latRecorder, cnt *counters) error {
 	base := addr + "/v1/sessions/" + id
 	// Conditional polling state: the last groups listing and its validator.
 	// The server answers an unchanged ranking with a bodyless 304, so a user
@@ -474,13 +492,36 @@ func drive(lc *loadClient, addr, id string, truth *gdr.DB, u, rounds int, sweep 
 			}
 			items = append(items, server.FeedbackItem{Tid: up.Tid, Attr: up.Attr, Value: up.Value, Feedback: verb})
 		}
+		// The request id is stable across the retry loop's attempts (and the
+		// forced -dup replay): a round shed mid-flight and retried must be
+		// applied exactly once, whichever attempt actually landed.
+		reqID := fmt.Sprintf("gdrload-%s-%d-%d", id, u, r)
+		body := server.FeedbackRequest{Items: items, Sweep: sweep}
 		start = time.Now()
 		var fb server.FeedbackResponse
-		code, err = lc.doJSON("POST", base+"/feedback", server.FeedbackRequest{Items: items, Sweep: sweep}, &fb)
+		code, wasDup, err := lc.doJSONID("POST", base+"/feedback", body, &fb, reqID)
 		if err != nil || code != 200 {
 			return fmt.Errorf("feedback: code %d err %v", code, err)
 		}
 		lats.observe("feedback", time.Since(start))
+		replays := 0
+		if wasDup {
+			replays++ // an organic retry already landed this round
+		}
+		if dup {
+			var fb2 server.FeedbackResponse
+			code, wasDup, err := lc.doJSONID("POST", base+"/feedback", body, &fb2, reqID)
+			if err != nil || code != 200 {
+				return fmt.Errorf("duplicate feedback: code %d err %v", code, err)
+			}
+			if !wasDup {
+				return fmt.Errorf("round %d: forced duplicate was applied again, not replayed", r)
+			}
+			if fb2.Stats != fb.Stats {
+				return fmt.Errorf("round %d: duplicate replay diverges: %+v vs %+v", r, fb2.Stats, fb.Stats)
+			}
+			replays++
+		}
 
 		applied, stale := 0, 0
 		for _, res := range fb.Results {
@@ -497,6 +538,7 @@ func drive(lc *loadClient, addr, id string, truth *gdr.DB, u, rounds int, sweep 
 		cnt.applied += applied
 		cnt.stale += stale
 		cnt.learner += len(fb.LearnerDecisions)
+		cnt.dups += replays
 		cnt.mu.Unlock()
 	}
 	return nil
@@ -646,11 +688,13 @@ func (r *clusterRig) report(sessionIDs []string) *ClusterReport {
 	killed := r.killed
 	r.mu.Unlock()
 	rep := &ClusterReport{
-		Nodes:       len(r.urls),
-		KilledNode:  killed,
-		RingVersion: ring.Version(),
-		Migrations:  reg.Counter("gdrproxy_migrations_total").Value(),
-		Recovered:   reg.Counter("gdrproxy_recovered_sessions_total").Value(),
+		Nodes:         len(r.urls),
+		KilledNode:    killed,
+		RingVersion:   ring.Version(),
+		Migrations:    reg.Counter("gdrproxy_migrations_total").Value(),
+		Recovered:     reg.Counter("gdrproxy_recovered_sessions_total").Value(),
+		ReplicaPushes: reg.Counter("gdrproxy_replica_pushes_total").Value(),
+		Promotions:    reg.Counter("gdrproxy_replica_promotions_total").Value(),
 	}
 	for _, url := range r.urls {
 		owned := 0
@@ -870,11 +914,21 @@ func (c *loadClient) getJSONCond(url, etag string, out any) (int, string, error)
 
 // doJSON issues one JSON request; out may be nil.
 func (c *loadClient) doJSON(method, url string, body any, out any) (int, error) {
+	code, _, err := c.doJSONID(method, url, body, out, "")
+	return code, err
+}
+
+// doJSONID issues one JSON request carrying an idempotency key (reqID ""
+// sends none). The key is set inside the per-attempt request builder, so
+// every retry of a shed response replays the same id — that is what turns
+// retried mutations into exactly-once ones. dup reports whether the server
+// answered from its dedup window instead of applying the request.
+func (c *loadClient) doJSONID(method, url string, body, out any, reqID string) (int, bool, error) {
 	var buf []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		buf = b
 	}
@@ -887,15 +941,18 @@ func (c *loadClient) doJSON(method, url string, body any, out any) (int, error) 
 		if err == nil && buf != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if err == nil && reqID != "" {
+			req.Header.Set(server.RequestIDHeader, reqID)
+		}
 		return req, err
 	})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if out != nil && len(data) > 0 && resp.StatusCode < 300 {
 		if err := json.Unmarshal(data, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, url, err)
+			return resp.StatusCode, false, fmt.Errorf("decoding %s %s response: %w", method, url, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get(server.DuplicateHeader) != "", nil
 }

@@ -11,22 +11,36 @@
 //	         -node-data http://127.0.0.1:9001=/var/lib/gdrd/n1,http://127.0.0.1:9002=/var/lib/gdrd/n2
 //
 // Membership is the -nodes list plus a health loop: a node failing
-// -fail-after consecutive probes leaves the ring, its sessions are
-// restored onto the survivors from its snapshot directory (-node-data,
-// reachable via a shared filesystem or a loopback deployment), and a
-// recovered node rejoins with a rebalance. Session moves use the nodes'
-// own snapshot machinery — drain, export, import under the original token,
-// delete the source — so a migrated session is byte-identical to one that
-// never moved.
+// -fail-after consecutive probes leaves the ring, and a recovered node
+// rejoins (after -fail-after consecutive clean probes — symmetric
+// hysteresis, so a flapping node cannot thrash the ring) with a
+// rebalance. Session moves use the nodes' own snapshot machinery — drain,
+// export, import under the original token, delete the source — so a
+// migrated session is byte-identical to one that never moved.
+//
+// Sessions survive node loss shared-nothing: after every mutating round
+// the proxy pushes the session's snapshot, watermarked with its mutation
+// sequence, into the replica spill store of the next distinct ring node,
+// and an anti-entropy sweep on every health tick re-pushes anything
+// missing or lagging. When a node dies, its sessions are promoted from
+// the freshest surviving replicas — no access to the dead node's disk
+// required. The -node-data url=dir map remains as a fallback for
+// sessions without a replica (single-node rings, push lag): those are
+// restored from the dead node's snapshot directory when it is reachable
+// via a shared filesystem or a loopback deployment.
 //
 // Against keyfile-authenticated nodes, -admin-key (or -admin-key-file)
 // must name an admin tenant's key: the proxy uses it for its own
-// migration traffic, and the nodes gate the placement headers on it.
-// Client requests keep their own Authorization headers either way.
+// migration and replication traffic, and the nodes gate the placement
+// headers on it. Client requests keep their own Authorization headers
+// either way.
 //
-// The proxy's own surface: GET /healthz (ring version, per-node health)
-// and GET /metrics (per-node request counts, migration counts and
-// latency, ring version) — both served locally, never forwarded.
+// The proxy's own surface: GET /healthz (ring version, per-node health),
+// GET /readyz (the load-balancer signal — 503 while a failover or
+// migration is in flight or the ring just changed), and GET /metrics
+// (per-node request counts, migration counts and latency, replica
+// pushes/promotions, ring version) — all served locally, never
+// forwarded.
 package main
 
 import (

@@ -172,6 +172,39 @@ func (c *Cluster) Kill(i int) {
 	n.hs = nil
 }
 
+// KillAndWipe is the shared-nothing crash: node i drops off the network
+// AND its snapshot directory is destroyed. Nothing of the node survives,
+// so recovery must come from the replicas the proxy pushed to the other
+// nodes — the disk-failover path has nothing to read.
+func (c *Cluster) KillAndWipe(i int) {
+	c.tb.Helper()
+	c.Kill(i)
+	if err := os.RemoveAll(c.Nodes[i].DataDir); err != nil {
+		c.tb.Fatalf("clustertest: wiping %s: %v", c.Nodes[i].DataDir, err)
+	}
+}
+
+// WaitReady blocks until the gateway's /readyz reports ready — no failover
+// or migration in flight and the post-ring-change settle window closed —
+// or the deadline passes.
+func (c *Cluster) WaitReady(deadline time.Duration) {
+	c.tb.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		resp, err := http.Get(c.Gateway.URL + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(end) {
+			c.tb.Fatal("clustertest: gateway never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Restart boots a replacement server for a killed node on the same
 // address and data dir — the "replacement node" heal path. The health loop
 // re-admits it once it answers probes.

@@ -2,29 +2,47 @@ package cluster
 
 import (
 	"context"
+	"math/rand/v2"
 	"net/http"
 	"time"
 )
 
 // healthLoop is the membership driver: it probes every configured node's
-// /healthz on a fixed cadence, declares a node dead after FailAfter
+// /healthz on a jittered cadence, declares a node dead after FailAfter
 // consecutive failures (removing it from the ring and restoring its
-// sessions onto the survivors), and welcomes a recovered node back
-// (re-adding it and rebalancing sessions onto it). Ring changes happen
-// only here and in the explicit AddNode/RemoveNode calls, so membership is
-// single-writer.
+// sessions onto the survivors), and welcomes a recovered node back only
+// after FailAfter consecutive successes — symmetric hysteresis, so a node
+// flapping at the probe frequency cannot thrash the ring in either
+// direction. Ring changes happen only here and in the explicit
+// AddNode/RemoveNode calls, so membership is single-writer. Each round
+// ends with the replica anti-entropy sweep, which converges every session
+// toward one fresh primary plus one fresh replica.
 func (p *Proxy) healthLoop() {
 	defer p.healthWG.Done()
-	tick := time.NewTicker(p.cfg.HealthEvery)
-	defer tick.Stop()
+	timer := time.NewTimer(p.jitteredCadence())
+	defer timer.Stop()
 	for {
 		select {
-		case <-tick.C:
+		case <-timer.C:
 			p.checkAll()
+			p.auditReplicas(context.Background())
+			timer.Reset(p.jitteredCadence())
 		case <-p.stop:
 			return
 		}
 	}
+}
+
+// jitteredCadence spreads probes ±10% around HealthEvery so a fleet of
+// proxies started together does not synchronize its probe bursts against
+// the nodes.
+func (p *Proxy) jitteredCadence() time.Duration {
+	d := p.cfg.HealthEvery
+	span := int64(d / 5)
+	if span <= 0 {
+		return d
+	}
+	return d - d/10 + time.Duration(rand.Int64N(span))
 }
 
 // checkAll runs one probe round over the configured node set, then retries
@@ -46,13 +64,23 @@ func (p *Proxy) checkAll() {
 		var died, revived bool
 		if ok {
 			st.fails = 0
-			if !st.live && !st.drained {
-				revived = true
-				st.live = true
-				p.ring = p.ring.Add(node)
-				p.markSettlingLocked()
+			if st.live {
+				st.succs = 0
+			} else if !st.drained {
+				// Hysteresis: one good probe is not proof of life. A node must
+				// answer FailAfter times in a row before it re-enters the ring,
+				// or a half-up node would bounce sessions on every probe.
+				st.succs++
+				if st.succs >= p.cfg.FailAfter {
+					revived = true
+					st.live = true
+					st.succs = 0
+					p.ring = p.ring.Add(node)
+					p.markSettlingLocked()
+				}
 			}
 		} else {
+			st.succs = 0
 			st.fails++
 			if st.live && st.fails >= p.cfg.FailAfter {
 				died = true
@@ -69,7 +97,7 @@ func (p *Proxy) checkAll() {
 			p.failover(context.Background(), node)
 			p.rebalance(context.Background())
 		case revived:
-			p.log.Info("node rejoined", "node", node)
+			p.log.Info("node rejoined", "node", node, "after_successes", p.cfg.FailAfter)
 			p.reg.LabeledCounter("gdrproxy_node_joins_total", "node", node).Inc()
 			p.rebalance(context.Background())
 		}
@@ -95,7 +123,8 @@ func (p *Proxy) probe(node string) bool {
 // AddNode grows the ring by one live node and rebalances sessions onto it.
 // The node must be in the configured set (static membership: the health
 // loop only probes configured nodes). It is the test- and operator-driven
-// twin of a health-loop revival.
+// twin of a health-loop revival, so it skips the hysteresis — the operator
+// has asserted the node is fit.
 func (p *Proxy) AddNode(ctx context.Context, node string) error {
 	p.mu.Lock()
 	st := p.nodes[node]
@@ -105,6 +134,7 @@ func (p *Proxy) AddNode(ctx context.Context, node string) error {
 	}
 	st.live = true
 	st.fails = 0
+	st.succs = 0
 	st.drained = false
 	p.ring = p.ring.Add(node)
 	p.markSettlingLocked()

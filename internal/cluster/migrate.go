@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -239,7 +240,7 @@ func (p *Proxy) migrate(ctx context.Context, m move) (err error) {
 	if ferr := p.cfg.Faults.Fault(FaultExport); ferr != nil {
 		return fmt.Errorf("cluster: exporting %s from %s: %w", m.token, m.from, ferr)
 	}
-	snap, err := p.exportSession(ctx, m.from, m.token)
+	snap, _, _, err := p.exportSession(ctx, m.from, m.token)
 	if err != nil {
 		return fmt.Errorf("cluster: exporting %s from %s: %w", m.token, m.from, err)
 	}
@@ -284,22 +285,31 @@ func (p *Proxy) migrate(ctx context.Context, m move) (err error) {
 	return nil
 }
 
-// exportSession pulls a session's snapshot bytes off a node.
-func (p *Proxy) exportSession(ctx context.Context, node, token string) ([]byte, error) {
+// exportSession pulls a session's snapshot bytes off a node, plus the
+// mutation sequence the bytes capture (the replica push watermark) and the
+// owning tenant, both from the export's response headers. A node predating
+// those headers yields seq 0 and tenant "" — still importable, just
+// watermarked conservatively.
+func (p *Proxy) exportSession(ctx context.Context, node, token string) ([]byte, uint64, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/sessions/"+token+"/snapshot", nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
 	p.setAdminAuth(req)
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s", resp.Status, readErrorBody(resp.Body))
+		return nil, 0, "", fmt.Errorf("%s: %s", resp.Status, readErrorBody(resp.Body))
 	}
-	return io.ReadAll(resp.Body)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	seq, _ := strconv.ParseUint(resp.Header.Get(server.MutationSeqHeader), 10, 64)
+	return data, seq, resp.Header.Get(server.AssignTenantHeader), nil
 }
 
 // importSession recreates a session from snapshot bytes on a node, under
@@ -355,19 +365,22 @@ func (p *Proxy) deleteSession(ctx context.Context, node, token string) error {
 	return nil
 }
 
-// failover restores a dead node's sessions onto the survivors from its
-// snapshot directory. Every *.snap file is imported to the session's new
-// ring owner and then renamed out of the way (<name>.snap.recovered), so
+// failover restores a dead node's sessions onto the survivors. Two
+// sources, tried in order:
+//
+//  1. Replicas — shared-nothing: every survivor's spill store is asked for
+//     replicas of sessions that no longer exist anywhere live, and the
+//     freshest copy of each is promoted onto its new ring owner. This
+//     needs nothing from the dead node, not even its disk.
+//  2. The dead node's snapshot directory (when DataDirs maps one) — the
+//     fallback for sessions that never got a replica (single-node rings,
+//     a push that had not landed yet). Files for already-promoted tokens
+//     are neutralized, never imported: the replica is at least as fresh.
+//
+// Recovered and neutralized files are renamed (<name>.snap.recovered), so
 // the dead node restarting later cannot resurrect a stale copy of a
-// session that now lives elsewhere. Without a configured data dir the
-// node's sessions are simply lost until it returns — there is nothing to
-// restore from.
+// session that now lives elsewhere.
 func (p *Proxy) failover(ctx context.Context, node string) {
-	dir := p.cfg.DataDirs[node]
-	if dir == "" {
-		p.log.Warn("dead node has no data dir; its sessions are unrecoverable until it returns", "node", node)
-		return
-	}
 	p.mu.Lock()
 	p.recover++
 	p.mu.Unlock()
@@ -376,6 +389,101 @@ func (p *Proxy) failover(ctx context.Context, node string) {
 		p.recover--
 		p.mu.Unlock()
 	}()
+	promoted := p.promoteReplicas(ctx, node)
+	p.failoverFromDisk(ctx, node, promoted)
+}
+
+// promoteReplicas recovers a dead node's sessions from the survivors'
+// replica stores, returning the set of promoted tokens. The freshest
+// (highest-watermark) copy of each orphaned session wins; after import the
+// token is queued for re-replication, so the cluster converges back to
+// primary + replica under the new placement.
+func (p *Proxy) promoteReplicas(ctx context.Context, node string) map[string]bool {
+	promoted := make(map[string]bool)
+	ring := p.currentRing()
+	if ring.Len() == 0 {
+		return promoted
+	}
+	// Sessions that still exist somewhere live are not orphans — their
+	// replicas must stay replicas, or a promotion would fork the session.
+	alive := make(map[string]bool)
+	for _, n := range ring.Nodes() {
+		infos, err := p.listNode(ctx, n, p.adminAuth())
+		if err != nil {
+			p.log.Warn("failover: listing node failed; skipping replica promotion",
+				"node", n, "err", err)
+			return promoted
+		}
+		for _, s := range infos {
+			alive[s.ID] = true
+		}
+	}
+	type candidate struct {
+		holder string
+		info   server.ReplicaInfo
+	}
+	best := make(map[string]candidate) // replica key → freshest copy
+	for _, n := range ring.Nodes() {
+		reps, err := p.listReplicas(ctx, n)
+		if err != nil {
+			p.log.Warn("failover: listing replicas failed", "node", n, "err", err)
+			continue
+		}
+		for _, rep := range reps {
+			if alive[rep.Token] {
+				continue
+			}
+			if cur, ok := best[rep.Key]; !ok || rep.Seq > cur.info.Seq {
+				best[rep.Key] = candidate{holder: n, info: rep}
+			}
+		}
+	}
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		c := best[key]
+		token := c.info.Token
+		want := ring.Lookup(token)
+		if want == "" {
+			continue
+		}
+		data, _, err := p.getReplica(ctx, c.holder, key)
+		if err != nil {
+			p.reg.Counter("gdrproxy_recovery_failures_total").Inc()
+			p.log.Warn("pulling replica for promotion failed", "key", key, "holder", c.holder, "err", err)
+			continue
+		}
+		if err := p.importSession(ctx, want, token, c.info.Tenant, data); err != nil {
+			p.reg.Counter("gdrproxy_recovery_failures_total").Inc()
+			p.log.Warn("promoting replica failed", "token", token, "to", want, "err", err)
+			continue
+		}
+		promoted[token] = true
+		p.reg.Counter("gdrproxy_replica_promotions_total").Inc()
+		p.log.Info("promoted replica", "token", token, "seq", c.info.Seq,
+			"from", c.holder, "to", want)
+		// The promoted copy is the new primary; re-derive its replica.
+		p.enqueueReplicate(token)
+	}
+	if len(promoted) > 0 {
+		p.reg.Counter("gdrproxy_recovered_sessions_total").Add(int64(len(promoted)))
+	}
+	return promoted
+}
+
+// failoverFromDisk restores whatever promoteReplicas could not from the
+// dead node's snapshot directory, when one is configured.
+func (p *Proxy) failoverFromDisk(ctx context.Context, node string, promoted map[string]bool) {
+	dir := p.cfg.DataDirs[node]
+	if dir == "" {
+		if len(promoted) == 0 {
+			p.log.Warn("dead node has no data dir and no replicas; its sessions are unrecoverable until it returns", "node", node)
+		}
+		return
+	}
 	names, err := filepath.Glob(filepath.Join(dir, "*.snap"))
 	if err != nil {
 		p.log.Warn("scanning dead node's data dir failed", "node", node, "dir", dir, "err", err)
@@ -387,6 +495,15 @@ func (p *Proxy) failover(ctx context.Context, node string) {
 	for _, path := range names {
 		token, tenant := parseSnapName(path)
 		if token == "" {
+			continue
+		}
+		if promoted[token] {
+			// A fresher (or equal) replica already became the new primary;
+			// importing the disk copy over it would roll the session back.
+			// Neutralize the file so a node restart cannot resurrect it.
+			if err := os.Rename(path, path+".recovered"); err != nil {
+				p.log.Warn("renaming superseded snapshot failed", "path", path, "err", err)
+			}
 			continue
 		}
 		if p.staleAt(token) == node {

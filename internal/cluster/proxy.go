@@ -33,6 +33,8 @@ const (
 	FaultDelete faultfs.Point = "cluster.delete"
 	// FaultRecover fails reading one snapshot during dead-node recovery.
 	FaultRecover faultfs.Point = "cluster.recover"
+	// FaultReplicate fails a replica push before it leaves the proxy.
+	FaultReplicate faultfs.Point = "cluster.replicate"
 )
 
 // Config configures a Proxy.
@@ -74,6 +76,7 @@ type Config struct {
 // owning Proxy's mu.
 type nodeState struct {
 	fails   int // consecutive failed probes
+	succs   int // consecutive successful probes while dead (rejoin hysteresis)
 	live    bool
 	drained bool // operator-removed; health must not re-admit
 }
@@ -100,6 +103,16 @@ type Proxy struct {
 	stale     map[string]string        // gdr:guarded-by mu — token -> node holding a superseded copy
 	recover   int                      // gdr:guarded-by mu — dead-node recoveries in flight
 	settleTil time.Time                // gdr:guarded-by mu — 404→503 window after ring changes
+
+	// Replication queue: tokens whose replica copy is behind (a mutating
+	// round landed, or placement moved) and tokens whose replicas must be
+	// dropped (session deleted). The replicator worker drains both; the
+	// anti-entropy audit re-derives them from scratch every health tick, so
+	// a lost queue entry only delays a push, never loses it.
+	replMu   sync.Mutex
+	replPend map[string]struct{} // gdr:guarded-by replMu — tokens to (re)push
+	replDrop map[string]struct{} // gdr:guarded-by replMu — tokens to drop
+	replWake chan struct{}       // buffered(1) doorbell for the replicator
 
 	stop     chan struct{}
 	healthWG sync.WaitGroup
@@ -137,6 +150,9 @@ func New(cfg Config) (*Proxy, error) {
 		overrides: make(map[string]string),
 		migrating: make(map[string]chan struct{}),
 		stale:     make(map[string]string),
+		replPend:  make(map[string]struct{}),
+		replDrop:  make(map[string]struct{}),
+		replWake:  make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
 	p.mu.Lock()
@@ -171,13 +187,20 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	p.reg.Gauge("gdrproxy_ring_version").Set(int64(p.currentRing().Version()))
 	p.reg.Gauge("gdrproxy_nodes_live").Set(int64(len(cfg.Nodes)))
+	// Pre-register the replication series so /metrics shows them at zero
+	// from the first scrape instead of appearing mid-incident.
+	p.reg.Counter("gdrproxy_replica_pushes_total")
+	p.reg.Counter("gdrproxy_replica_push_failures_total")
+	p.reg.Counter("gdrproxy_replica_promotions_total")
+	p.reg.Counter("gdrproxy_replica_drops_total")
 	return p, nil
 }
 
-// Start launches the membership health loop.
+// Start launches the membership health loop and the replicator worker.
 func (p *Proxy) Start() {
-	p.healthWG.Add(1)
+	p.healthWG.Add(2)
 	go p.healthLoop()
+	go p.replicator()
 }
 
 // Close stops the health loop and waits for it.
@@ -207,6 +230,7 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions/{id}", p.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{rest...}", p.handleSession)
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /readyz", p.handleReadyz)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
 	return mux
 }
@@ -339,11 +363,17 @@ func (p *Proxy) upstreamError(w http.ResponseWriter, r *http.Request, err error)
 	writeUnavailable(w, "upstream unreachable")
 }
 
-// modifyResponse rewrites transient 404s during migration windows: after a
-// ring change a session can be between nodes for a moment, and "retry
-// shortly" is the truthful answer where "gone" is not.
+// modifyResponse watches successful upstream answers to drive replication
+// (a mutated or created session needs its replica refreshed; a deleted one
+// needs it dropped), then rewrites transient 404s during migration
+// windows: after a ring change a session can be between nodes for a
+// moment, and "retry shortly" is the truthful answer where "gone" is not.
 func (p *Proxy) modifyResponse(resp *http.Response) error {
-	if resp.StatusCode != http.StatusNotFound || resp.Request == nil {
+	if resp.Request == nil {
+		return nil
+	}
+	p.observeForReplication(resp)
+	if resp.StatusCode != http.StatusNotFound {
 		return nil
 	}
 	if !strings.HasPrefix(resp.Request.URL.Path, "/v1/sessions/") || !p.unsettled() {
@@ -452,6 +482,31 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"live_nodes":   live,
 		"nodes":        rows,
 	})
+}
+
+// handleReadyz is the load-balancer signal, split from /healthz: the proxy
+// process being up (healthz, always 200 while serving) is not the same as
+// the cluster being safe to take traffic. Readiness goes 503 while a
+// failover or migration is in flight, during the post-ring-change settle
+// grace, or with zero live nodes — exactly the windows where a new request
+// would likely land on a 404 or a dead upstream.
+func (p *Proxy) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	live := 0
+	for _, st := range p.nodes {
+		if st.live {
+			live++
+		}
+	}
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if live == 0 || p.unsettled() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "settling", "live_nodes": live})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ready", "live_nodes": live})
 }
 
 func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {

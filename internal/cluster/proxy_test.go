@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -21,6 +22,13 @@ import (
 type fakeSession struct {
 	tenant string
 	snap   []byte
+	seq    uint64 // mutation sequence reported on export
+}
+
+// fakeReplica is one spill-store entry on a fakeNode.
+type fakeReplica struct {
+	seq  uint64
+	data []byte
 }
 
 // fakeNode is a minimal in-memory stand-in for a cluster-mode gdrd: enough
@@ -31,13 +39,14 @@ type fakeNode struct {
 
 	mu       sync.Mutex
 	sessions map[string]fakeSession
+	replicas map[string]fakeReplica
 	calls    []string // "METHOD path" log, in arrival order
 	down     bool     // refuse everything with a closed-ish 500
 }
 
 func newFakeNode(t *testing.T) *fakeNode {
 	t.Helper()
-	n := &fakeNode{sessions: make(map[string]fakeSession)}
+	n := &fakeNode{sessions: make(map[string]fakeSession), replicas: make(map[string]fakeReplica)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if n.failing() {
@@ -91,7 +100,64 @@ func newFakeNode(t *testing.T) *fakeNode {
 		if snap == nil {
 			snap = []byte("snap-" + r.PathValue("id"))
 		}
+		w.Header().Set(server.MutationSeqHeader, fmt.Sprint(s.seq))
+		if s.tenant != "" {
+			w.Header().Set(server.AssignTenantHeader, s.tenant)
+		}
 		_, _ = w.Write(snap)
+	})
+	mux.HandleFunc("PUT /v1/replicas/{key}", func(w http.ResponseWriter, r *http.Request) {
+		n.record(r)
+		var seq uint64
+		fmt.Sscan(r.Header.Get(server.MutationSeqHeader), &seq)
+		data, _ := io.ReadAll(r.Body)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if prev, ok := n.replicas[r.PathValue("key")]; ok && seq < prev.seq {
+			w.WriteHeader(http.StatusConflict)
+			return
+		}
+		n.replicas[r.PathValue("key")] = fakeReplica{seq: seq, data: data}
+		fmt.Fprint(w, `{"status":"stored"}`)
+	})
+	mux.HandleFunc("GET /v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		n.record(r)
+		n.mu.Lock()
+		list := server.ReplicaList{}
+		for key, rep := range n.replicas {
+			tenant, token := "", key
+			if t, tok, ok := strings.Cut(key, "@"); ok {
+				tenant, token = t, tok
+			}
+			list.Replicas = append(list.Replicas, server.ReplicaInfo{
+				Key: key, Token: token, Tenant: tenant, Seq: rep.seq, Size: len(rep.data)})
+		}
+		n.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(list)
+	})
+	mux.HandleFunc("GET /v1/replicas/{key}", func(w http.ResponseWriter, r *http.Request) {
+		n.record(r)
+		n.mu.Lock()
+		rep, ok := n.replicas[r.PathValue("key")]
+		n.mu.Unlock()
+		if !ok {
+			http.Error(w, "no replica", http.StatusNotFound)
+			return
+		}
+		w.Header().Set(server.MutationSeqHeader, fmt.Sprint(rep.seq))
+		_, _ = w.Write(rep.data)
+	})
+	mux.HandleFunc("DELETE /v1/replicas/{key}", func(w http.ResponseWriter, r *http.Request) {
+		n.record(r)
+		n.mu.Lock()
+		_, ok := n.replicas[r.PathValue("key")]
+		delete(n.replicas, r.PathValue("key"))
+		n.mu.Unlock()
+		if !ok {
+			http.Error(w, "no replica", http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, `{"status":"deleted"}`)
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}/status", func(w http.ResponseWriter, r *http.Request) {
 		n.record(r)

@@ -5,10 +5,14 @@
 // sessions between nodes when the ring changes — drain, snapshot export,
 // import-on-create under the original token, delete the source copy — so a
 // moved session is byte-identical to one that never moved (the guarantee
-// PR 4's snapshot format provides). A health-checking membership loop
-// removes dead nodes from the ring and restores their sessions on the new
-// owners from the dead node's snapshot directory. See ARCHITECTURE.md
-// "Cluster".
+// PR 4's snapshot format provides). Every session is also replicated
+// shared-nothing: after each mutating round its snapshot is pushed,
+// watermarked by mutation sequence, to the next distinct node on the ring.
+// A health-checking membership loop (symmetric hysteresis in both
+// directions) removes dead nodes from the ring and promotes their sessions
+// onto the new owners from the freshest replicas — the dead node's
+// snapshot directory is only a fallback for sessions no replica covered.
+// See ARCHITECTURE.md "Cluster".
 package cluster
 
 import (
@@ -121,6 +125,40 @@ func (r *Ring) Lookup(key string) string {
 		lo = 0 // wrap: the first point owns the arc past the last hash
 	}
 	return r.points[lo].node
+}
+
+// LookupReplica returns the node holding a key's replica: the first
+// virtual node clockwise past the owner that belongs to a DIFFERENT
+// physical node. On a ring with fewer than two members there is nowhere
+// distinct to replicate to and it returns "". Because the walk starts from
+// the key's own arc, the replica is as stable across membership changes as
+// the owner itself — and because the ring only ever contains live members,
+// a key whose usual replica died is automatically hinted to the next
+// distinct survivor.
+func (r *Ring) LookupReplica(key string) string {
+	if len(r.nodes) < 2 {
+		return ""
+	}
+	h := fnv64a(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	owner := r.points[lo].node
+	for i := 1; i < len(r.points); i++ {
+		if n := r.points[(lo+i)%len(r.points)].node; n != owner {
+			return n
+		}
+	}
+	return ""
 }
 
 // rebuild constructs the sorted point list for a member set.

@@ -82,7 +82,7 @@ func TestSnapshotLeaseDefersEviction(t *testing.T) {
 	<-entered
 	snapDone := make(chan error, 1)
 	go func() {
-		_, err := st.Snapshot(context.Background(), e)
+		_, _, err := st.Snapshot(context.Background(), e)
 		snapDone <- err
 	}()
 	// Wait until the export holds its lease (acquired before the encode is

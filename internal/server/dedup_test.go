@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gdr/internal/cfd"
+	"gdr/internal/core"
+	"gdr/internal/relation"
+	"gdr/internal/snapshot"
+)
+
+// mustFigure1State builds a fresh core session state from the Figure 1
+// instance for tests that need raw snapshot material.
+func mustFigure1State(t testing.TB) *core.SessionState {
+	t.Helper()
+	db, err := relation.ReadCSV(strings.NewReader(figure1CSV), "upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := cfd.Parse(strings.NewReader(figure1Rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(db, rules, core.Config{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.ExportState()
+}
+
+// postFeedbackRaw issues one feedback POST with a client request id and
+// returns the status, the raw response body, and the duplicate marker.
+func postFeedbackRaw(t *testing.T, ts *httptest.Server, base, reqID string, body []byte) (int, []byte, bool) {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/feedback", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(RequestIDHeader, reqID)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header.Get(DuplicateHeader) == "1"
+}
+
+// TestFeedbackExactlyOnce: a retried feedback POST (same X-Gdr-Request-Id)
+// replays the original response byte-for-byte instead of applying the round
+// a second time.
+func TestFeedbackExactlyOnce(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	created := createFigure1Session(t, ts)
+	base := ts.URL + "/v1/sessions/" + created.Session.ID
+
+	var groups GroupsResponse
+	if code := doJSON(t, ts.Client(), "GET", base+"/groups?order=voi", nil, &groups); code != 200 {
+		t.Fatalf("groups: status %d", code)
+	}
+	var ups UpdatesResponse
+	if code := doJSON(t, ts.Client(), "GET", base+"/groups/"+groups.Groups[0].Key+"/updates", nil, &ups); code != 200 {
+		t.Fatalf("updates: status %d", code)
+	}
+	items := make([]string, 0, len(ups.Updates))
+	for _, u := range ups.Updates {
+		items = append(items, fmt.Sprintf(`{"tid":%d,"attr":%q,"value":%q,"feedback":"confirm"}`, u.Tid, u.Attr, u.Value))
+	}
+	body := []byte(`{"items":[` + strings.Join(items, ",") + `]}`)
+
+	code, first, dup := postFeedbackRaw(t, ts, base, "retry-demo-1", body)
+	if code != 200 || dup {
+		t.Fatalf("first post: status %d, duplicate %v", code, dup)
+	}
+	var st1 StatusResponse
+	doJSON(t, ts.Client(), "GET", base+"/status", nil, &st1)
+	if st1.Session.MutSeq != 1 {
+		t.Fatalf("mut_seq after one round: %d, want 1", st1.Session.MutSeq)
+	}
+
+	// The retry: identical request, identical id. Must replay, not re-apply.
+	code, second, dup := postFeedbackRaw(t, ts, base, "retry-demo-1", body)
+	if code != 200 {
+		t.Fatalf("retry: status %d", code)
+	}
+	if !dup {
+		t.Fatal("retry not marked as a duplicate")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("replayed body differs:\n first: %s\nsecond: %s", first, second)
+	}
+
+	// The session did not move: same applied count, same mutation sequence.
+	var st2 StatusResponse
+	doJSON(t, ts.Client(), "GET", base+"/status", nil, &st2)
+	if st2.Stats.Applied != st1.Stats.Applied || st2.Session.MutSeq != st1.Session.MutSeq {
+		t.Fatalf("duplicate moved the session: %+v vs %+v", st2, st1)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "gdrd_feedback_duplicates_total 1") {
+		t.Fatalf("metrics missing duplicate count:\n%s", metrics)
+	}
+}
+
+// TestFeedbackRequestIDValidation: an oversized request id is rejected
+// before it can bloat the dedup window.
+func TestFeedbackRequestIDValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	created := createFigure1Session(t, ts)
+	base := ts.URL + "/v1/sessions/" + created.Session.ID
+	code, _, _ := postFeedbackRaw(t, ts, base, strings.Repeat("x", maxRequestIDLen+1), []byte(`{"items":[]}`))
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized request id: status %d, want 400", code)
+	}
+}
+
+// TestFeedbackDedupSurvivesSnapshot: the dedup window rides inside the
+// session snapshot, so a retry that lands after a migration (export on one
+// node, import on another) still replays instead of re-applying.
+func TestFeedbackDedupSurvivesSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{ClusterMode: true})
+	created := createFigure1Session(t, ts)
+	base := ts.URL + "/v1/sessions/" + created.Session.ID
+
+	var groups GroupsResponse
+	doJSON(t, ts.Client(), "GET", base+"/groups?order=voi", nil, &groups)
+	var ups UpdatesResponse
+	doJSON(t, ts.Client(), "GET", base+"/groups/"+groups.Groups[0].Key+"/updates", nil, &ups)
+	u := ups.Updates[0]
+	body := []byte(fmt.Sprintf(`{"items":[{"tid":%d,"attr":%q,"value":%q,"feedback":"confirm"}]}`, u.Tid, u.Attr, u.Value))
+
+	code, first, _ := postFeedbackRaw(t, ts, base, "migrating-retry", body)
+	if code != 200 {
+		t.Fatalf("feedback: status %d", code)
+	}
+
+	// Export, delete, re-import under the same token — a session migration.
+	resp, err := ts.Client().Post(base+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(MutationSeqHeader) != "1" {
+		t.Fatalf("snapshot watermark header: %q, want 1", resp.Header.Get(MutationSeqHeader))
+	}
+	if code := doJSON(t, ts.Client(), "DELETE", base, nil, nil); code != 200 {
+		t.Fatalf("delete: status %d", code)
+	}
+	createBody, err := json.Marshal(CreateSessionRequest{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sessions", bytes.NewReader(createBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(AssignTokenHeader, created.Session.ID)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import: status %d", resp.StatusCode)
+	}
+
+	// The retry hits the restored session and must still be recognized.
+	code, second, dup := postFeedbackRaw(t, ts, base, "migrating-retry", body)
+	if code != 200 || !dup {
+		t.Fatalf("post-migration retry: status %d, duplicate %v", code, dup)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("post-migration replay differs:\n first: %s\nsecond: %s", first, second)
+	}
+	var st StatusResponse
+	doJSON(t, ts.Client(), "GET", base+"/status", nil, &st)
+	if st.Session.MutSeq != 1 {
+		t.Fatalf("mut_seq after migration + retry: %d, want 1", st.Session.MutSeq)
+	}
+}
+
+// TestDedupWindowEviction: the window holds exactly dedupWindowSize entries
+// and evicts oldest-first.
+func TestDedupWindowEviction(t *testing.T) {
+	d := newDedupWindow()
+	for i := 0; i < dedupWindowSize+5; i++ {
+		d.put(fmt.Sprintf("id-%d", i), []byte(fmt.Sprintf("body-%d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := d.get(fmt.Sprintf("id-%d", i)); ok {
+			t.Fatalf("id-%d should have been evicted", i)
+		}
+	}
+	for i := 5; i < dedupWindowSize+5; i++ {
+		body, ok := d.get(fmt.Sprintf("id-%d", i))
+		if !ok || string(body) != fmt.Sprintf("body-%d", i) {
+			t.Fatalf("id-%d: got %q, %v", i, body, ok)
+		}
+	}
+	if len(d.ring) != dedupWindowSize || len(d.index) != dedupWindowSize {
+		t.Fatalf("window grew: ring %d, index %d", len(d.ring), len(d.index))
+	}
+
+	// In-place overwrite neither grows the window nor disturbs the ring.
+	d.put("id-10", []byte("rewritten"))
+	if len(d.ring) != dedupWindowSize {
+		t.Fatalf("overwrite grew the ring to %d", len(d.ring))
+	}
+	if body, _ := d.get("id-10"); string(body) != "rewritten" {
+		t.Fatalf("overwrite not visible: %q", body)
+	}
+}
+
+// TestDedupWindowExportRestore: export → restore → export is a fixed point,
+// so two snapshots of the same session state encode byte-identically.
+func TestDedupWindowExportRestore(t *testing.T) {
+	d := newDedupWindow()
+	for i := 0; i < dedupWindowSize+7; i++ {
+		d.put(fmt.Sprintf("id-%d", i), []byte(fmt.Sprintf("body-%d", i)))
+	}
+	exported := d.export()
+	if len(exported) != dedupWindowSize {
+		t.Fatalf("export length %d", len(exported))
+	}
+	r := newDedupWindow()
+	r.restore(exported)
+	again := r.export()
+	if len(again) != len(exported) {
+		t.Fatalf("round trip changed length: %d vs %d", len(again), len(exported))
+	}
+	for i := range exported {
+		if exported[i].ID != again[i].ID || !bytes.Equal(exported[i].Body, again[i].Body) {
+			t.Fatalf("entry %d changed across restore: %+v vs %+v", i, exported[i], again[i])
+		}
+	}
+	// The restored window must also evict in the same order as the original.
+	d.put("tail", []byte("t"))
+	r.put("tail", []byte("t"))
+	de, re := d.export(), r.export()
+	for i := range de {
+		if de[i].ID != re[i].ID {
+			t.Fatalf("eviction order diverged at %d: %q vs %q", i, de[i].ID, re[i].ID)
+		}
+	}
+}
+
+// TestDedupHotPathAllocBound pins the per-request dedup cost: a get on the
+// actor's hot path must not allocate at all, and a put of an already-seen
+// id only rebinds the body.
+func TestDedupHotPathAllocBound(t *testing.T) {
+	d := newDedupWindow()
+	for i := 0; i < dedupWindowSize; i++ {
+		d.put(fmt.Sprintf("id-%d", i), []byte("body"))
+	}
+	body := []byte("replacement")
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := d.get("id-7"); !ok {
+			t.Fail()
+		}
+		d.put("id-7", body)
+	})
+	if allocs != 0 {
+		t.Fatalf("dedup hot path allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDedupWindowSnapshotDeterminism: two encodes of a session whose dedup
+// window has wrapped produce identical bytes — the ring export order is
+// stable, not map order.
+func TestDedupWindowSnapshotDeterminism(t *testing.T) {
+	d := newDedupWindow()
+	for i := 0; i < dedupWindowSize*2; i++ {
+		d.put(fmt.Sprintf("id-%d", i), []byte{byte(i)})
+	}
+	meta := snapshot.Meta{MutSeq: 42, Dedup: d.export()}
+	st := mustFigure1State(t)
+	a, err := snapshot.EncodeStateMeta("det", meta, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snapshot.EncodeStateMeta("det", snapshot.Meta{MutSeq: 42, Dedup: d.export()}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two exports of the same window encode differently")
+	}
+}

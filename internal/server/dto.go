@@ -65,6 +65,24 @@ type SessionInfo struct {
 	Rules     int       `json:"rules"`
 	CreatedAt time.Time `json:"created_at"`
 	ExpiresAt time.Time `json:"expires_at"`
+	// MutSeq is the session's mutation-sequence watermark — how many
+	// mutating rounds it has absorbed. The cluster proxy compares it
+	// against replica watermarks to spot lagging replicas.
+	MutSeq uint64 `json:"mut_seq,omitempty"`
+}
+
+// ReplicaInfo describes one held replica snapshot on a node's spill store.
+type ReplicaInfo struct {
+	Key    string `json:"key"`              // <tenant>@<token> or bare <token>
+	Token  string `json:"token"`            // the session token
+	Tenant string `json:"tenant,omitempty"` // owning tenant ("" = unowned)
+	Seq    uint64 `json:"seq"`              // mutation watermark of the bytes
+	Size   int    `json:"size"`             // snapshot size in bytes
+}
+
+// ReplicaList is the GET /v1/replicas response.
+type ReplicaList struct {
+	Replicas []ReplicaInfo `json:"replicas"`
 }
 
 // StatsBody mirrors core.Stats on the wire.

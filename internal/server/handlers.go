@@ -27,6 +27,25 @@ const (
 	AssignTenantHeader = "X-Gdr-Assign-Tenant"
 )
 
+// Replication and retry headers.
+const (
+	// MutationSeqHeader carries a session's mutation-sequence watermark: on
+	// a snapshot export response it stamps which mutation the bytes capture;
+	// on a replica PUT it is the push's watermark, and the spill store
+	// rejects pushes older than what it already holds (409).
+	MutationSeqHeader = "X-Gdr-Mutation-Seq"
+	// RequestIDHeader is the client-chosen idempotency key for feedback
+	// POSTs: a duplicate id within the session's dedup window replays the
+	// original response instead of re-applying the round.
+	RequestIDHeader = "X-Gdr-Request-Id"
+	// DuplicateHeader marks a replayed feedback response.
+	DuplicateHeader = "X-Gdr-Duplicate"
+
+	// maxRequestIDLen bounds the dedup key a client may choose; longer ids
+	// are rejected rather than truncated (truncation could alias two ids).
+	maxRequestIDLen = 128
+)
+
 // handleCreate opens a session from a JSON body or a multipart form (file
 // parts csv and rules; value parts name, seed, workers).
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -368,17 +387,43 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: empty feedback batch", ErrBadRequest))
 		return
 	}
+	reqID := r.Header.Get(RequestIDHeader)
+	if len(reqID) > maxRequestIDLen {
+		writeError(w, fmt.Errorf("%w: request id longer than %d bytes", ErrBadRequest, maxRequestIDLen))
+		return
+	}
 	start := time.Now()
 	var resp FeedbackResponse
+	var replay []byte
 	err := e.actor.do(r.Context(), "feedback", func(sess *core.Session) {
+		// Exactly-once retries: a request id seen within the dedup window
+		// replays the original response bytes without touching the session.
+		// Everything — the window check, the apply, the sequence bump and
+		// the response rendering — happens on the actor, so a snapshot
+		// encoded later on this goroutine always captures state, watermark
+		// and window in a mutually consistent cut.
+		if reqID != "" {
+			if body, ok := e.dedup.get(reqID); ok {
+				replay = body
+				return
+			}
+		}
 		resp = applyFeedbackBatch(sess, req)
-		// Bump on the actor, with the mutation it stamps: a snapshot
-		// encoded later on this goroutine always pairs a state with the
-		// right sequence number.
 		e.mutSeq.Add(1)
+		if reqID != "" {
+			if body, merr := marshalJSONBody(resp); merr == nil {
+				e.dedup.put(reqID, body)
+			}
+		}
 	})
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if replay != nil {
+		s.reg.Counter("gdrd_feedback_duplicates_total").Inc()
+		w.Header().Set(DuplicateHeader, "1")
+		writeJSONBytes(w, http.StatusOK, replay)
 		return
 	}
 	// Make the round durable before answering: once the client sees this
@@ -516,7 +561,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	data, err := s.store.Snapshot(r.Context(), e)
+	data, mut, err := s.store.Snapshot(r.Context(), e)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -524,6 +569,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", e.id+snapSuffix))
 	w.Header().Set("X-GDR-Snapshot-Version", strconv.Itoa(snapshot.FormatVersion))
+	// The watermark and tenant ride response headers so the cluster proxy
+	// can stamp replica pushes and preserve ownership without decoding the
+	// snapshot bytes itself.
+	w.Header().Set(MutationSeqHeader, strconv.FormatUint(mut, 10))
+	if e.tenant != "" {
+		w.Header().Set(AssignTenantHeader, e.tenant)
+	}
 	_, _ = w.Write(data)
 }
 

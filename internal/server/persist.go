@@ -36,13 +36,14 @@ func (s *Store) snapshotPath(e *entry) string {
 }
 
 // Snapshot encodes the session's current state on its actor goroutine and
-// returns the bytes; with persistence enabled the same bytes are also
-// written through the checkpoint path, so an explicit export doubles as a
-// durable checkpoint. The write is best-effort: a failing disk must not
-// block the export — taking sessions off a sick node is exactly what the
-// endpoint is for — so persist errors are logged and counted, and the
-// periodic flusher keeps retrying.
-func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
+// returns the bytes plus the mutation sequence they capture (the replica
+// watermark); with persistence enabled the same bytes are also written
+// through the checkpoint path, so an explicit export doubles as a durable
+// checkpoint. The write is best-effort: a failing disk must not block the
+// export — taking sessions off a sick node is exactly what the endpoint is
+// for — so persist errors are logged and counted, and the periodic flusher
+// keeps retrying.
+func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, uint64, error) {
 	// The lease pins the session against TTL eviction for the whole export:
 	// the cluster proxy calls this to move a session, and the janitor
 	// harvesting the source mid-export would hand the importing node a
@@ -51,7 +52,7 @@ func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
 	defer func() { e.releaseLease(s.now()) }()
 	data, mut, err := s.encode(ctx, e)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if s.dir != "" {
 		t := obs.FromContext(ctx)
@@ -66,7 +67,7 @@ func (s *Store) Snapshot(ctx context.Context, e *entry) ([]byte, error) {
 			e.ckptSucceeded()
 		}
 	}
-	return data, nil
+	return data, mut, nil
 }
 
 // Checkpoint makes the session durable: encode on the actor, write to a
@@ -104,12 +105,15 @@ func (s *Store) Checkpoint(ctx context.Context, e *entry) error {
 }
 
 // encode runs the snapshot encoder on the session's actor and records
-// which mutation sequence the captured state corresponds to.
+// which mutation sequence the captured state corresponds to. The watermark
+// and the dedup window ride inside the snapshot (format v2 meta): both are
+// read on the actor, so the encoded triple is always mutually consistent.
 func (s *Store) encode(ctx context.Context, e *entry) (data []byte, mut uint64, err error) {
 	var encErr error
 	doErr := e.actor.do(ctx, "encode", func(sess *core.Session) {
 		mut = e.mutSeq.Load()
-		data, encErr = snapshot.Encode(e.name, sess)
+		meta := snapshot.Meta{MutSeq: mut, Dedup: e.dedup.export()}
+		data, encErr = snapshot.EncodeStateMeta(e.name, meta, sess.ExportState())
 	})
 	if doErr != nil {
 		return nil, 0, doErr
@@ -246,7 +250,7 @@ func (s *Store) restoreFile(token, tenant, path string) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, st, err := snapshot.DecodeState(data)
+	name, meta, st, err := snapshot.DecodeStateMeta(data)
 	if err != nil {
 		return nil, err
 	}
@@ -257,10 +261,16 @@ func (s *Store) restoreFile(token, tenant, path string) (*entry, error) {
 		return nil, fmt.Errorf("restoring session: %w", err)
 	}
 	e := s.newEntry(sess, token, name, tenant, st.Config.Workers)
-	// The on-disk state is exactly what we restored: durable at mutation 0.
-	// The entry is unpublished, so the watermark write needs no lock.
+	// The on-disk state is exactly what we restored: durable at the
+	// snapshot's own watermark, which also seeds the live sequence — a
+	// restored session must not restart at 0, or its replica pushes would
+	// read as stale. The entry is unpublished, so no lock is needed.
+	e.mutSeq.Store(meta.MutSeq)
+	e.dedup.restore(meta.Dedup)
 	//lint:ignore guardedby pre-publication write: no other goroutine can hold a reference to e yet
 	e.hasDurable = true
+	//lint:ignore guardedby pre-publication write: no other goroutine can hold a reference to e yet
+	e.durableMut = meta.MutSeq
 	return e, nil
 }
 

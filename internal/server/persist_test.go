@@ -49,6 +49,9 @@ func copyDir(t *testing.T, src string) string {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			continue // the replicas/ subdir is not part of the session state
+		}
 		data, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)

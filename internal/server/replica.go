@@ -1,0 +1,347 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gdr/internal/faultfs"
+	"gdr/internal/obs"
+	"gdr/internal/snapshot"
+)
+
+// The replica spill store: every cluster node holds, next to its own
+// sessions, the replicated snapshots of sessions whose ring owner is
+// another node. The cluster proxy pushes a versioned snapshot here after
+// each mutating round (PUT, watermarked with X-Gdr-Mutation-Seq), promotes
+// from here on a dead-node failover (GET), and garbage-collects replicas
+// whose placement moved (DELETE). Pushes are monotone: a push older than
+// what the store already holds is rejected with 409, so a delayed or
+// replayed push can never roll a replica back.
+
+// replicaSuffix names replica files inside the store's directory.
+const replicaSuffix = ".replica"
+
+// errReplicaStale rejects a replica push whose watermark is behind the
+// stored copy (mapped to 409).
+var errReplicaStale = fmt.Errorf("server: replica push is stale")
+
+// replicaRec is one held replica. With a directory configured the bytes
+// live on disk and data is nil; without one they stay in memory (a
+// diskless node can still serve as a replica target).
+type replicaRec struct {
+	seq  uint64
+	size int
+	data []byte
+}
+
+// replicaStore holds replica snapshots keyed by "<tenant>@<token>" (or a
+// bare token for unowned sessions). It is deliberately dumb storage: no
+// TTLs, no interpretation of the bytes beyond envelope verification — the
+// proxy's anti-entropy sweep owns the lifecycle.
+type replicaStore struct {
+	dir    string // "" = memory-only
+	faults *faultfs.Injector
+	log    *slog.Logger
+
+	mu   sync.Mutex
+	held map[string]replicaRec // gdr:guarded-by mu
+}
+
+// newReplicaStore builds the store and, with a directory configured,
+// rescans replicas that survived a restart (keeping only the highest
+// watermark per key).
+func newReplicaStore(dir string, faults *faultfs.Injector, log *slog.Logger) *replicaStore {
+	rs := &replicaStore{dir: dir, faults: faults, log: log, held: make(map[string]replicaRec)}
+	if dir == "" {
+		return rs
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		rs.log.Error("creating replica dir failed", "dir", dir, "err", err)
+		rs.dir = "" // fall back to memory-only rather than failing every push
+		return rs
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+replicaSuffix))
+	if err != nil {
+		rs.log.Error("scanning replica dir failed", "dir", dir, "err", err)
+		return rs
+	}
+	rs.mu.Lock()
+	for _, path := range names {
+		key, seq, ok := parseReplicaName(filepath.Base(path))
+		if !ok {
+			rs.log.Warn("skipping unparseable replica file", "path", path)
+			continue
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		if prev, dup := rs.held[key]; dup {
+			// Two files for one key (a crash between write and cleanup):
+			// keep the higher watermark, drop the other.
+			stale := path
+			if seq > prev.seq {
+				stale = rs.path(key, prev.seq)
+				rs.held[key] = replicaRec{seq: seq, size: int(fi.Size())}
+			}
+			if err := os.Remove(stale); err != nil && !os.IsNotExist(err) {
+				rs.log.Warn("removing superseded replica failed", "path", stale, "err", err)
+			}
+			continue
+		}
+		rs.held[key] = replicaRec{seq: seq, size: int(fi.Size())}
+	}
+	restored := len(rs.held)
+	rs.mu.Unlock()
+	if restored > 0 {
+		rs.log.Info("restored replicas", "count", restored, "dir", dir)
+	}
+	return rs
+}
+
+// path names the replica file for a key at a watermark. The key's charset
+// (hex token, tenant matching tenantNameRE, the '@' separator) is
+// filename-safe by construction.
+func (rs *replicaStore) path(key string, seq uint64) string {
+	return filepath.Join(rs.dir, key+"."+strconv.FormatUint(seq, 10)+replicaSuffix)
+}
+
+// parseReplicaName splits "<key>.<seq>.replica". The seq is delimited by
+// the RIGHTMOST interior dot — tenant names may themselves contain dots.
+func parseReplicaName(base string) (key string, seq uint64, ok bool) {
+	rest, found := strings.CutSuffix(base, replicaSuffix)
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(rest, '.')
+	if i <= 0 {
+		return "", 0, false
+	}
+	seq, err := strconv.ParseUint(rest[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], seq, true
+}
+
+// put stores one replica push. Watermarks are monotone per key: an older
+// push returns errReplicaStale, an equal one is an idempotent no-op (the
+// proxy retries pushes), a newer one replaces the copy atomically.
+func (rs *replicaStore) put(key string, seq uint64, data []byte, t *obs.Trace) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	prev, exists := rs.held[key]
+	if exists && seq < prev.seq {
+		return errReplicaStale
+	}
+	if exists && seq == prev.seq {
+		return nil
+	}
+	rec := replicaRec{seq: seq, size: len(data)}
+	if rs.dir == "" {
+		rec.data = append([]byte(nil), data...)
+	} else {
+		if err := writeAtomic(rs.path(key, seq), data, rs.faults, t); err != nil {
+			return err
+		}
+		if exists {
+			if err := os.Remove(rs.path(key, prev.seq)); err != nil && !os.IsNotExist(err) {
+				rs.log.Warn("removing superseded replica failed", "key", key, "err", err)
+			}
+		}
+	}
+	rs.held[key] = rec
+	return nil
+}
+
+// get returns the held replica bytes and watermark for a key.
+func (rs *replicaStore) get(key string) ([]byte, uint64, bool) {
+	rs.mu.Lock()
+	rec, ok := rs.held[key]
+	rs.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	if rs.dir == "" {
+		return rec.data, rec.seq, true
+	}
+	data, err := os.ReadFile(rs.path(key, rec.seq))
+	if err != nil {
+		rs.log.Warn("reading replica failed", "key", key, "err", err)
+		return nil, 0, false
+	}
+	return data, rec.seq, true
+}
+
+// drop removes a held replica; it reports whether one existed.
+func (rs *replicaStore) drop(key string) bool {
+	rs.mu.Lock()
+	rec, ok := rs.held[key]
+	if ok {
+		delete(rs.held, key)
+	}
+	rs.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if rs.dir != "" {
+		if err := os.Remove(rs.path(key, rec.seq)); err != nil && !os.IsNotExist(err) {
+			rs.log.Warn("removing replica failed", "key", key, "err", err)
+		}
+	}
+	return true
+}
+
+// list snapshots the held replicas, ordered by key.
+func (rs *replicaStore) list() []ReplicaInfo {
+	rs.mu.Lock()
+	out := make([]ReplicaInfo, 0, len(rs.held))
+	for key, rec := range rs.held {
+		tenant, token := splitReplicaKey(key)
+		out = append(out, ReplicaInfo{Key: key, Token: token, Tenant: tenant, Seq: rec.seq, Size: rec.size})
+	}
+	rs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// count returns the number of held replicas.
+func (rs *replicaStore) count() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.held)
+}
+
+// splitReplicaKey splits a store key into tenant and token. Tokens are hex
+// and tenant names cannot contain '@', so the first '@' is the separator.
+func splitReplicaKey(key string) (tenant, token string) {
+	if t, tok, ok := strings.Cut(key, "@"); ok {
+		return t, tok
+	}
+	return "", key
+}
+
+// validReplicaKey checks a client-supplied replica key: a valid session
+// token, optionally prefixed "<tenant>@" with a well-formed tenant name.
+// Anything else could escape the file naming scheme — or, for an explicit
+// empty tenant ("@<token>"), alias the bare-token key — and is rejected.
+func validReplicaKey(key string) bool {
+	tenant, token := splitReplicaKey(key)
+	if !validToken(token) {
+		return false
+	}
+	if strings.Contains(key, "@") {
+		return tenantNameRE.MatchString(tenant)
+	}
+	return true
+}
+
+// replicaMetrics refreshes the replica gauges after a store mutation.
+func (s *Server) replicaMetrics() {
+	s.reg.Gauge("gdrd_replicas_held").Set(int64(s.replicas.count()))
+}
+
+// handleReplicaPut accepts one replica push. Gated like the placement
+// headers (cluster mode or an admin tenant): replicas bypass the normal
+// session lifecycle, so open tenants must not reach them.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	if !s.mayAssign(r) {
+		writeError(w, fmt.Errorf("%w: replica endpoints need cluster mode or an admin key", ErrForbidden))
+		return
+	}
+	key := r.PathValue("key")
+	if !validReplicaKey(key) {
+		writeError(w, fmt.Errorf("%w: malformed replica key", ErrBadRequest))
+		return
+	}
+	seq, err := strconv.ParseUint(r.Header.Get(MutationSeqHeader), 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: missing or malformed %s header", ErrBadRequest, MutationSeqHeader))
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading replica body: %w", ErrBadRequest, err))
+		return
+	}
+	// Envelope check before the disk is touched: a corrupt push (bad magic,
+	// unreadable version, CRC mismatch) must never replace a good replica.
+	if err := snapshot.Verify(data); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	prevSeq, hadPrev := uint64(0), false
+	s.replicas.mu.Lock()
+	if rec, ok := s.replicas.held[key]; ok {
+		prevSeq, hadPrev = rec.seq, true
+	}
+	s.replicas.mu.Unlock()
+	if err := s.replicas.put(key, seq, data, obs.FromContext(r.Context())); err != nil {
+		if err == errReplicaStale {
+			s.reg.Counter("gdrd_replica_stale_pushes_total").Inc()
+			writeJSON(w, http.StatusConflict, ErrorBody{Error: fmt.Sprintf("%v: holds seq %d, push carries %d", err, prevSeq, seq)})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	s.reg.Counter("gdrd_replica_pushes_total").Inc()
+	// Lag: how many mutating rounds this replica had missed before the push
+	// caught it up (consecutive pushes are one round apart).
+	if hadPrev && seq > prevSeq+1 {
+		s.reg.Gauge("gdrd_replica_lag_rounds").Set(int64(seq - prevSeq - 1))
+	} else {
+		s.reg.Gauge("gdrd_replica_lag_rounds").Set(0)
+	}
+	s.replicaMetrics()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "stored", "seq": seq})
+}
+
+// handleReplicaGet serves the held replica bytes (the failover pull path).
+func (s *Server) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+	if !s.mayAssign(r) {
+		writeError(w, fmt.Errorf("%w: replica endpoints need cluster mode or an admin key", ErrForbidden))
+		return
+	}
+	data, seq, ok := s.replicas.get(r.PathValue("key"))
+	if !ok {
+		writeNotFound(w, "replica")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(MutationSeqHeader, strconv.FormatUint(seq, 10))
+	_, _ = w.Write(data)
+}
+
+// handleReplicaDelete drops a held replica (placement moved, or the
+// session was deleted).
+func (s *Server) handleReplicaDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.mayAssign(r) {
+		writeError(w, fmt.Errorf("%w: replica endpoints need cluster mode or an admin key", ErrForbidden))
+		return
+	}
+	if !s.replicas.drop(r.PathValue("key")) {
+		writeNotFound(w, "replica")
+		return
+	}
+	s.replicaMetrics()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// handleReplicaList inventories the held replicas (the anti-entropy sweep
+// reads this from every node).
+func (s *Server) handleReplicaList(w http.ResponseWriter, r *http.Request) {
+	if !s.mayAssign(r) {
+		writeError(w, fmt.Errorf("%w: replica endpoints need cluster mode or an admin key", ErrForbidden))
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicaList{Replicas: s.replicas.list()})
+}

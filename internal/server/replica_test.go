@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"gdr/internal/snapshot"
+)
+
+// replicaTestToken is a well-formed session token for replica keys.
+const replicaTestToken = "0123456789abcdef0123456789abcdef"
+
+// mustSnapshotBytes encodes a valid v2 snapshot for replica pushes.
+func mustSnapshotBytes(t testing.TB, mut uint64) []byte {
+	t.Helper()
+	data, err := snapshot.EncodeStateMeta("replica-test", snapshot.Meta{MutSeq: mut}, mustFigure1State(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// pushReplica issues one replica PUT and returns the status code.
+func pushReplica(t testing.TB, ts *httptest.Server, key string, seq uint64, data []byte) int {
+	t.Helper()
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/replicas/"+key, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(MutationSeqHeader, strconv.FormatUint(seq, 10))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestReplicaLifecycle drives the spill store over HTTP: push, list, pull,
+// watermark monotonicity, drop.
+func TestReplicaLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{ClusterMode: true, DataDir: t.TempDir()})
+	key := "acme@" + replicaTestToken
+	snap3 := mustSnapshotBytes(t, 3)
+
+	if code := pushReplica(t, ts, key, 3, snap3); code != 200 {
+		t.Fatalf("push: status %d", code)
+	}
+	// Equal watermark: idempotent retry, still 200.
+	if code := pushReplica(t, ts, key, 3, snap3); code != 200 {
+		t.Fatalf("idempotent re-push: status %d", code)
+	}
+	// Older watermark: a delayed push must never roll the copy back.
+	if code := pushReplica(t, ts, key, 2, mustSnapshotBytes(t, 2)); code != http.StatusConflict {
+		t.Fatalf("stale push: status %d, want 409", code)
+	}
+
+	var list ReplicaList
+	if code := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/replicas", nil, &list); code != 200 {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(list.Replicas) != 1 {
+		t.Fatalf("list: %+v", list)
+	}
+	r := list.Replicas[0]
+	if r.Key != key || r.Tenant != "acme" || r.Token != replicaTestToken || r.Seq != 3 || r.Size != len(snap3) {
+		t.Fatalf("listed replica: %+v", r)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/replicas/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get(MutationSeqHeader) != "3" {
+		t.Fatalf("get: status %d, seq %q", resp.StatusCode, resp.Header.Get(MutationSeqHeader))
+	}
+	if !bytes.Equal(got, snap3) {
+		t.Fatal("pulled replica differs from the pushed bytes")
+	}
+
+	if code := doJSON(t, ts.Client(), "DELETE", ts.URL+"/v1/replicas/"+key, nil, nil); code != 200 {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := doJSON(t, ts.Client(), "DELETE", ts.URL+"/v1/replicas/"+key, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("second delete: status %d, want 404", code)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/replicas/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReplicaPutRejections: corrupt bodies, malformed keys, and missing
+// watermarks never reach the disk.
+func TestReplicaPutRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{ClusterMode: true})
+	good := mustSnapshotBytes(t, 1)
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0xff // CRC mismatch
+	if code := pushReplica(t, ts, replicaTestToken, 1, corrupt); code != http.StatusBadRequest {
+		t.Fatalf("corrupt body: status %d, want 400", code)
+	}
+	if code := pushReplica(t, ts, replicaTestToken, 1, []byte("not a snapshot")); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", code)
+	}
+	for _, key := range []string{
+		"short",                                // not a token
+		"UPPER@" + replicaTestToken[:31] + "G", // bad hex
+		"bad tenant@" + replicaTestToken,       // space escapes tenantNameRE
+		"@" + replicaTestToken,                 // empty tenant with separator
+	} {
+		if code := pushReplica(t, ts, key, 1, good); code != http.StatusBadRequest {
+			t.Fatalf("key %q: status %d, want 400", key, code)
+		}
+	}
+	// Missing watermark header.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/replicas/"+replicaTestToken, bytes.NewReader(good))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing seq header: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReplicaEndpointsGated: without cluster mode or an admin key, every
+// replica endpoint is forbidden.
+func TestReplicaEndpointsGated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code := pushReplica(t, ts, replicaTestToken, 1, mustSnapshotBytes(t, 1)); code != http.StatusForbidden {
+		t.Fatalf("put: status %d, want 403", code)
+	}
+	for _, c := range []struct{ method, path string }{
+		{"GET", "/v1/replicas"},
+		{"GET", "/v1/replicas/" + replicaTestToken},
+		{"DELETE", "/v1/replicas/" + replicaTestToken},
+	} {
+		if code := doJSON(t, ts.Client(), c.method, ts.URL+c.path, nil, nil); code != http.StatusForbidden {
+			t.Fatalf("%s %s: status %d, want 403", c.method, c.path, code)
+		}
+	}
+}
+
+// TestReplicaSurvivesRestart: with a data directory, held replicas are
+// rescanned on boot — the whole point of the spill store is surviving the
+// owner's death, so it must also survive its own host's restart.
+func TestReplicaSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{ClusterMode: true, DataDir: dir})
+	snap := mustSnapshotBytes(t, 7)
+	if code := pushReplica(t, ts, replicaTestToken, 7, snap); code != 200 {
+		t.Fatalf("push: status %d", code)
+	}
+	ts.Close()
+
+	_, ts2 := newTestServer(t, Config{ClusterMode: true, DataDir: dir})
+	resp, err := ts2.Client().Get(ts2.URL + "/v1/replicas/" + replicaTestToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get(MutationSeqHeader) != "7" {
+		t.Fatalf("get after restart: status %d, seq %q", resp.StatusCode, resp.Header.Get(MutationSeqHeader))
+	}
+	if !bytes.Equal(got, snap) {
+		t.Fatal("restored replica differs from the pushed bytes")
+	}
+	// The watermark survived too: an older push is still stale.
+	if code := pushReplica(t, ts2, replicaTestToken, 6, mustSnapshotBytes(t, 6)); code != http.StatusConflict {
+		t.Fatalf("stale push after restart: status %d, want 409", code)
+	}
+}
+
+// TestParseReplicaName: the seq is split on the rightmost dot, so dotted
+// tenant names round-trip.
+func TestParseReplicaName(t *testing.T) {
+	cases := []struct {
+		base string
+		key  string
+		seq  uint64
+		ok   bool
+	}{
+		{"abc.12.replica", "abc", 12, true},
+		{"team.a@abc.3.replica", "team.a@abc", 3, true},
+		{"abc.replica", "", 0, false},   // no seq
+		{".12.replica", "", 0, false},   // empty key
+		{"abc.x.replica", "", 0, false}, // non-numeric seq
+		{"abc.12.snap", "", 0, false},   // wrong suffix
+	}
+	for _, c := range cases {
+		key, seq, ok := parseReplicaName(c.base)
+		if key != c.key || seq != c.seq || ok != c.ok {
+			t.Errorf("parseReplicaName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.base, key, seq, ok, c.key, c.seq, c.ok)
+		}
+	}
+}
+
+// FuzzReplicaPut throws arbitrary keys, watermarks, and bodies at the
+// replica PUT handler: it must never panic, never 5xx, and never store a
+// body that fails envelope verification.
+func FuzzReplicaPut(f *testing.F) {
+	valid, err := snapshot.EncodeStateMeta("fuzz", snapshot.Meta{MutSeq: 1}, mustFigure1State(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	f.Add(replicaTestToken, "1", valid)
+	f.Add("t@"+replicaTestToken, "2", corrupt)
+	f.Add("nonsense", "x", []byte("GDRS"))
+	f.Add(replicaTestToken, "18446744073709551615", []byte{})
+
+	srv := New(Config{ClusterMode: true})
+	f.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, key, seq string, body []byte) {
+		if key == "" || len(key) > 256 {
+			return
+		}
+		// Escape so any key is routable as one path segment; the mux hands
+		// the handler the decoded value.
+		req := httptest.NewRequest("PUT", "/v1/replicas/"+url.PathEscape(key), bytes.NewReader(body))
+		req.Header.Set(MutationSeqHeader, seq)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusConflict, http.StatusNotFound:
+		default:
+			t.Fatalf("PUT key=%q seq=%q: status %d", key, seq, rec.Code)
+		}
+		if rec.Code == http.StatusOK {
+			// Whatever was accepted must verify — pull it back and check.
+			data, _, ok := srv.replicas.get(key)
+			if !ok {
+				t.Fatalf("stored replica %q not retrievable", key)
+			}
+			if err := snapshot.Verify(data); err != nil {
+				t.Fatalf("stored replica fails verification: %v", err)
+			}
+		}
+	})
+}

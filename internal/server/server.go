@@ -18,6 +18,11 @@
 //	GET    /v1/sessions/{id}/export              download the instance as CSV
 //	POST   /v1/sessions/{id}/snapshot            download a binary session snapshot
 //	DELETE /v1/sessions/{id}                     close a session
+//	PUT    /v1/replicas/{key}                    store a replica snapshot (cluster/admin only,
+//	                                             X-Gdr-Mutation-Seq watermarked; stale → 409)
+//	GET    /v1/replicas/{key}                    fetch a held replica (failover pull)
+//	DELETE /v1/replicas/{key}                    drop a held replica
+//	GET    /v1/replicas                          list held replicas
 //	GET    /healthz                              liveness
 //	GET    /metrics                              Prometheus text exposition
 //
@@ -36,6 +41,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,6 +49,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -173,6 +180,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg           Config
 	store         *Store
+	replicas      *replicaStore
 	reg           *metrics.Registry
 	log           *slog.Logger
 	tracer        *obs.Tracer
@@ -216,6 +224,11 @@ func New(cfg Config) *Server {
 	reg.Counter("gdrd_sessions_restored_total")
 	reg.Counter("gdrd_checkpoints_total")
 	reg.Counter("gdrd_checkpoint_failures_total")
+	reg.Counter("gdrd_feedback_duplicates_total")
+	reg.Counter("gdrd_replica_pushes_total")
+	reg.Counter("gdrd_replica_stale_pushes_total")
+	reg.Gauge("gdrd_replica_lag_rounds")
+	reg.Gauge("gdrd_replicas_held")
 	reg.Histogram("gdrd_request_seconds")
 	reg.Histogram("gdrd_suggest_seconds")
 	reg.Histogram("gdrd_feedback_seconds")
@@ -256,6 +269,12 @@ func New(cfg Config) *Server {
 			bucket: newTokenBucket(tc.RatePerSec, tc.Burst),
 		}
 	}
+	replicaDir := ""
+	if cfg.DataDir != "" {
+		replicaDir = filepath.Join(cfg.DataDir, "replicas")
+	}
+	s.replicas = newReplicaStore(replicaDir, cfg.Faults, s.log)
+	s.replicaMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
@@ -266,6 +285,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
 	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("PUT /v1/replicas/{key}", s.handleReplicaPut)
+	mux.HandleFunc("GET /v1/replicas/{key}", s.handleReplicaGet)
+	mux.HandleFunc("DELETE /v1/replicas/{key}", s.handleReplicaDelete)
+	mux.HandleFunc("GET /v1/replicas", s.handleReplicaList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -357,6 +380,9 @@ func routeLabel(method, path string) string {
 		return "metrics"
 	case "/debug/traces":
 		return "traces"
+	}
+	if strings.HasPrefix(path, "/v1/replicas") {
+		return "replicas"
 	}
 	rest, ok := strings.CutPrefix(path, "/v1/sessions")
 	if !ok {
@@ -597,6 +623,26 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(body)
+}
+
+// marshalJSONBody renders a body to the exact bytes writeJSON would send
+// (same encoder settings, trailing newline included) — the dedup window
+// stores these so a replayed response is byte-identical to the original.
+func marshalJSONBody(body any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSONBytes sends pre-rendered JSON bytes (a dedup replay).
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 // retryAfterValue renders a Retry-After duration as whole seconds, rounded

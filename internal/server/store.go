@@ -87,6 +87,11 @@ type entry struct {
 	// unflushed mutations as durable.
 	mutSeq atomic.Uint64
 
+	// dedup is the feedback replay window. Actor-confined, like the session
+	// itself: only commands running on the entry's actor may touch it, which
+	// is what keeps a snapshot's state and dedup window mutually consistent.
+	dedup *dedupWindow
+
 	ckptMu     sync.Mutex
 	durableMut uint64 // gdr:guarded-by ckptMu
 	hasDurable bool   // gdr:guarded-by ckptMu
@@ -154,6 +159,7 @@ func (s *Store) newEntry(sess *core.Session, token, name, tenant string, workers
 		rules:    nrules,
 		actor:    newActor(sess, s.sched, workers, tenant, s.queueDepth, s.reg, s.faults),
 		etagSalt: newETagSalt(),
+		dedup:    newDedupWindow(),
 	}
 }
 
@@ -233,6 +239,7 @@ func (e *entry) info(ttl time.Duration) SessionInfo {
 		Rules:     e.rules,
 		CreatedAt: e.created,
 		ExpiresAt: e.idleSince().Add(ttl),
+		MutSeq:    e.mutSeq.Load(),
 	}
 }
 
@@ -384,13 +391,14 @@ func (s *Store) Create(ctx context.Context, req CreateSessionRequest) (SessionIn
 func (s *Store) CreateAs(ctx context.Context, tenant string, req CreateSessionRequest) (SessionInfo, core.Stats, error) {
 	var build func() (*core.Session, error)
 	var workers int
+	var meta snapshot.Meta
 	name := req.Name
 	if len(req.Snapshot) > 0 {
-		b, w, n, err := s.importBuild(req)
+		b, w, n, m, err := s.importBuild(req)
 		if err != nil {
 			return SessionInfo{}, core.Stats{}, err
 		}
-		build, workers = b, w
+		build, workers, meta = b, w, m
 		if name == "" {
 			name = n
 		}
@@ -462,6 +470,12 @@ func (s *Store) CreateAs(ctx context.Context, tenant string, req CreateSessionRe
 	}
 
 	e := s.newEntry(sess, token, name, tenant, workers)
+	// An imported snapshot carries its mutation watermark and dedup window;
+	// the entry is unpublished and its actor quiescent, so these restores
+	// race nothing. Without them a migrated session would restart at
+	// sequence 0 and the proxy would take its next replica push for stale.
+	e.mutSeq.Store(meta.MutSeq)
+	e.dedup.restore(meta.Dedup)
 	//lint:ignore actorconfine construction-time read: the actor was just created and has processed nothing, so the session is still quiescent
 	st := sess.Stats()
 	s.mu.Lock()
@@ -520,25 +534,25 @@ func (s *Store) uploadBuild(req CreateSessionRequest) (build func() (*core.Sessi
 // configuration; only Workers may be overridden (clamped to the budget
 // either way), because overriding Seed would desynchronize the restored
 // session's recorded randomness from its state.
-func (s *Store) importBuild(req CreateSessionRequest) (build func() (*core.Session, error), workers int, name string, err error) {
+func (s *Store) importBuild(req CreateSessionRequest) (build func() (*core.Session, error), workers int, name string, meta snapshot.Meta, err error) {
 	if strings.TrimSpace(req.CSV) != "" || strings.TrimSpace(req.Rules) != "" {
-		return nil, 0, "", fmt.Errorf("%w: a snapshot upload cannot also carry csv or rules", ErrBadUpload)
+		return nil, 0, "", meta, fmt.Errorf("%w: a snapshot upload cannot also carry csv or rules", ErrBadUpload)
 	}
 	if req.Seed != 0 {
-		return nil, 0, "", fmt.Errorf("%w: seed cannot be overridden when restoring a snapshot", ErrBadUpload)
+		return nil, 0, "", meta, fmt.Errorf("%w: seed cannot be overridden when restoring a snapshot", ErrBadUpload)
 	}
-	name, st, err := snapshot.DecodeState(req.Snapshot)
+	name, meta, st, err := snapshot.DecodeStateMeta(req.Snapshot)
 	if err != nil {
-		return nil, 0, "", fmt.Errorf("%w: %v", ErrBadUpload, err)
+		return nil, 0, "", meta, fmt.Errorf("%w: %v", ErrBadUpload, err)
 	}
 	if err := validateImportConfig(st.Config); err != nil {
-		return nil, 0, "", err
+		return nil, 0, "", meta, err
 	}
 	if req.Workers > 0 {
 		st.Config.Workers = req.Workers
 	}
 	st.Config.Workers = s.sched.clampSlots(st.Config.Workers)
-	return func() (*core.Session, error) { return core.RestoreSession(st) }, st.Config.Workers, name, nil
+	return func() (*core.Session, error) { return core.RestoreSession(st) }, st.Config.Workers, name, meta, nil
 }
 
 // validateImportConfig bounds the session configuration arriving inside an

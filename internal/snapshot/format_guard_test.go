@@ -166,3 +166,27 @@ func TestGoldenSnapshotStillDecodes(t *testing.T) {
 		t.Fatal("golden snapshot no longer re-encodes byte-identically — the layout drifted without a version bump")
 	}
 }
+
+// TestGoldenV1StillDecodes pins backward compatibility across the v1→v2
+// bump: a pre-replication snapshot (no meta section) must keep decoding
+// with a zero Meta and restoring. No re-encode identity — this build
+// writes v2, so the bytes legitimately differ.
+func TestGoldenV1StillDecodes(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_v1.snap")
+	if err != nil {
+		t.Fatalf("v1 golden missing: %v", err)
+	}
+	name, meta, st, err := DecodeStateMeta(data)
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer decodes: %v", err)
+	}
+	if name != "golden" {
+		t.Fatalf("v1 golden name = %q", name)
+	}
+	if meta.MutSeq != 0 || len(meta.Dedup) != 0 {
+		t.Fatalf("v1 snapshot decoded a non-zero meta: %+v", meta)
+	}
+	if _, err := core.RestoreSession(st); err != nil {
+		t.Fatalf("v1 snapshot no longer restores: %v", err)
+	}
+}

@@ -8,20 +8,24 @@
 //
 //	offset  size  field
 //	0       4     magic "GDRS"
-//	4       2     format version (uint16); readers reject other versions
-//	6       n     body: the session name, then core.SessionState, encoded
-//	              field by field with varint counts, length-prefixed
-//	              strings and IEEE-754 bit-exact float64s
+//	4       2     format version (uint16); readers accept v1 and v2
+//	6       n     body: [v2+] the session meta (mutation sequence and the
+//	              feedback dedup window), then the session name, then
+//	              core.SessionState, encoded field by field with varint
+//	              counts, length-prefixed strings and IEEE-754 bit-exact
+//	              float64s
 //	6+n     4     CRC-32 (IEEE) of everything before it
 //
 // Compatibility rules: the version is bumped whenever the body layout (or
 // any serialized struct feeding it) changes — a hash lock test enforces
-// this — and a reader only accepts the exact version it was built for.
-// Forward/backward migration is a higher-level concern; the format's job is
-// to never misinterpret bytes. Decoding validates every count against the
-// remaining input and every cross-reference against the decoded instance,
-// so corrupt or truncated snapshots fail with an error — never a panic and
-// never an oversized allocation.
+// this. Writers always emit the current version; readers additionally
+// accept version 1 snapshots (pre-replication, no meta section), decoding
+// them with a zero Meta. Forward migration beyond that is a higher-level
+// concern; the format's job is to never misinterpret bytes. Decoding
+// validates every count against the remaining input and every
+// cross-reference against the decoded instance, so corrupt or truncated
+// snapshots fail with an error — never a panic and never an oversized
+// allocation.
 //
 // Encoding is deterministic: the same session state always produces the
 // same bytes (maps are serialized in sorted order), which the format-lock
@@ -44,13 +48,33 @@ import (
 	"gdr/internal/repair"
 )
 
-// FormatVersion is the snapshot format this build writes and reads. Bump it
-// whenever the body layout or any serialized struct changes (the
-// TestFormatLock golden test fails until you do).
-const FormatVersion = 1
+// FormatVersion is the snapshot format this build writes. Bump it whenever
+// the body layout or any serialized struct changes (the TestFormatLock
+// golden test fails until you do).
+const FormatVersion = 2
+
+// minReadVersion is the oldest format this build still decodes. Version 1
+// predates the Meta section; v1 snapshots decode with a zero Meta.
+const minReadVersion = 1
 
 // magic identifies a GDR snapshot.
 var magic = [4]byte{'G', 'D', 'R', 'S'}
+
+// Meta is the per-session bookkeeping serialized alongside the state since
+// format v2: the mutation-sequence watermark (replica pushes carrying an
+// older sequence are stale) and the feedback dedup window (request id →
+// rendered response), persisted so state and dedup roll back atomically.
+type Meta struct {
+	MutSeq uint64
+	Dedup  []DedupEntry
+}
+
+// DedupEntry is one remembered feedback request: the client-chosen id and
+// the exact response body originally served, replayed on a duplicate.
+type DedupEntry struct {
+	ID   string
+	Body []byte
+}
 
 // ErrFormat wraps every decode failure: bad magic, wrong version, CRC
 // mismatch, truncation, or structurally invalid contents.
@@ -96,14 +120,26 @@ func Read(r io.Reader) (name string, sess *core.Session, err error) {
 	return Decode(data)
 }
 
-// EncodeState serializes an already-exported state.
+// EncodeState serializes an already-exported state with a zero Meta.
 func EncodeState(name string, st *core.SessionState) ([]byte, error) {
+	return EncodeStateMeta(name, Meta{}, st)
+}
+
+// EncodeStateMeta serializes an already-exported state plus its session
+// meta (mutation watermark and dedup window).
+func EncodeStateMeta(name string, meta Meta, st *core.SessionState) ([]byte, error) {
 	if st == nil {
 		return nil, fmt.Errorf("snapshot: nil session state")
 	}
 	e := &encoder{}
 	e.b = append(e.b, magic[:]...)
 	e.b = binary.LittleEndian.AppendUint16(e.b, FormatVersion)
+	e.uv(meta.MutSeq)
+	e.uv(uint64(len(meta.Dedup)))
+	for _, ent := range meta.Dedup {
+		e.str(ent.ID)
+		e.bytes(ent.Body)
+	}
 	e.str(name)
 	e.sessionConfig(st.Config)
 	e.str(st.Relation)
@@ -170,24 +206,51 @@ func EncodeState(name string, st *core.SessionState) ([]byte, error) {
 }
 
 // DecodeState parses snapshot bytes into the display name and the session
-// state without rebuilding the session — the serving tier uses this to
-// adjust the configuration (worker clamping) before restoring.
+// state, discarding the meta section.
 func DecodeState(data []byte) (name string, st *core.SessionState, err error) {
+	name, _, st, err = DecodeStateMeta(data)
+	return name, st, err
+}
+
+// Verify cheaply validates the snapshot envelope — magic, a readable
+// version and the CRC trailer — without decoding the body. The replica
+// store uses it to reject corrupt pushes before touching disk.
+func Verify(data []byte) error {
 	const overhead = 4 + 2 + 4 // magic + version + crc
 	if len(data) < overhead {
-		return "", nil, fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrFormat, len(data))
+		return fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrFormat, len(data))
 	}
 	if [4]byte(data[:4]) != magic {
-		return "", nil, fmt.Errorf("%w: bad magic", ErrFormat)
+		return fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != FormatVersion {
-		return "", nil, fmt.Errorf("%w: format version %d (this build reads %d)", ErrFormat, v, FormatVersion)
+	if v := binary.LittleEndian.Uint16(data[4:6]); v < minReadVersion || v > FormatVersion {
+		return fmt.Errorf("%w: format version %d (this build reads %d..%d)", ErrFormat, v, minReadVersion, FormatVersion)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return "", nil, fmt.Errorf("%w: CRC mismatch (corrupt or truncated)", ErrFormat)
+		return fmt.Errorf("%w: CRC mismatch (corrupt or truncated)", ErrFormat)
 	}
+	return nil
+}
+
+// DecodeStateMeta parses snapshot bytes into the display name, the session
+// meta and the session state without rebuilding the session — the serving
+// tier uses this to adjust the configuration (worker clamping) before
+// restoring. Version 1 snapshots decode with a zero Meta.
+func DecodeStateMeta(data []byte) (name string, meta Meta, st *core.SessionState, err error) {
+	if err := Verify(data); err != nil {
+		return "", Meta{}, nil, err
+	}
+	version := binary.LittleEndian.Uint16(data[4:6])
+	body := data[:len(data)-4]
 	d := &decoder{b: body, off: 6}
+	if version >= 2 {
+		meta.MutSeq = d.uv()
+		meta.Dedup = make([]DedupEntry, 0, d.count(2))
+		for i := 0; i < cap(meta.Dedup) && d.err == nil; i++ {
+			meta.Dedup = append(meta.Dedup, DedupEntry{ID: d.str(), Body: d.bytes()})
+		}
+	}
 	name = d.str()
 	st = &core.SessionState{}
 	st.Config = d.sessionConfig()
@@ -251,9 +314,9 @@ func DecodeState(data []byte) (name string, st *core.SessionState, err error) {
 		d.fail("%d trailing bytes", len(d.b)-d.off)
 	}
 	if d.err != nil {
-		return "", nil, d.err
+		return "", Meta{}, nil, d.err
 	}
-	return name, st, nil
+	return name, meta, st, nil
 }
 
 // encoder builds the body with deterministic, append-only primitives.
@@ -274,6 +337,10 @@ func (e *encoder) bool_(v bool) {
 func (e *encoder) str(s string) {
 	e.uv(uint64(len(s)))
 	e.b = append(e.b, s...)
+}
+func (e *encoder) bytes(p []byte) {
+	e.uv(uint64(len(p)))
+	e.b = append(e.b, p...)
 }
 func (e *encoder) strs(ss []string) {
 	e.uv(uint64(len(ss)))
@@ -463,6 +530,17 @@ func (d *decoder) str() string {
 	s := string(d.b[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[d.off:d.off+n])
+	d.off += n
+	return p
 }
 
 func (d *decoder) strs() []string {
